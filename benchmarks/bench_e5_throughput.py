@@ -1,0 +1,138 @@
+"""E5 — checking throughput: deployed (continuous) vs on-demand.
+
+§II.A names two analysis styles: queries deployed into the store that emit
+results in real time, and an on-demand query frontend.  For controls this
+becomes three operating points, all refreshed after each of B event
+batches:
+
+- **deployed (batched)** — appends mark (control, trace) pairs dirty; a
+  flush per batch evaluates each dirty pair once,
+- **on-demand** — a full sweep (every control × every trace) per batch,
+- **deployed (immediate)** — every relevant append re-checks on the spot;
+  freshest, and priced accordingly.
+
+Expected shape: per-batch freshness costs ``new-traces × controls``
+evaluations in batched-deployed mode versus ``all-traces × controls`` in
+on-demand mode, so the on-demand/deployed evaluation ratio grows with the
+number of batches already processed; immediate mode pays a constant factor
+more than batched for per-event freshness.  All modes scale linearly in
+trace count.
+
+Benchmarked operation: the batched-deployed pipeline over one stream.
+"""
+
+from repro.capture.correlation import CorrelationAnalytics
+from repro.capture.recorder import RecorderClient
+from repro.controls.deployment import ControlDeployment
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.metrics.timing import Stopwatch
+from repro.processes import hiring
+from repro.processes.engine import ProcessSimulator
+from repro.processes.violations import ViolationPlan
+from repro.reporting.tables import render_table
+from repro.store.store import ProvenanceStore
+
+TRACE_COUNTS = (50, 150, 300)
+BATCHES = 5
+
+
+def _pipeline(workload):
+    model = workload.build_model()
+    store = ProvenanceStore(model=model)
+    recorder = RecorderClient(store, workload.build_mapping(model))
+    analytics = CorrelationAnalytics(store, model)
+    for rule in workload.correlation_rules():
+        analytics.add_rule(rule)
+    simulator = ProcessSimulator(
+        workload.build_spec(),
+        workload.case_factory(ViolationPlan.none()),
+        seed=3,
+    )
+    return store, recorder, analytics, simulator
+
+
+def _run_deployed(workload, stack, cases, immediate):
+    store, recorder, analytics, simulator = _pipeline(workload)
+    deployment = ControlDeployment(
+        store, stack.xom, stack.vocabulary,
+        bind_results=False, immediate=immediate,
+    )
+    for control in stack.controls:
+        deployment.deploy(control)
+    watch = Stopwatch()
+    with watch.span("stream"):
+        for __ in range(BATCHES):
+            for run in simulator.run(cases // BATCHES):
+                recorder.process_all(run.events)
+            analytics.run()
+            if not immediate:
+                deployment.flush()
+    return watch.seconds("stream"), deployment.rechecks
+
+
+def _run_on_demand(workload, stack, cases):
+    store, recorder, analytics, simulator = _pipeline(workload)
+    evaluator = ComplianceEvaluator(store, stack.xom, stack.vocabulary)
+    watch = Stopwatch()
+    evaluations = 0
+    with watch.span("stream"):
+        for __ in range(BATCHES):
+            for run in simulator.run(cases // BATCHES):
+                recorder.process_all(run.events)
+            analytics.run()
+            evaluations += len(evaluator.run(stack.controls))
+    return watch.seconds("stream"), evaluations
+
+
+def test_e5_throughput(benchmark, artifact):
+    workload = hiring.workload()
+    stack = workload.simulate(cases=0)  # vocabulary + controls only
+
+    rows = []
+    for cases in TRACE_COUNTS:
+        batched_sec, batched_evals = _run_deployed(
+            workload, stack, cases, immediate=False
+        )
+        demand_sec, demand_evals = _run_on_demand(workload, stack, cases)
+        imm_sec, imm_evals = _run_deployed(
+            workload, stack, cases, immediate=True
+        )
+        rows.append(
+            (
+                cases,
+                batched_evals,
+                f"{batched_sec:.3f}s",
+                demand_evals,
+                f"{demand_sec:.3f}s",
+                imm_evals,
+                f"{imm_sec:.3f}s",
+                f"{demand_evals / batched_evals:.2f}x",
+            )
+        )
+        # Same per-batch freshness, strictly fewer evaluations.
+        assert batched_evals < demand_evals
+        # Immediate pays for per-event freshness.
+        assert imm_evals > batched_evals
+
+    table = render_table(
+        (
+            "traces",
+            "deployed evals",
+            "deployed time",
+            "on-demand evals",
+            "on-demand time",
+            "immediate evals",
+            "immediate time",
+            "on-demand/deployed",
+        ),
+        rows,
+        title=(
+            f"E5: checking cost per freshness mode — hiring, "
+            f"{BATCHES} batches, {len(stack.controls)} controls"
+        ),
+    )
+    artifact("E5 — deployed vs on-demand checking throughput", table)
+
+    benchmark(
+        lambda: _run_deployed(workload, stack, 50, immediate=False)
+    )

@@ -1,0 +1,118 @@
+"""E7 — provenance pipeline scaling.
+
+Times the full capture pipeline phase by phase — simulate → record
+(recorder clients) → correlate (enrichment analytics) → evaluate (controls
+over trace graphs) — at growing trace counts on the hiring workload.
+
+Expected shape: every phase scales near-linearly in trace count (the
+correlation analytics are per-trace joins, not global products); the
+per-trace cost is flat to within a small factor across the sweep.
+
+Benchmarked operation: the record+correlate core at the smallest scale.
+"""
+
+from repro.capture.correlation import CorrelationAnalytics
+from repro.capture.recorder import RecorderClient
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.metrics.timing import Stopwatch
+from repro.processes import hiring
+from repro.processes.engine import ProcessSimulator, all_events
+from repro.processes.violations import ViolationPlan
+from repro.reporting.tables import render_table
+from repro.store.store import ProvenanceStore
+
+TRACE_COUNTS = (50, 200, 800)
+
+
+def _run_scale(workload, stack, cases):
+    watch = Stopwatch()
+    with watch.span("simulate"):
+        simulator = ProcessSimulator(
+            workload.build_spec(),
+            workload.case_factory(
+                ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), 0.2)
+            ),
+            seed=7,
+        )
+        events = all_events(simulator.run(cases))
+    model = workload.build_model()
+    store = ProvenanceStore(model=model)
+    with watch.span("record"):
+        RecorderClient(store, workload.build_mapping(model)).process_all(
+            events
+        )
+    with watch.span("correlate"):
+        analytics = CorrelationAnalytics(store, model)
+        for rule in workload.correlation_rules():
+            analytics.add_rule(rule)
+        analytics.run()
+    with watch.span("evaluate"):
+        evaluator = ComplianceEvaluator(store, stack.xom, stack.vocabulary)
+        results = evaluator.run(stack.controls)
+    return watch, len(store), len(results)
+
+
+def test_e7_pipeline_scaling(benchmark, artifact):
+    workload = hiring.workload()
+    stack = workload.simulate(cases=0)
+
+    rows = []
+    per_trace_totals = []
+    for cases in TRACE_COUNTS:
+        watch, stored_rows, checked = _run_scale(workload, stack, cases)
+        per_trace = watch.total / cases
+        per_trace_totals.append(per_trace)
+        rows.append(
+            (
+                cases,
+                stored_rows,
+                checked,
+                f"{watch.seconds('simulate'):.3f}s",
+                f"{watch.seconds('record'):.3f}s",
+                f"{watch.seconds('correlate'):.3f}s",
+                f"{watch.seconds('evaluate'):.3f}s",
+                f"{watch.total:.3f}s",
+                f"{per_trace * 1000:.2f}ms",
+            )
+        )
+
+    # Near-linear: per-trace cost stays within a small factor across a 16x
+    # scale-up (a quadratic pipeline would blow this bound up).
+    assert max(per_trace_totals) / min(per_trace_totals) < 5.0
+
+    table = render_table(
+        (
+            "traces",
+            "rows",
+            "checks",
+            "simulate",
+            "record",
+            "correlate",
+            "evaluate",
+            "total",
+            "per trace",
+        ),
+        rows,
+        title="E7: pipeline phase times vs trace count (hiring workload)",
+    )
+    artifact("E7 — provenance pipeline scaling", table)
+
+    def record_and_correlate():
+        simulator = ProcessSimulator(
+            workload.build_spec(),
+            workload.case_factory(ViolationPlan.none()),
+            seed=7,
+        )
+        events = all_events(simulator.run(50))
+        model = workload.build_model()
+        store = ProvenanceStore(model=model)
+        RecorderClient(store, workload.build_mapping(model)).process_all(
+            events
+        )
+        analytics = CorrelationAnalytics(store, model)
+        for rule in workload.correlation_rules():
+            analytics.add_rule(rule)
+        analytics.run()
+        return len(store)
+
+    benchmark(record_and_correlate)

@@ -1,0 +1,56 @@
+"""Benchmark harness plumbing.
+
+Each bench regenerates one paper artifact (table/figure) or one derived
+experiment's rows.  The regenerated text is:
+
+- recorded via the ``artifact`` fixture,
+- written to ``benchmarks/out/<slug>.txt``,
+- printed in the pytest terminal summary (so
+  ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+  the rows alongside pytest-benchmark's timing table).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Tuple
+
+import pytest
+
+_ARTIFACTS: List[Tuple[str, str]] = []
+_OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def _slug(title: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+
+
+@pytest.fixture
+def artifact():
+    """Record one regenerated artifact: ``artifact(title, text)``."""
+
+    def record(title: str, text: str) -> None:
+        _ARTIFACTS.append((title, text))
+        os.makedirs(_OUT_DIR, exist_ok=True)
+        path = os.path.join(_OUT_DIR, f"{_slug(title)}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"{title}\n\n{text}\n")
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ARTIFACTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("REGENERATED PAPER ARTIFACTS & EXPERIMENT ROWS")
+    write("(also written to benchmarks/out/)")
+    write("=" * 78)
+    for title, text in _ARTIFACTS:
+        write("")
+        write(f"### {title}")
+        for line in text.splitlines():
+            write(line)

@@ -1,0 +1,112 @@
+"""One data model, two business vocabularies, identical controls.
+
+§IV of the paper: "Different verbalization for different business
+vocabulary is possible.  This work suggests that the task of verbalization
+is a role that is executed after the provenance graph data is created."
+
+This example verbalizes the hiring data model twice — the default English
+vocabulary and a German profile — authors the *same* internal control in
+both, and shows the verdicts agree trace by trace.  No application code,
+no data model, and no stored provenance changes between the two: only the
+vocabulary layer.
+
+Run:  python examples/multilingual_controls.py
+"""
+
+from repro import hiring
+from repro.brms.bal.compiler import BalCompiler
+from repro.brms.engine import RuleEngine
+from repro.brms.profiles import (
+    DEFAULT_PROFILE,
+    profile_from_translations,
+    verbalize_with_profile,
+)
+from repro.graph.build import build_trace_graph
+from repro.processes.violations import ViolationPlan
+from repro.reporting.tables import render_table
+
+GERMAN = profile_from_translations(
+    "de",
+    concepts={
+        "jobrequisition": "Stellenausschreibung",
+        "approvalstatus": "Genehmigung",
+        "candidatelist": "Kandidatenliste",
+    },
+    jobrequisition={
+        "type": "Stellenart",
+        "approvalOf": "Genehmigung",
+        "candidatesFor": "Kandidatenliste",
+    },
+)
+
+ENGLISH_CONTROL = """
+definitions
+  set 'req' to a Job Requisition
+      where the position type of this Job Requisition is "new" ;
+if
+  all of the following conditions are true :
+    - the approval of 'req' is not null ,
+    - the candidate list of 'req' is not null
+then
+  the internal control is satisfied
+"""
+
+GERMAN_CONTROL = """
+definitions
+  set 'antrag' to a Stellenausschreibung
+      where the Stellenart of this Stellenausschreibung is "new" ;
+if
+  all of the following conditions are true :
+    - the Genehmigung of 'antrag' is not null ,
+    - the Kandidatenliste of 'antrag' is not null
+then
+  the internal control is satisfied
+"""
+
+
+def main() -> None:
+    workload = hiring.workload()
+    plan = ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), 0.3)
+    sim = workload.simulate(cases=12, seed=77, violations=plan)
+
+    english = verbalize_with_profile(sim.xom, DEFAULT_PROFILE)
+    german = verbalize_with_profile(sim.xom, GERMAN)
+
+    print("English drop-down (Job Requisition):")
+    for item in english.dropdown_entries()["Job Requisition"][:4]:
+        print(f"  - {item}")
+    print("\nGerman drop-down (Stellenausschreibung):")
+    for item in german.dropdown_entries()["Stellenausschreibung"][:4]:
+        print(f"  - {item}")
+
+    english_rule = BalCompiler(english).compile("gm-en", ENGLISH_CONTROL)
+    german_rule = BalCompiler(german).compile("gm-de", GERMAN_CONTROL)
+
+    rows = []
+    agreements = 0
+    for trace_id in sim.store.app_ids():
+        graph = build_trace_graph(sim.store, trace_id)
+        verdict_en = RuleEngine(sim.xom, english).evaluate(
+            english_rule, graph
+        ).verdict
+        verdict_de = RuleEngine(sim.xom, german).evaluate(
+            german_rule, graph
+        ).verdict
+        agreements += verdict_en is verdict_de
+        rows.append(
+            (trace_id, verdict_en.value, verdict_de.value,
+             "yes" if verdict_en is verdict_de else "NO")
+        )
+    print()
+    print(
+        render_table(
+            ("trace", "English control", "German control", "agree"),
+            rows,
+            title="Same control, two vocabularies, one provenance store",
+        )
+    )
+    print(f"\nagreement: {agreements}/{len(rows)} traces")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Continuous compliance on a purchase-to-pay process.
+
+Shows the deployed-query style of checking (§II.A's "emit results in
+real-time"): controls are deployed against a live store, new evidence
+re-checks only the affected traces, and the dashboard updates as events
+arrive — including a violation that *heals* when late evidence shows up.
+
+Run:  python examples/procurement_sod.py
+"""
+
+from repro import ComplianceDashboard, procurement
+from repro.capture.correlation import CorrelationAnalytics
+from repro.capture.recorder import RecorderClient
+from repro.controls.deployment import ControlDeployment
+from repro.processes.engine import ProcessSimulator
+from repro.processes.violations import ViolationPlan
+
+
+def main() -> None:
+    workload = procurement.workload()
+    plan = ViolationPlan(
+        rates={
+            "skip_po_approval": 0.15,
+            "self_approval": 0.1,
+            "no_receipt": 0.1,
+            "price_mismatch": 0.1,
+        }
+    )
+
+    # Build the live pipeline by hand (rather than workload.simulate) so the
+    # store starts EMPTY and controls watch events arrive.
+    model = workload.build_model()
+    sim = workload.simulate(cases=0)  # vocabulary stack only
+    from repro.store.store import ProvenanceStore
+
+    store = ProvenanceStore(model=model)
+    recorder = RecorderClient(store, workload.build_mapping(model))
+    analytics = CorrelationAnalytics(store, model)
+    for rule in workload.correlation_rules():
+        analytics.add_rule(rule)
+
+    dashboard = ComplianceDashboard()
+    deployment = ControlDeployment(store, sim.xom, sim.vocabulary)
+    deployment.subscribe(dashboard.record)
+    for control in sim.controls:
+        dashboard.register_control(control)
+        deployment.deploy(control)
+    print(f"deployed {len(sim.controls)} controls against an empty store\n")
+
+    simulator = ProcessSimulator(
+        workload.build_spec(), workload.case_factory(plan), seed=99
+    )
+    for batch in range(3):
+        runs = simulator.run(10)
+        for run in runs:
+            recorder.process_all(run.events)
+        analytics.run()  # correlation triggers the re-checks
+        print(f"after batch {batch + 1} ({10 * (batch + 1)} cases):")
+        for kpi in dashboard.kpis():
+            rate = (
+                f"{kpi.compliance_rate:.0%}"
+                if kpi.compliance_rate is not None
+                else "n/a"
+            )
+            print(
+                f"  {kpi.control_name:<18} checked={kpi.checked:<4}"
+                f" violated={kpi.violated:<3} rate={rate}"
+            )
+        print()
+
+    print(f"incremental re-checks performed: {deployment.rechecks}")
+    print("\nfinal exception report:")
+    for exception in dashboard.exceptions():
+        print(f"  {exception.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""How process visibility shapes compliance-detection quality.
+
+"The efficacy of internal controls depends on the visibility of the
+underlying process" (§II).  This study sweeps the capture rate from
+unmanaged to fully managed on the expense-reimbursement workload and
+reports precision/recall/F1 of the deployed controls against the injected
+ground truth, plus what the three management profiles of the paper's
+terminology achieve.
+
+Run:  python examples/visibility_study.py
+"""
+
+from repro import ComplianceEvaluator, expenses
+from repro.metrics.detection import detection_report
+from repro.processes.violations import ViolationPlan
+from repro.processes.visibility import ManagementProfile, VisibilityPolicy
+from repro.reporting.tables import render_table
+
+
+def evaluate(visibility=None, cases=150, seed=31):
+    workload = expenses.workload()
+    plan = ViolationPlan.uniform(list(expenses.VIOLATION_KINDS), 0.25)
+    sim = workload.simulate(
+        cases=cases, seed=seed, violations=plan, visibility=visibility
+    )
+    evaluator = ComplianceEvaluator(
+        sim.store, sim.xom, sim.vocabulary,
+        observable_types=sim.observable_types,
+    )
+    results = evaluator.run(sim.controls)
+    truth = sim.ground_truth_for(workload.ground_truth)
+    return detection_report(results, truth), sim
+
+
+def main() -> None:
+    rows = []
+    for rate in (0.2, 0.4, 0.6, 0.8, 1.0):
+        report, sim = evaluate(VisibilityPolicy.uniform(rate, seed=7))
+        precision, recall, f1 = report.row()
+        rows.append(
+            (
+                f"{rate:.0%}",
+                sim.visible_events,
+                sim.dropped_events,
+                f"{precision:.3f}",
+                f"{recall:.3f}",
+                f"{f1:.3f}",
+            )
+        )
+    print(
+        render_table(
+            ("capture rate", "visible", "dropped", "precision", "recall",
+             "F1"),
+            rows,
+            title="Detection quality vs uniform capture rate "
+                  "(expenses, 150 cases, 25% violation rate)",
+        )
+    )
+
+    print()
+    rows = []
+    for profile in (
+        ManagementProfile.UNMANAGED,
+        ManagementProfile.PARTIALLY_MANAGED,
+        ManagementProfile.FULLY_MANAGED,
+    ):
+        report, sim = evaluate(VisibilityPolicy.from_profile(profile, seed=7))
+        precision, recall, f1 = report.row()
+        rows.append(
+            (profile.value, f"{precision:.3f}", f"{recall:.3f}",
+             f"{f1:.3f}")
+        )
+    print(
+        render_table(
+            ("management profile", "precision", "recall", "F1"),
+            rows,
+            title="Detection quality per management profile",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Baselines the paper's approach is compared against.
+
+- :mod:`repro.baselines.hardcoded` — internal controls "buried into the
+  application code" (§I): Python functions hitting the store directly.
+  This is the traditional IT-implemented approach; it must produce the
+  *same verdicts* as the vocabulary-authored controls (the paper claims no
+  power is lost), but costs more to author and to change (experiment E6).
+- :mod:`repro.baselines.replay` — token-replay conformance checking over
+  observed task sequences, a process-mining-style baseline that sees
+  control flow but not business data.
+- :mod:`repro.baselines.storequery` — raw XPath-lite queries against the
+  Table-I rows, the "extensive IT skills are required" path of §II.C.
+"""
+
+from repro.baselines.hardcoded import (
+    HardcodedControl,
+    expenses_hardcoded_controls,
+    hiring_hardcoded_controls,
+    incidents_hardcoded_controls,
+    procurement_hardcoded_controls,
+)
+from repro.baselines.replay import (
+    ReplayChecker,
+    hiring_replay_checker,
+    normative_sequences,
+)
+from repro.baselines.storequery import (
+    StoreQueryControl,
+    hiring_gm_approval_query_control,
+)
+
+__all__ = [
+    "HardcodedControl",
+    "ReplayChecker",
+    "StoreQueryControl",
+    "expenses_hardcoded_controls",
+    "hiring_gm_approval_query_control",
+    "hiring_replay_checker",
+    "hiring_hardcoded_controls",
+    "incidents_hardcoded_controls",
+    "normative_sequences",
+    "procurement_hardcoded_controls",
+]

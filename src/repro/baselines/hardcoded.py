@@ -1,0 +1,318 @@
+"""Hardcoded (IT-implemented) internal controls.
+
+"Traditionally internal control points are implemented by the IT
+organization based on the requirements prepared by business people […]
+mainly because the internal controls are buried into the application code"
+(§I).  These functions are that tradition: each control is Python code
+joining store records by foreign keys, written and maintained by a
+developer.
+
+They intentionally duplicate the semantics of the BAL controls of the
+workload modules — E4 asserts verdict-for-verdict agreement, and E6
+measures what that duplication costs in artifact size and in edits per
+process change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.model.records import ProvenanceRecord
+from repro.store.store import ProvenanceStore
+
+CheckFn = Callable[[ProvenanceStore, str], ComplianceStatus]
+
+
+@dataclass(frozen=True)
+class HardcodedControl:
+    """One IT-implemented control: a name and a store-level check."""
+
+    name: str
+    check: CheckFn
+
+    def evaluate(
+        self, store: ProvenanceStore, trace_id: str
+    ) -> ComplianceResult:
+        return ComplianceResult(
+            control_name=self.name,
+            trace_id=trace_id,
+            status=self.check(store, trace_id),
+        )
+
+    def evaluate_all(self, store: ProvenanceStore) -> List[ComplianceResult]:
+        return [
+            self.evaluate(store, trace_id)
+            for trace_id in store.app_ids()
+        ]
+
+
+def _one(
+    store: ProvenanceStore, trace_id: str, entity_type: str, **attrs
+) -> Optional[ProvenanceRecord]:
+    records = store.find_data(trace_id, entity_type, **attrs)
+    return records[0] if records else None
+
+
+# -- hiring (New Position Open) ---------------------------------------------------
+
+
+def _hiring_gm_approval(store: ProvenanceStore, trace_id: str):
+    requisition = _one(store, trace_id, "jobrequisition", type="new")
+    if requisition is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    reqid = requisition.get("reqid")
+    approval = _one(store, trace_id, "approvalstatus", reqid=reqid)
+    candidates = _one(store, trace_id, "candidatelist", reqid=reqid)
+    if approval is not None and candidates is not None:
+        return ComplianceStatus.SATISFIED
+    return ComplianceStatus.VIOLATED
+
+
+def _hiring_sod(store: ProvenanceStore, trace_id: str):
+    requisition = _one(store, trace_id, "jobrequisition", type="new")
+    if requisition is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    approval = _one(
+        store, trace_id, "approvalstatus", reqid=requisition.get("reqid")
+    )
+    if approval is None:
+        return ComplianceStatus.SATISFIED
+    if approval.get("approver_email") == requisition.get("submitter_email"):
+        return ComplianceStatus.VIOLATED
+    return ComplianceStatus.SATISFIED
+
+
+def _hiring_submitter_known(store: ProvenanceStore, trace_id: str):
+    from repro.model.records import RecordClass
+    from repro.store.query import RecordQuery
+
+    requisitions = store.find_data(trace_id, "jobrequisition")
+    if not requisitions:
+        return ComplianceStatus.NOT_APPLICABLE
+    requisition = requisitions[0]
+    people = store.select(
+        RecordQuery(
+            record_class=RecordClass.RESOURCE,
+            app_id=trace_id,
+            entity_type="person",
+        )
+    )
+    submitter_email = requisition.get("submitter_email")
+    known = any(
+        person.get("email") == submitter_email for person in people
+    )
+    return (
+        ComplianceStatus.SATISFIED if known else ComplianceStatus.VIOLATED
+    )
+
+
+def hiring_hardcoded_controls() -> List[HardcodedControl]:
+    """IT twins of :data:`repro.processes.hiring.CONTROL_SPECS`."""
+    return [
+        HardcodedControl("gm-approval", _hiring_gm_approval),
+        HardcodedControl("sod-approval", _hiring_sod),
+        HardcodedControl("submitter-known", _hiring_submitter_known),
+    ]
+
+
+# -- procurement (purchase-to-pay) ------------------------------------------------
+
+
+def _po_above_threshold(store: ProvenanceStore, trace_id: str):
+    from repro.processes.procurement import APPROVAL_THRESHOLD
+
+    for order in store.find_data(trace_id, "purchaseorder"):
+        amount = order.get("amount")
+        if isinstance(amount, int) and amount >= APPROVAL_THRESHOLD:
+            return order
+    return None
+
+
+def _procurement_approval(store: ProvenanceStore, trace_id: str):
+    order = _po_above_threshold(store, trace_id)
+    if order is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    approval = _one(store, trace_id, "poapproval", poid=order.get("poid"))
+    return (
+        ComplianceStatus.SATISFIED
+        if approval is not None
+        else ComplianceStatus.VIOLATED
+    )
+
+
+def _procurement_sod(store: ProvenanceStore, trace_id: str):
+    order = _po_above_threshold(store, trace_id)
+    if order is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    approval = _one(store, trace_id, "poapproval", poid=order.get("poid"))
+    if approval is None:
+        return ComplianceStatus.SATISFIED
+    if approval.get("approver_email") == order.get("requester_email"):
+        return ComplianceStatus.VIOLATED
+    return ComplianceStatus.SATISFIED
+
+
+def _procurement_three_way(store: ProvenanceStore, trace_id: str):
+    orders = store.find_data(trace_id, "purchaseorder")
+    order = None
+    for candidate in orders:
+        if _one(store, trace_id, "payment", poid=candidate.get("poid")):
+            order = candidate
+            break
+    if order is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    poid = order.get("poid")
+    receipt = _one(store, trace_id, "goodsreceipt", poid=poid)
+    invoice = _one(store, trace_id, "invoice", poid=poid)
+    if receipt is None or invoice is None:
+        return ComplianceStatus.VIOLATED
+    if invoice.get("amount") != order.get("amount"):
+        return ComplianceStatus.VIOLATED
+    return ComplianceStatus.SATISFIED
+
+
+def procurement_hardcoded_controls() -> List[HardcodedControl]:
+    return [
+        HardcodedControl("po-approval", _procurement_approval),
+        HardcodedControl("sod-procurement", _procurement_sod),
+        HardcodedControl("three-way-match", _procurement_three_way),
+    ]
+
+
+# -- expenses ------------------------------------------------------------------------
+
+
+def _expenses_manager_approval(store: ProvenanceStore, trace_id: str):
+    report = None
+    for candidate in store.find_data(trace_id, "expensereport"):
+        if _one(store, trace_id, "reimbursement",
+                expid=candidate.get("expid")):
+            report = candidate
+            break
+    if report is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    approval = _one(
+        store, trace_id, "expenseapproval", expid=report.get("expid")
+    )
+    return (
+        ComplianceStatus.SATISFIED
+        if approval is not None
+        else ComplianceStatus.VIOLATED
+    )
+
+
+def _expenses_audit(store: ProvenanceStore, trace_id: str):
+    from repro.processes.expenses import AUDIT_THRESHOLD
+
+    report = None
+    for candidate in store.find_data(trace_id, "expensereport"):
+        amount = candidate.get("amount")
+        if isinstance(amount, int) and amount > AUDIT_THRESHOLD:
+            report = candidate
+            break
+    if report is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    audit = _one(store, trace_id, "auditrecord", expid=report.get("expid"))
+    return (
+        ComplianceStatus.SATISFIED
+        if audit is not None
+        else ComplianceStatus.VIOLATED
+    )
+
+
+def _expenses_receipt(store: ProvenanceStore, trace_id: str):
+    from repro.processes.expenses import RECEIPT_THRESHOLD
+
+    report = None
+    for candidate in store.find_data(trace_id, "expensereport"):
+        amount = candidate.get("amount")
+        if isinstance(amount, int) and amount >= RECEIPT_THRESHOLD:
+            report = candidate
+            break
+    if report is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    return (
+        ComplianceStatus.SATISFIED
+        if report.get("receipt") == "attached"
+        else ComplianceStatus.VIOLATED
+    )
+
+
+def expenses_hardcoded_controls() -> List[HardcodedControl]:
+    return [
+        HardcodedControl("manager-approval", _expenses_manager_approval),
+        HardcodedControl("audit-high-value", _expenses_audit),
+        HardcodedControl("receipt-required", _expenses_receipt),
+    ]
+
+
+# -- incidents -------------------------------------------------------------------
+
+
+def _p1_incident(store: ProvenanceStore, trace_id: str):
+    for incident in store.find_data(trace_id, "incident"):
+        if incident.get("priority") == "P1":
+            return incident
+    return None
+
+
+def _incidents_escalation(store: ProvenanceStore, trace_id: str):
+    incident = _p1_incident(store, trace_id)
+    if incident is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    escalation = _one(
+        store, trace_id, "escalation", incid=incident.get("incid")
+    )
+    return (
+        ComplianceStatus.SATISFIED
+        if escalation is not None
+        else ComplianceStatus.VIOLATED
+    )
+
+
+def _incidents_postmortem(store: ProvenanceStore, trace_id: str):
+    incident = _p1_incident(store, trace_id)
+    if incident is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    incid = incident.get("incid")
+    closure = _one(store, trace_id, "closure", incid=incid)
+    if closure is None:
+        return ComplianceStatus.SATISFIED
+    postmortem = _one(store, trace_id, "postmortem", incid=incid)
+    return (
+        ComplianceStatus.SATISFIED
+        if postmortem is not None
+        else ComplianceStatus.VIOLATED
+    )
+
+
+def _incidents_close_after_resolve(store: ProvenanceStore, trace_id: str):
+    incident = None
+    closure = None
+    for candidate in store.find_data(trace_id, "incident"):
+        found = _one(store, trace_id, "closure",
+                     incid=candidate.get("incid"))
+        if found is not None:
+            incident, closure = candidate, found
+            break
+    if incident is None:
+        return ComplianceStatus.NOT_APPLICABLE
+    resolution = _one(
+        store, trace_id, "resolution", incid=incident.get("incid")
+    )
+    if resolution is None:
+        return ComplianceStatus.VIOLATED
+    if resolution.timestamp < closure.timestamp:
+        return ComplianceStatus.SATISFIED
+    return ComplianceStatus.VIOLATED
+
+
+def incidents_hardcoded_controls() -> List[HardcodedControl]:
+    return [
+        HardcodedControl("p1-escalation", _incidents_escalation),
+        HardcodedControl("p1-postmortem", _incidents_postmortem),
+        HardcodedControl("close-after-resolve",
+                         _incidents_close_after_resolve),
+    ]

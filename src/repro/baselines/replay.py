@@ -1,0 +1,164 @@
+"""Token-replay conformance checking baseline.
+
+A process-mining-style comparator: given the *normative* process model (the
+clean paths, with violation branches excluded) and the task records observed
+in a trace, the trace conforms when its task sequence is one of the model's
+complete activity sequences.
+
+The baseline deliberately sees only control flow:
+
+- it misses data-level violations (a self-approval replays perfectly; a
+  skipped approval on a *new* position looks exactly like the legitimate
+  existing-position path, because the routing guard reads business data the
+  replayer does not),
+- it over-fires under partial visibility (a dropped task event makes a
+  compliant trace non-replayable).
+
+Experiment E4 quantifies both effects against the provenance + vocabulary
+approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.model.records import RecordClass, TaskRecord
+from repro.processes.spec import ActivityStep, ChoiceStep, EndStep, ProcessSpec
+from repro.store.query import RecordQuery
+from repro.store.store import ProvenanceStore
+
+_MAX_PATHS = 10000
+
+
+def normative_sequences(
+    spec: ProcessSpec,
+    exclude_branches: Optional[Set[str]] = None,
+    activity_task_types: Optional[Dict[str, str]] = None,
+) -> Set[Tuple[str, ...]]:
+    """All complete activity sequences of the clean model.
+
+    Args:
+        spec: the process spec.
+        exclude_branches: gateway branch labels that represent violating
+            routes (they exist in the simulator's spec only to *inject*
+            violations; the normative model does not contain them).
+        activity_task_types: optional map activity name → task entity type;
+            when given, sequences are expressed in task types and
+            activities without a mapping are dropped (they emit no task
+            records the replayer could observe).
+    """
+    excluded = exclude_branches or set()
+    sequences: Set[Tuple[str, ...]] = set()
+
+    def walk(step_name: Optional[str], path: List[str]) -> None:
+        if len(sequences) > _MAX_PATHS:
+            raise RuntimeError("process model path explosion")
+        if step_name is None:
+            sequences.add(tuple(path))
+            return
+        step = spec.step(step_name)
+        if isinstance(step, EndStep):
+            sequences.add(tuple(path))
+            return
+        if isinstance(step, ActivityStep):
+            walk(step.next_step, path + [step.name])
+            return
+        if isinstance(step, ChoiceStep):
+            for label, target in step.branches.items():
+                if label in excluded:
+                    continue
+                walk(target, path)
+            return
+        raise RuntimeError(f"unknown step kind {type(step).__name__}")
+
+    walk(spec.start, [])
+
+    if activity_task_types is not None:
+        mapped: Set[Tuple[str, ...]] = set()
+        for sequence in sequences:
+            mapped.add(
+                tuple(
+                    activity_task_types[name]
+                    for name in sequence
+                    if name in activity_task_types
+                )
+            )
+        return mapped
+    return sequences
+
+
+@dataclass
+class ReplayChecker:
+    """Checks traces against the normative sequences.
+
+    Attributes:
+        name: baseline identifier used in result rows.
+        sequences: the normative language (tuples of task entity types).
+        prefix_ok: when True, a strict prefix of a normative sequence also
+            conforms (the case may simply still be running).
+    """
+
+    name: str
+    sequences: Set[Tuple[str, ...]]
+    prefix_ok: bool = False
+
+    def observed_sequence(
+        self, store: ProvenanceStore, trace_id: str
+    ) -> Tuple[str, ...]:
+        """The trace's task entity types ordered by completion time."""
+        tasks = [
+            record
+            for record in store.select(
+                RecordQuery(record_class=RecordClass.TASK, app_id=trace_id)
+            )
+            if isinstance(record, TaskRecord)
+        ]
+        tasks.sort(key=lambda t: (t.timestamp, t.record_id))
+        return tuple(task.entity_type for task in tasks)
+
+    def conforms(self, observed: Tuple[str, ...]) -> bool:
+        if observed in self.sequences:
+            return True
+        if self.prefix_ok:
+            return any(
+                sequence[: len(observed)] == observed
+                for sequence in self.sequences
+            )
+        return False
+
+    def evaluate(
+        self, store: ProvenanceStore, trace_id: str
+    ) -> ComplianceResult:
+        observed = self.observed_sequence(store, trace_id)
+        status = (
+            ComplianceStatus.SATISFIED
+            if self.conforms(observed)
+            else ComplianceStatus.VIOLATED
+        )
+        return ComplianceResult(
+            control_name=self.name, trace_id=trace_id, status=status
+        )
+
+    def evaluate_all(self, store: ProvenanceStore) -> List[ComplianceResult]:
+        return [
+            self.evaluate(store, trace_id) for trace_id in store.app_ids()
+        ]
+
+
+def hiring_replay_checker() -> ReplayChecker:
+    """The replay baseline configured for the Figure-1 workload."""
+    from repro.processes.hiring import build_spec
+
+    sequences = normative_sequences(
+        build_spec(),
+        exclude_branches={"skip_approval", "skip"},
+        activity_task_types={
+            "submit_requisition": "submission",
+            "approve_reject": "approvaltask",
+            "find_candidates": "candidatesearch",
+            "notify": "notifytask",
+        },
+    )
+    return ReplayChecker(name="token-replay", sequences=sequences)

@@ -1,0 +1,91 @@
+"""Raw store-query controls.
+
+"Extensive IT skills are required to manage the data stored in a database"
+(§II.C): before verbalization, the only way to check a control is to write
+XML queries against the Table-I rows.  A :class:`StoreQueryControl` is that
+style — a list of xpath-lite probes over physical rows, combined with a
+predicate.  It exists as the *authoring-cost* comparison point (E6): the
+query text knows nothing of business vocabulary, so every probe spells out
+storage details (element names, trace scoping, type filters) by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.store.query import xpath_lite
+from repro.store.store import ProvenanceStore
+
+# A probe extracts values from one trace: (label, xpath) applied to every
+# row of the trace; results collected per label.
+Probe = Sequence[str]  # (label, xpath)
+
+
+@dataclass(frozen=True)
+class StoreQueryControl:
+    """A control expressed as raw XML queries plus a verdict function.
+
+    Attributes:
+        name: control name.
+        probes: ``(label, xpath)`` pairs evaluated against every row of the
+            trace; matched strings are gathered per label.
+        verdict: maps the gathered values to a compliance status.
+    """
+
+    name: str
+    probes: Sequence[Probe]
+    verdict: Callable[[Dict[str, List[str]]], ComplianceStatus]
+
+    def evaluate(
+        self, store: ProvenanceStore, trace_id: str
+    ) -> ComplianceResult:
+        gathered: Dict[str, List[str]] = {
+            label: [] for label, __ in self.probes
+        }
+        for row in store.rows():
+            if row.app_id != trace_id:
+                continue
+            for label, path in self.probes:
+                gathered[label].extend(xpath_lite(row, path))
+        return ComplianceResult(
+            control_name=self.name,
+            trace_id=trace_id,
+            status=self.verdict(gathered),
+        )
+
+    def evaluate_all(self, store: ProvenanceStore) -> List[ComplianceResult]:
+        return [
+            self.evaluate(store, trace_id) for trace_id in store.app_ids()
+        ]
+
+
+def hiring_gm_approval_query_control() -> StoreQueryControl:
+    """The paper's worked control, written the pre-verbalization way."""
+
+    def verdict(values: Dict[str, List[str]]) -> ComplianceStatus:
+        new_reqids = [
+            reqid
+            for reqid, kind in zip(values["req_id"], values["req_type"])
+            if kind == "new"
+        ]
+        if not new_reqids:
+            return ComplianceStatus.NOT_APPLICABLE
+        reqid = new_reqids[0]
+        if reqid in values["approval_reqid"] and (
+            reqid in values["candidates_reqid"]
+        ):
+            return ComplianceStatus.SATISFIED
+        return ComplianceStatus.VIOLATED
+
+    return StoreQueryControl(
+        name="gm-approval",
+        probes=[
+            ("req_id", "/jobrequisition/reqid"),
+            ("req_type", "/jobrequisition/type"),
+            ("approval_reqid", "/approvalstatus/reqid"),
+            ("candidates_reqid", "/candidatelist/reqid"),
+        ],
+        verdict=verdict,
+    )

@@ -1,0 +1,58 @@
+"""The Business Action Language (BAL).
+
+"Internal controls can be created by using Business Action Language (BAL)
+and the vocabulary created for the provenance graph items.  BAL consists of
+predefined constructs to build business rules and the operators that can be
+used in rule statements to perform arithmetic operations, associate or
+negate conditions, and compare expressions" (§III).
+
+The implemented subset covers everything the paper exhibits.  A rule has
+"four parts; definitions, if, then and else"::
+
+    definitions
+      set 'the current job request' to a Job Requisition
+          where the requisition ID of this Job Requisition is <string ID> ;
+      set 'the hiring manager' to the submitter of 'the current job request' ;
+      set 'the general manager' to the manager of 'the hiring manager' ;
+    if
+      all of the following conditions are true :
+        - the position type of 'the current job request' is "new" ,
+        - the approval of 'the current job request' is not null
+    then
+      the internal control is satisfied
+    else
+      the internal control is not satisfied ;
+      alert "missing general manager approval"
+
+Grammar summary (case-insensitive keywords):
+
+- *variables* are single-quoted: ``'the current job request'``,
+- *parameters* are angle-bracketed: ``<string ID>`` — bound at evaluation,
+- *navigation* is ``the <phrase> of <expr>`` where ``<phrase>`` comes from
+  the vocabulary,
+- *instance bindings* are ``a/an <Concept> [where <condition>]``; inside the
+  ``where``, ``this [Concept]`` denotes the candidate,
+- *conditions* compose with ``and`` / ``or`` / ``not``, the block forms
+  ``all/any of the following conditions are true:`` with ``-`` bullets, the
+  existence forms ``there is a/no <Concept> [where …]``, and comparisons
+  ``is``, ``is not``, ``is null``, ``is not null``, ``is one of (…)``,
+  ``is at least/at most/more than/less than``, ``equals``,
+- *arithmetic* uses ``+ - * /`` and ``the number of <expr>`` for counts,
+- *actions* are ``the internal control is [not] satisfied``,
+  ``alert "<message>"`` and ``set '<var>' to <expr>``.
+"""
+
+from repro.brms.bal.tokens import Token, TokenType, tokenize
+from repro.brms.bal.parser import parse_rule
+from repro.brms.bal.compiler import BalCompiler, CompiledRule
+from repro.brms.bal import ast
+
+__all__ = [
+    "BalCompiler",
+    "CompiledRule",
+    "Token",
+    "TokenType",
+    "ast",
+    "parse_rule",
+    "tokenize",
+]

@@ -1,0 +1,179 @@
+"""BAL compilation: vocabulary resolution and static checks.
+
+Compilation turns rule text into a :class:`CompiledRule`: the parsed AST
+plus the statically-resolved sets of concepts, phrases, parameters and
+variables.  Static errors surface here — an authoring tool shows them in
+the editor — instead of at evaluation time:
+
+- concepts that the vocabulary does not know,
+- navigation phrases no concept verbalizes,
+- variables used before any definition sets them,
+- ``this`` outside a where-clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.brms.bal import ast
+from repro.brms.bal.parser import parse_rule
+from repro.brms.vocabulary import Vocabulary
+from repro.errors import BalCompileError
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A parsed, vocabulary-checked rule ready for the engine.
+
+    Attributes:
+        name: rule name (for the repository and reports).
+        rule: the AST.
+        source: the original text, kept for authoring-cost metrics.
+        concepts: concept labels the rule binds or tests existence of.
+        phrases: navigation phrases used.
+        parameters: ``<param>`` names that must be bound at evaluation.
+        variables: definition variable names, in order.
+    """
+
+    name: str
+    rule: ast.Rule
+    source: str
+    concepts: Tuple[str, ...]
+    phrases: Tuple[str, ...]
+    parameters: Tuple[str, ...]
+    variables: Tuple[str, ...]
+
+    @property
+    def anchor_variable(self) -> Optional[str]:
+        """The first instance-binding variable — the control's subject.
+
+        A trace where the anchor does not bind is one the control does not
+        apply to (NOT_APPLICABLE), rather than a violation.
+        """
+        for definition in self.rule.definitions:
+            if isinstance(definition.binder, ast.InstanceBinding):
+                return definition.var
+        return None
+
+
+class BalCompiler:
+    """Compiles BAL text against a vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+
+    def compile(self, name: str, text: str) -> CompiledRule:
+        """Parse and statically check *text*; raises
+        :class:`~repro.errors.BalCompileError` on resolution failures."""
+        rule = parse_rule(text, self.vocabulary)
+        self._check_concepts(rule)
+        self._check_phrases(rule)
+        self._check_variables(rule)
+        self._check_this_usage(rule)
+        return CompiledRule(
+            name=name,
+            rule=rule,
+            source=text,
+            concepts=tuple(rule.concepts()),
+            phrases=tuple(rule.phrases()),
+            parameters=tuple(rule.parameters()),
+            variables=tuple(d.var for d in rule.definitions),
+        )
+
+    def _check_concepts(self, rule: ast.Rule) -> None:
+        for concept in rule.concepts():
+            if not self.vocabulary.has_concept(concept):
+                message = f"unknown concept {concept!r}"
+                suggestion = self._closest(
+                    concept, self.vocabulary.concept_labels()
+                )
+                if suggestion:
+                    message += f"; did you mean {suggestion!r}?"
+                else:
+                    known = ", ".join(
+                        sorted(self.vocabulary.concept_labels())
+                    )
+                    message += f"; vocabulary knows: {known}"
+                raise BalCompileError(message)
+
+    def _check_phrases(self, rule: ast.Rule) -> None:
+        for phrase in rule.phrases():
+            owners = self.vocabulary.concepts_with_phrase(phrase)
+            if not owners:
+                message = f"no concept verbalizes the phrase {phrase!r}"
+                all_phrases = {
+                    member.phrase
+                    for bom_class in self.vocabulary.bom.classes()
+                    for member in bom_class.members
+                }
+                suggestion = self._closest(phrase, all_phrases)
+                if suggestion:
+                    message += f"; did you mean {suggestion!r}?"
+                raise BalCompileError(message)
+
+    @staticmethod
+    def _closest(wanted: str, candidates) -> Optional[str]:
+        """Nearest vocabulary term for an editor's 'did you mean' hint."""
+        import difflib
+
+        matches = difflib.get_close_matches(
+            wanted.lower(),
+            {candidate.lower(): candidate for candidate in candidates},
+            n=1,
+            cutoff=0.6,
+        )
+        if not matches:
+            return None
+        lowered = {c.lower(): c for c in candidates}
+        return lowered[matches[0]]
+
+    def _check_variables(self, rule: ast.Rule) -> None:
+        defined: Set[str] = set()
+
+        def check_uses(node: object, scope: Set[str]) -> None:
+            if isinstance(node, ast.VarRef) and node.name not in scope:
+                raise BalCompileError(
+                    f"variable '{node.name}' used before definition"
+                )
+            if isinstance(node, ast.Node):
+                for value in vars(node).values():
+                    check_uses(value, scope)
+            elif isinstance(node, tuple):
+                for item in node:
+                    check_uses(item, scope)
+
+        for definition in rule.definitions:
+            check_uses(definition.binder, defined)
+            defined.add(definition.var)
+
+        check_uses(rule.condition, defined)
+        # Assign actions may introduce new variables usable by later actions.
+        scope = set(defined)
+        for action in rule.then_actions + rule.else_actions:
+            if isinstance(action, ast.Assign):
+                check_uses(action.expr, scope)
+                scope.add(action.var)
+            else:
+                check_uses(action, scope)
+
+    def _check_this_usage(self, rule: ast.Rule) -> None:
+        def walk(node: object, in_where: bool) -> None:
+            if isinstance(node, ast.ThisRef) and not in_where:
+                raise BalCompileError(
+                    "'this' is only meaningful inside a where-clause"
+                )
+            if isinstance(
+                node, (ast.InstanceBinding, ast.Exists, ast.Quantified)
+            ):
+                if node.where is not None:
+                    walk(node.where, True)
+                return
+            if isinstance(node, ast.Node):
+                for value in vars(node).values():
+                    walk(value, in_where)
+            elif isinstance(node, tuple):
+                for item in node:
+                    walk(item, in_where)
+
+        walk(rule, False)

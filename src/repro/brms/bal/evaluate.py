@@ -1,0 +1,278 @@
+"""BAL evaluation.
+
+Interprets a parsed rule against an :class:`EvalContext` (trace graph + XOM
++ vocabulary + parameters).  Value domain:
+
+- ``None`` is the rule language's ``null``,
+- scalars (str/int/float/bool) come from record attributes and literals,
+- :class:`~repro.brms.xom.XomObject` values come from instance bindings and
+  relation navigation; lists of them from plural relations.
+
+Null handling follows the paper's worked example ("Approval from the
+general manager of the request **is not null**"): navigation over null
+yields null; ordered comparisons with null are false; ``is null`` /
+``is not null`` test presence.  Equality of two XOM objects compares graph
+identity (record id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.brms.bal import ast
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel, XomObject
+from repro.errors import RuleEngineError
+from repro.graph.graph import ProvenanceGraph
+
+
+@dataclass
+class EvalContext:
+    """Everything a rule evaluation needs.
+
+    Attributes:
+        graph: the trace graph the rule runs against.
+        xom: the executable object model wrapping graph nodes.
+        vocabulary: phrase → member resolution.
+        parameters: values for ``<param>`` references.
+        env: definitions-variable environment (filled during evaluation).
+        this_stack: candidate stack for ``this`` inside where-clauses.
+    """
+
+    graph: ProvenanceGraph
+    xom: ExecutableObjectModel
+    vocabulary: Vocabulary
+    parameters: Dict[str, object] = field(default_factory=dict)
+    env: Dict[str, object] = field(default_factory=dict)
+    this_stack: List[XomObject] = field(default_factory=list)
+    touched: "set" = field(default_factory=set)
+
+    def touch(self, value: object) -> object:
+        """Record graph nodes a rule actually examined.
+
+        Control binding uses the touched set to wire the control point to
+        every data node its constraints reached — the paper's "connected to
+        the three data nodes defined by the constraints" — not only the
+        nodes the definitions named.
+        """
+        if isinstance(value, XomObject):
+            self.touched.add(value.record.record_id)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self.touch(item)
+        return value
+
+    def instances_of(self, concept: str) -> List[XomObject]:
+        """All trace-graph instances of a business concept, ordered by id."""
+        bom_class = self.vocabulary.concept(concept)
+        objects = self.xom.instances(self.graph, bom_class.node_type)
+        objects.sort(key=lambda o: o.record.record_id)
+        return objects
+
+
+def _is_null(value: object) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, (list, tuple)) and not value:
+        return True
+    return False
+
+
+def _equals(left: object, right: object) -> bool:
+    if isinstance(left, XomObject) or isinstance(right, XomObject):
+        if isinstance(left, XomObject) and isinstance(right, XomObject):
+            return left.record.record_id == right.record.record_id
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right if isinstance(right, bool) else False
+    return left == right
+
+
+def _ordered(op: str, left: object, right: object) -> bool:
+    if _is_null(left) or _is_null(right):
+        return False
+    try:
+        if op == "lt":
+            return left < right
+        if op == "le":
+            return left <= right
+        if op == "gt":
+            return left > right
+        if op == "ge":
+            return left >= right
+    except TypeError:
+        return False
+    raise RuleEngineError(f"unknown ordered comparison {op!r}")
+
+
+def evaluate_expression(node: ast.Node, context: EvalContext) -> object:
+    """Evaluate an expression node to a value."""
+    if isinstance(node, ast.Literal):
+        return node.value
+    if isinstance(node, ast.VarRef):
+        if node.name not in context.env:
+            raise RuleEngineError(f"undefined variable '{node.name}'")
+        return context.env[node.name]
+    if isinstance(node, ast.ParamRef):
+        if node.name not in context.parameters:
+            raise RuleEngineError(f"unbound parameter <{node.name}>")
+        return context.parameters[node.name]
+    if isinstance(node, ast.ThisRef):
+        if not context.this_stack:
+            raise RuleEngineError("'this' used outside a where-clause")
+        return context.this_stack[-1]
+    if isinstance(node, ast.Navigation):
+        return _evaluate_navigation(node, context)
+    if isinstance(node, ast.CountOf):
+        value = evaluate_expression(node.target, context)
+        if value is None:
+            return 0
+        if isinstance(value, (list, tuple)):
+            return len(value)
+        return 1
+    if isinstance(node, ast.Arith):
+        return _evaluate_arith(node, context)
+    if isinstance(
+        node,
+        (ast.Comparison, ast.And, ast.Or, ast.Not, ast.Exists,
+         ast.Quantified),
+    ):
+        # Conditions are valid boolean-valued expressions.
+        return evaluate_condition(node, context)
+    raise RuleEngineError(f"cannot evaluate node {type(node).__name__}")
+
+
+def _evaluate_navigation(node: ast.Navigation, context: EvalContext) -> object:
+    target = evaluate_expression(node.target, context)
+    if target is None:
+        return None
+    if isinstance(target, (list, tuple)):
+        raise RuleEngineError(
+            f"cannot navigate {node.phrase!r} over a collection; "
+            f"bind a single object first"
+        )
+    if not isinstance(target, XomObject):
+        raise RuleEngineError(
+            f"cannot navigate {node.phrase!r} over scalar {target!r}"
+        )
+    node_type = target.record.entity_type
+    member = context.vocabulary.find_member_for_type(node_type, node.phrase)
+    if member is None:
+        concept = target.xom_class.node_type.label
+        raise RuleEngineError(
+            f"concept {concept!r} has no phrase {node.phrase!r}"
+        )
+    return context.touch(member.execute(target))
+
+
+def _evaluate_arith(node: ast.Arith, context: EvalContext) -> object:
+    left = evaluate_expression(node.left, context)
+    right = evaluate_expression(node.right, context)
+    if left is None or right is None:
+        return None
+    if node.op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if not isinstance(left, (int, float)) or not isinstance(
+        right, (int, float)
+    ):
+        raise RuleEngineError(
+            f"arithmetic {node.op!r} needs numbers, got "
+            f"{type(left).__name__} and {type(right).__name__}"
+        )
+    if node.op == "+":
+        return left + right
+    if node.op == "-":
+        return left - right
+    if node.op == "*":
+        return left * right
+    if node.op == "/":
+        if right == 0:
+            raise RuleEngineError("division by zero in rule")
+        return left / right
+    raise RuleEngineError(f"unknown arithmetic operator {node.op!r}")
+
+
+def evaluate_condition(node: ast.Node, context: EvalContext) -> bool:
+    """Evaluate a condition node to a boolean."""
+    if isinstance(node, ast.And):
+        return all(evaluate_condition(c, context) for c in node.conditions)
+    if isinstance(node, ast.Or):
+        return any(evaluate_condition(c, context) for c in node.conditions)
+    if isinstance(node, ast.Not):
+        return not evaluate_condition(node.condition, context)
+    if isinstance(node, ast.Exists):
+        found = _find_instances(node.concept, node.where, context)
+        context.touch(found)  # the matches are the control's evidence
+        return not found if node.negated else bool(found)
+    if isinstance(node, ast.Quantified):
+        found = _find_instances(node.concept, node.where, context)
+        context.touch(found)
+        if node.op == "ge":
+            return len(found) >= node.count
+        if node.op == "le":
+            return len(found) <= node.count
+        return len(found) == node.count
+    if isinstance(node, ast.Comparison):
+        return _evaluate_comparison(node, context)
+    # A bare expression in condition position tests truthiness.
+    value = evaluate_expression(node, context)
+    return bool(value) and not _is_null(value)
+
+
+def _evaluate_comparison(node: ast.Comparison, context: EvalContext) -> bool:
+    left = evaluate_expression(node.left, context)
+    if node.op == "is_null":
+        return _is_null(left)
+    if node.op == "not_null":
+        return not _is_null(left)
+    if node.op == "truthy":
+        return bool(left) and not _is_null(left)
+    if node.op == "one_of":
+        options = [evaluate_expression(o, context) for o in node.right]
+        return any(_equals(left, option) for option in options)
+    right = evaluate_expression(node.right, context)
+    if node.op == "eq":
+        return _equals(left, right)
+    if node.op == "ne":
+        return not _equals(left, right)
+    return _ordered(node.op, left, right)
+
+
+def _find_instances(
+    concept: str, where: Optional[ast.Node], context: EvalContext
+) -> List[XomObject]:
+    """Concept instances in the trace graph satisfying a where-clause."""
+    matches: List[XomObject] = []
+    for candidate in context.instances_of(concept):
+        if where is None:
+            matches.append(candidate)
+            continue
+        context.this_stack.append(candidate)
+        touched_before = set(context.touched)
+        try:
+            accepted = evaluate_condition(where, context)
+        finally:
+            context.this_stack.pop()
+        if accepted:
+            matches.append(candidate)
+        else:
+            # Nodes examined only while *rejecting* a candidate are not part
+            # of the control's subgraph.
+            context.touched = touched_before
+    return matches
+
+
+def evaluate_definition(
+    definition: ast.Definition, context: EvalContext
+) -> object:
+    """Evaluate one definition; stores and returns the bound value."""
+    binder = definition.binder
+    if isinstance(binder, ast.InstanceBinding):
+        matches = _find_instances(binder.concept, binder.where, context)
+        value: object = matches[0] if matches else None
+        context.touch(value)
+    else:
+        value = evaluate_expression(binder, context)
+    context.env[definition.var] = value
+    return value

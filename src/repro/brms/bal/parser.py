@@ -1,0 +1,485 @@
+"""BAL recursive-descent parser.
+
+The parser consumes the token stream produced by
+:mod:`repro.brms.bal.tokens` and builds the AST of
+:mod:`repro.brms.bal.ast`.  It takes an optional
+:class:`~repro.brms.vocabulary.Vocabulary`: with one, multi-word concept
+names and navigation phrases are segmented by longest-match against the
+vocabulary (as a rule editor with drop-down menus effectively does);
+without one, concepts end at structural keywords and phrases end at the
+first ``of``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.brms.bal import ast
+from repro.brms.bal.tokens import Token, TokenType, tokenize
+from repro.errors import BalSyntaxError
+
+# Words that terminate a free-form (vocabulary-less) concept name.
+_CONCEPT_TERMINATORS = {"where", "if", "then", "else", "and", "or", "is"}
+
+_MAX_PHRASE_WORDS = 6
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], vocabulary=None) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._vocabulary = vocabulary
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None):
+        token = token or self._peek()
+        raise BalSyntaxError(message, line=token.line, column=token.column)
+
+    def _expect_word(self, *words: str) -> Token:
+        token = self._peek()
+        if not token.is_word(*words):
+            expected = " / ".join(words)
+            self._error(f"expected {expected!r}, found {token.value!r}")
+        return self._advance()
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(symbol):
+            self._error(f"expected {symbol!r}, found {token.value!r}")
+        return self._advance()
+
+    def _accept_word(self, *words: str) -> bool:
+        if self._peek().is_word(*words):
+            self._advance()
+            return True
+        return False
+
+    def _accept_punct(self, symbol: str) -> bool:
+        if self._peek().is_punct(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _upcoming_words(self, limit: int = _MAX_PHRASE_WORDS) -> List[str]:
+        words: List[str] = []
+        offset = 0
+        while len(words) < limit:
+            token = self._peek(offset)
+            if token.type is not TokenType.WORD:
+                break
+            words.append(token.value)
+            offset += 1
+        return words
+
+    # -- rule ------------------------------------------------------------------
+
+    def parse_rule(self) -> ast.Rule:
+        definitions: List[ast.Definition] = []
+        if self._accept_word("definitions"):
+            while not self._peek().is_word("if"):
+                if self._peek().type is TokenType.EOF:
+                    self._error("rule is missing its 'if' section")
+                definitions.append(self._parse_definition())
+                self._accept_punct(";")
+        self._expect_word("if")
+        condition = self._parse_condition()
+        self._expect_word("then")
+        then_actions = self._parse_actions()
+        else_actions: Tuple[ast.Node, ...] = ()
+        if self._accept_word("else"):
+            else_actions = self._parse_actions()
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._error(f"unexpected trailing input {token.value!r}")
+        return ast.Rule(
+            definitions=tuple(definitions),
+            condition=condition,
+            then_actions=then_actions,
+            else_actions=else_actions,
+        )
+
+    # -- definitions --------------------------------------------------------------
+
+    def _parse_definition(self) -> ast.Definition:
+        self._expect_word("set")
+        token = self._peek()
+        if token.type is not TokenType.VARIABLE:
+            self._error("definitions must set a quoted 'variable'")
+        var = self._advance().value
+        self._expect_word("to")
+        binder = self._parse_binder()
+        return ast.Definition(var=var, binder=binder)
+
+    def _parse_binder(self) -> ast.Node:
+        token = self._peek()
+        if token.is_word("a", "an") and self._peek(1).type is TokenType.WORD:
+            # Only an instance binding if the following words name a concept
+            # (with a vocabulary) or unconditionally without one.
+            saved = self._pos
+            self._advance()
+            concept = self._try_parse_concept()
+            if concept is not None:
+                where = None
+                if self._accept_word("where"):
+                    where = self._parse_condition()
+                return ast.InstanceBinding(concept=concept, where=where)
+            self._pos = saved
+        return self._parse_expression()
+
+    def _try_parse_concept(self) -> Optional[str]:
+        """Consume and return a concept name, or None (no tokens consumed)."""
+        words = self._upcoming_words()
+        if not words:
+            return None
+        if self._vocabulary is not None:
+            match = self._vocabulary.match_concept_prefix(words)
+            if match is not None:
+                label, count = match
+                for __ in range(count):
+                    self._advance()
+                return label
+            # Fall through to free-form segmentation so the compiler can
+            # report "unknown concept" instead of a bare parse error.
+        taken: List[str] = []
+        while True:
+            token = self._peek()
+            if token.type is not TokenType.WORD:
+                break
+            if token.value.lower() in _CONCEPT_TERMINATORS:
+                break
+            taken.append(self._advance().value)
+        if not taken:
+            return None
+        return " ".join(taken)
+
+    # -- conditions ----------------------------------------------------------------
+
+    def _parse_condition(self) -> ast.Node:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Node:
+        left = self._parse_and()
+        conditions = [left]
+        while self._peek().is_word("or"):
+            self._advance()
+            conditions.append(self._parse_and())
+        if len(conditions) == 1:
+            return left
+        return ast.Or(conditions=tuple(conditions))
+
+    def _parse_and(self) -> ast.Node:
+        left = self._parse_unary_condition()
+        conditions = [left]
+        while self._peek().is_word("and"):
+            self._advance()
+            conditions.append(self._parse_unary_condition())
+        if len(conditions) == 1:
+            return left
+        return ast.And(conditions=tuple(conditions))
+
+    def _parse_unary_condition(self) -> ast.Node:
+        token = self._peek()
+        if token.is_word("not"):
+            self._advance()
+            if self._accept_punct("("):
+                inner = self._parse_condition()
+                self._expect_punct(")")
+                return ast.Not(condition=inner)
+            return ast.Not(condition=self._parse_unary_condition())
+        if token.is_word("all", "any") and self._peek(1).is_word("of"):
+            return self._parse_block_condition()
+        if token.is_word("there"):
+            return self._parse_exists()
+        if token.is_punct("("):
+            # Ambiguous: "( expr ) * 3 is 0" (parenthesized expression) vs
+            # "( a is b or c is d )" (parenthesized condition).  Try the
+            # comparison parse first and fall back to a condition.
+            saved = self._pos
+            try:
+                return self._parse_comparison()
+            except BalSyntaxError:
+                self._pos = saved
+            self._advance()
+            inner = self._parse_condition()
+            self._expect_punct(")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_block_condition(self) -> ast.Node:
+        kind = self._advance().value.lower()  # all / any
+        self._expect_word("of")
+        self._expect_word("the")
+        self._expect_word("following")
+        self._expect_word("conditions")
+        self._expect_word("are")
+        self._expect_word("true")
+        self._expect_punct(":")
+        bullets: List[ast.Node] = []
+        if not self._peek().is_punct("-"):
+            self._error("condition block needs at least one '-' bullet")
+        while self._peek().is_punct("-"):
+            self._advance()
+            bullets.append(self._parse_condition())
+            self._accept_punct(",") or self._accept_punct(";")
+        if kind == "all":
+            return ast.And(conditions=tuple(bullets), block=True)
+        return ast.Or(conditions=tuple(bullets), block=True)
+
+    def _parse_exists(self) -> ast.Node:
+        self._expect_word("there")
+        self._expect_word("is", "are", "exists")
+        quantifier: Optional[str] = None
+        if self._peek().is_word("at") and self._peek(1).is_word(
+            "least", "most"
+        ):
+            self._advance()
+            quantifier = "ge" if self._advance().value.lower() == "least" \
+                else "le"
+        elif self._peek().is_word("exactly"):
+            self._advance()
+            quantifier = "eq"
+        if quantifier is not None:
+            count_token = self._peek()
+            if count_token.type is not TokenType.NUMBER:
+                self._error("expected a count after the quantifier")
+            self._advance()
+            try:
+                count = int(count_token.value)
+            except ValueError:
+                self._error("quantifier count must be an integer",
+                            count_token)
+            concept = self._try_parse_concept()
+            if concept is None:
+                self._error("expected a concept name after the count")
+            where = None
+            if self._accept_word("where"):
+                where = self._parse_condition()
+            return ast.Quantified(
+                concept=concept, op=quantifier, count=count, where=where
+            )
+        negated = False
+        if self._peek().is_word("no"):
+            negated = True
+            self._advance()
+        else:
+            self._expect_word("a", "an")
+        concept = self._try_parse_concept()
+        if concept is None:
+            self._error("expected a concept name after 'there is a/no'")
+        where = None
+        if self._accept_word("where"):
+            where = self._parse_condition()
+        return ast.Exists(concept=concept, where=where, negated=negated)
+
+    def _parse_comparison(self) -> ast.Node:
+        left = self._parse_expression()
+        token = self._peek()
+        if token.is_word("equals"):
+            self._advance()
+            return ast.Comparison(op="eq", left=left,
+                                  right=self._parse_expression())
+        if token.is_word("exists"):
+            self._advance()
+            return ast.Comparison(op="not_null", left=left)
+        if not token.is_word("is"):
+            return ast.Comparison(op="truthy", left=left)
+        self._advance()
+        if self._accept_word("not"):
+            if self._accept_word("null"):
+                return ast.Comparison(op="not_null", left=left)
+            return ast.Comparison(op="ne", left=left,
+                                  right=self._parse_expression())
+        if self._accept_word("null"):
+            return ast.Comparison(op="is_null", left=left)
+        if self._peek().is_word("one") and self._peek(1).is_word("of"):
+            self._advance()
+            self._advance()
+            self._expect_punct("(")
+            options = [self._parse_expression()]
+            while self._accept_punct(","):
+                options.append(self._parse_expression())
+            self._expect_punct(")")
+            return ast.Comparison(op="one_of", left=left,
+                                  right=tuple(options))
+        if self._accept_word("at"):
+            if self._accept_word("least"):
+                op = "ge"
+            else:
+                self._expect_word("most")
+                op = "le"
+            return ast.Comparison(op=op, left=left,
+                                  right=self._parse_expression())
+        if self._peek().is_word("more") and self._peek(1).is_word("than"):
+            self._advance()
+            self._advance()
+            return ast.Comparison(op="gt", left=left,
+                                  right=self._parse_expression())
+        if self._peek().is_word("less") and self._peek(1).is_word("than"):
+            self._advance()
+            self._advance()
+            return ast.Comparison(op="lt", left=left,
+                                  right=self._parse_expression())
+        if self._accept_word("after"):
+            return ast.Comparison(op="gt", left=left,
+                                  right=self._parse_expression())
+        if self._accept_word("before"):
+            return ast.Comparison(op="lt", left=left,
+                                  right=self._parse_expression())
+        if self._accept_word("equal"):
+            self._expect_word("to")
+            return ast.Comparison(op="eq", left=left,
+                                  right=self._parse_expression())
+        return ast.Comparison(op="eq", left=left,
+                              right=self._parse_expression())
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Node:
+        left = self._parse_term()
+        while self._peek().is_punct("+", "-"):
+            op = self._advance().value
+            right = self._parse_term()
+            left = ast.Arith(op=op, left=left, right=right)
+        return left
+
+    def _parse_term(self) -> ast.Node:
+        left = self._parse_primary()
+        while self._peek().is_punct("*", "/"):
+            op = self._advance().value
+            right = self._parse_primary()
+            left = ast.Arith(op=op, left=left, right=right)
+        return left
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value=value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.type is TokenType.VARIABLE:
+            self._advance()
+            return ast.VarRef(name=token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return ast.ParamRef(name=token.value)
+        if token.is_word("true"):
+            self._advance()
+            return ast.Literal(value=True)
+        if token.is_word("false"):
+            self._advance()
+            return ast.Literal(value=False)
+        if token.is_word("null"):
+            self._advance()
+            return ast.Literal(value=None)
+        if token.is_punct("("):
+            self._advance()
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.is_word("this"):
+            self._advance()
+            concept = self._try_parse_concept()
+            return ast.ThisRef(concept=concept)
+        if token.is_word("the"):
+            return self._parse_the_expression()
+        self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_the_expression(self) -> ast.Node:
+        self._expect_word("the")
+        if (
+            self._peek().is_word("number")
+            and self._peek(1).is_word("of")
+        ):
+            self._advance()
+            self._advance()
+            return ast.CountOf(target=self._parse_primary())
+        phrase = self._parse_phrase()
+        self._expect_word("of")
+        target = self._parse_primary()
+        return ast.Navigation(phrase=phrase, target=target)
+
+    def _parse_phrase(self) -> str:
+        words = self._upcoming_words()
+        if not words:
+            self._error("expected a vocabulary phrase after 'the'")
+        if self._vocabulary is not None:
+            match = self._vocabulary.match_phrase_prefix(words)
+            if match is not None:
+                phrase, count = match
+                # Guard against a phrase that swallows the 'of' chain:
+                # the token after the phrase must be 'of'.
+                if self._peek(count).is_word("of"):
+                    for __ in range(count):
+                        self._advance()
+                    return phrase
+        taken: List[str] = []
+        while self._peek().type is TokenType.WORD and not self._peek().is_word(
+            "of"
+        ):
+            taken.append(self._advance().value)
+        if not taken:
+            self._error("expected a vocabulary phrase after 'the'")
+        return " ".join(taken)
+
+    # -- actions -----------------------------------------------------------------------
+
+    def _parse_actions(self) -> Tuple[ast.Node, ...]:
+        actions = [self._parse_action()]
+        self._accept_punct(";")
+        while not (
+            self._peek().is_word("else") or self._peek().type is TokenType.EOF
+        ):
+            actions.append(self._parse_action())
+            self._accept_punct(";")
+        return tuple(actions)
+
+    def _parse_action(self) -> ast.Node:
+        token = self._peek()
+        if token.is_word("alert"):
+            self._advance()
+            message = self._peek()
+            if message.type is not TokenType.STRING:
+                self._error('alert needs a "quoted message"')
+            self._advance()
+            return ast.Alert(message=message.value)
+        if token.is_word("set"):
+            self._advance()
+            var = self._peek()
+            if var.type is not TokenType.VARIABLE:
+                self._error("set action needs a quoted 'variable'")
+            self._advance()
+            self._expect_word("to")
+            return ast.Assign(var=var.value, expr=self._parse_expression())
+        # the internal control is [not] satisfied
+        self._accept_word("the")
+        self._accept_word("internal")
+        self._expect_word("control")
+        self._expect_word("is", "in")  # the paper itself typos "in not"
+        negated = self._accept_word("not")
+        self._expect_word("satisfied")
+        return ast.SetStatus(satisfied=not negated)
+
+
+def parse_rule(text: str, vocabulary=None) -> ast.Rule:
+    """Parse BAL *text* into a :class:`~repro.brms.bal.ast.Rule`.
+
+    Args:
+        text: the rule source.
+        vocabulary: optional vocabulary for multi-word concept/phrase
+            segmentation.
+    """
+    return _Parser(tokenize(text), vocabulary).parse_rule()

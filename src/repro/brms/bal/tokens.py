@@ -1,0 +1,159 @@
+"""BAL lexer.
+
+Token kinds:
+
+- ``WORD`` — bare identifiers and keywords (keywords are recognized by the
+  parser, not the lexer, because phrases may contain words like ``of``),
+- ``STRING`` — double-quoted literals,
+- ``NUMBER`` — integer or decimal literals,
+- ``VARIABLE`` — single-quoted variable names,
+- ``PARAMETER`` — ``<…>`` rule parameters,
+- ``PUNCT`` — ``; : , - ( ) + * /`` (``-`` doubles as the bullet marker;
+  the parser disambiguates from subtraction by position).
+
+The lexer tracks line/column for error reporting in the authoring tool.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import BalSyntaxError
+
+
+class TokenType(enum.Enum):
+    WORD = "word"
+    STRING = "string"
+    NUMBER = "number"
+    VARIABLE = "variable"
+    PARAMETER = "parameter"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_word(self, *words: str) -> bool:
+        """Case-insensitive keyword check."""
+        return self.type is TokenType.WORD and self.value.lower() in tuple(
+            w.lower() for w in words
+        )
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.type is TokenType.PUNCT and self.value in symbols
+
+
+_PUNCT = set(";:,-()+*/")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize BAL *text*; raises :class:`BalSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+
+    def error(message: str) -> BalSyntaxError:
+        return BalSyntaxError(message, line=line, column=column)
+
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        start_line, start_column = line, column
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise error("unterminated string literal")
+            value = text[i + 1 : j]
+            if "\n" in value:
+                raise error("string literal spans lines")
+            tokens.append(
+                Token(TokenType.STRING, value, start_line, start_column)
+            )
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise error("unterminated variable name")
+            value = text[i + 1 : j].strip()
+            if not value:
+                raise error("empty variable name")
+            if "\n" in value:
+                raise error("variable name spans lines")
+            tokens.append(
+                Token(TokenType.VARIABLE, value, start_line, start_column)
+            )
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch == "<":
+            j = text.find(">", i + 1)
+            if j < 0:
+                raise error("unterminated parameter")
+            value = text[i + 1 : j].strip()
+            if not value:
+                raise error("empty parameter")
+            tokens.append(
+                Token(TokenType.PARAMETER, value, start_line, start_column)
+            )
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < length and (text[j].isdigit() or text[j] == "."):
+                if text[j] == ".":
+                    if seen_dot:
+                        break
+                    # A trailing dot (end of sentence) is not part of the
+                    # number.
+                    if j + 1 >= length or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            value = text[i:j]
+            tokens.append(
+                Token(TokenType.NUMBER, value, start_line, start_column)
+            )
+            column += j - i
+            i = j
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, start_line, start_column))
+            column += 1
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] in "_"):
+                j += 1
+            value = text[i:j]
+            tokens.append(
+                Token(TokenType.WORD, value, start_line, start_column)
+            )
+            column += j - i
+            i = j
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

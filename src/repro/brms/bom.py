@@ -1,0 +1,210 @@
+"""The business object model (BOM) and BOM-to-XOM mapping.
+
+"In order to enable editing internal controls by using business vocabulary,
+the next step is to map XOM to business vocabulary by using so-called
+Business Object Model (BOM). […] A BOM in a rule management system contains
+the classes and methods that the artifacts of internal controls act on"
+(§II.D).
+
+A :class:`BomClass` is a business *concept* (label ``Job Requisition``); its
+:class:`BomMember` entries carry a navigation or action phrase plus the
+*execution* of that phrase against a XOM object — attribute read, relation
+traversal, or a virtual Python callable (the paper's ``getManagergen``
+hashtable example).  The member's ``verbalization_entry`` renders the
+``mycompany.jobrequisition.managergen#phrase.navigation = {general manager}
+of {this}`` lines the paper lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.brms.xom import XomObject
+from repro.errors import BomError
+
+VirtualGetter = Callable[[XomObject], object]
+
+
+class MemberKind(enum.Enum):
+    """How a BOM member executes against the XOM."""
+
+    ATTRIBUTE = "attribute"  # read a record attribute
+    RELATION = "relation"  # traverse a graph relation
+    VIRTUAL = "virtual"  # call a registered Python function
+
+
+@dataclass(frozen=True)
+class BomMember:
+    """One member of a BOM class.
+
+    Attributes:
+        name: member name in the BOM (attribute name, relation name, or
+            virtual method name).
+        phrase: the business phrase verbalizing the member, e.g.
+            ``general manager`` — used in rules as
+            "the general manager of <expr>".
+        kind: attribute / relation / virtual.
+        phrase_kind: ``navigation`` or ``action`` (the paper distinguishes
+            navigation phrases for attributes and action phrases for
+            methods).
+        attribute: record attribute read (ATTRIBUTE kind).
+        relation_type / direction / many: traversal spec (RELATION kind).
+        getter: Python callable (VIRTUAL kind).
+        result_concept: the concept label of the member's result, when it is
+            itself a business object (relation members); None for scalars.
+    """
+
+    name: str
+    phrase: str
+    kind: MemberKind
+    phrase_kind: str = "navigation"
+    attribute: str = ""
+    relation_type: str = ""
+    direction: str = "in"
+    many: bool = False
+    getter: Optional[VirtualGetter] = None
+    result_concept: Optional[str] = None
+
+    def execute(self, target: XomObject) -> object:
+        """Evaluate this member on a XOM object.
+
+        Returns a scalar (ATTRIBUTE), a XomObject or list thereof
+        (RELATION), or whatever the virtual getter yields.  Missing
+        attributes and absent relations yield None (the rule language's
+        ``null``).
+        """
+        if self.kind is MemberKind.ATTRIBUTE:
+            return target.get(self.attribute)
+        if self.kind is MemberKind.RELATION:
+            if self.many:
+                return target.follow(self.relation_type, self.direction)
+            return target.follow_one(self.relation_type, self.direction)
+        if self.kind is MemberKind.VIRTUAL:
+            if self.getter is None:
+                raise BomError(f"virtual member {self.name!r} has no getter")
+            return self.getter(target)
+        raise BomError(f"unknown member kind {self.kind!r}")
+
+    def verbalization_entry(self, owner_qualified_name: str) -> str:
+        """The paper-style BOM entry line for this member."""
+        return (
+            f"{owner_qualified_name}.{self.name}"
+            f"#phrase.{self.phrase_kind} = {{{self.phrase}}} of {{this}}"
+        )
+
+
+@dataclass
+class BomClass:
+    """A business concept: label, XOM linkage, and members."""
+
+    concept: str  # business label, e.g. "Job Requisition"
+    node_type: str  # XOM/data-model node type, e.g. "jobrequisition"
+    qualified_name: str  # e.g. "mycompany.jobrequisition"
+    members: List[BomMember] = field(default_factory=list)
+
+    def member_by_phrase(self, phrase: str) -> Optional[BomMember]:
+        wanted = phrase.strip().lower()
+        for member in self.members:
+            if member.phrase.lower() == wanted:
+                return member
+        return None
+
+    def member_by_name(self, name: str) -> Optional[BomMember]:
+        for member in self.members:
+            if member.name == name:
+                return member
+        return None
+
+    def add_member(self, member: BomMember) -> BomMember:
+        if self.member_by_phrase(member.phrase) is not None:
+            raise BomError(
+                f"concept {self.concept!r} already verbalizes "
+                f"{member.phrase!r}"
+            )
+        self.members.append(member)
+        return member
+
+    def concept_label_entry(self) -> str:
+        """The paper-style ``#concept.label`` line."""
+        return f"{self.qualified_name}#concept.label = {self.concept}"
+
+
+class BusinessObjectModel:
+    """The BOM: all concepts of one business scope, keyed both ways."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._by_concept: Dict[str, BomClass] = {}
+        self._by_node_type: Dict[str, BomClass] = {}
+
+    def add_class(self, bom_class: BomClass) -> BomClass:
+        key = bom_class.concept.lower()
+        if key in self._by_concept:
+            raise BomError(f"concept {bom_class.concept!r} already defined")
+        if bom_class.node_type in self._by_node_type:
+            raise BomError(
+                f"node type {bom_class.node_type!r} already has a concept"
+            )
+        self._by_concept[key] = bom_class
+        self._by_node_type[bom_class.node_type] = bom_class
+        return bom_class
+
+    def concept(self, label: str) -> BomClass:
+        try:
+            return self._by_concept[label.strip().lower()]
+        except KeyError:
+            raise BomError(f"unknown concept {label!r}") from None
+
+    def has_concept(self, label: str) -> bool:
+        return label.strip().lower() in self._by_concept
+
+    def for_node_type(self, node_type: str) -> BomClass:
+        try:
+            return self._by_node_type[node_type]
+        except KeyError:
+            raise BomError(
+                f"node type {node_type!r} has no BOM concept"
+            ) from None
+
+    def has_node_type(self, node_type: str) -> bool:
+        return node_type in self._by_node_type
+
+    def classes(self) -> List[BomClass]:
+        return list(self._by_concept.values())
+
+    def register_virtual(
+        self,
+        concept: str,
+        name: str,
+        phrase: str,
+        getter: VirtualGetter,
+        result_concept: Optional[str] = None,
+    ) -> BomMember:
+        """Attach a virtual (action-phrase) member to a concept.
+
+        This implements the paper's ``getManagergen`` pattern: a method on
+        the business object backed by arbitrary code (there, a hashtable of
+        department → general manager), verbalized as an action phrase.
+        """
+        member = BomMember(
+            name=name,
+            phrase=phrase,
+            kind=MemberKind.VIRTUAL,
+            phrase_kind="action",
+            getter=getter,
+            result_concept=result_concept,
+        )
+        return self.concept(concept).add_member(member)
+
+    def dump_entries(self) -> List[str]:
+        """All paper-style BOM entry lines, class by class (Figure 3)."""
+        lines: List[str] = []
+        for bom_class in self._by_concept.values():
+            lines.append(bom_class.concept_label_entry())
+            for member in bom_class.members:
+                lines.append(
+                    member.verbalization_entry(bom_class.qualified_name)
+                )
+        return lines

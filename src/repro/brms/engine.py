@@ -1,0 +1,205 @@
+"""The rule execution engine.
+
+Runs compiled BAL rules against trace graphs and produces
+:class:`RuleOutcome` objects with one of four verdicts:
+
+- ``SATISFIED`` / ``NOT_SATISFIED`` — the paper's two explicit outcomes,
+- ``NOT_APPLICABLE`` — the rule's anchor (its first instance binding, e.g.
+  "the current job request") does not bind in this trace: the control is
+  about artifacts the trace does not contain,
+- ``UNDETERMINED`` — the rule references a concept whose artifacts are
+  *known to be unobservable* under the current capture configuration, so a
+  verdict would be evidence-free.  This refinement matters for partially
+  managed processes (experiment E4); pass ``observable_types=None`` to get
+  the paper's plain two-outcome behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.brms.bal import ast
+from repro.brms.bal.compiler import CompiledRule
+from repro.brms.bal.evaluate import (
+    EvalContext,
+    evaluate_condition,
+    evaluate_definition,
+    evaluate_expression,
+)
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel, XomObject
+from repro.errors import RuleEngineError
+from repro.graph.graph import ProvenanceGraph
+
+
+class RuleVerdict(enum.Enum):
+    SATISFIED = "satisfied"
+    NOT_SATISFIED = "not_satisfied"
+    NOT_APPLICABLE = "not_applicable"
+    UNDETERMINED = "undetermined"
+
+
+@dataclass
+class RuleOutcome:
+    """The result of evaluating one rule against one trace."""
+
+    rule_name: str
+    trace_id: str
+    verdict: RuleVerdict
+    condition_value: Optional[bool] = None
+    alerts: List[str] = field(default_factory=list)
+    bindings: Dict[str, Optional[str]] = field(default_factory=dict)
+    env_values: Dict[str, object] = field(default_factory=dict)
+    touched_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def bound_node_ids(self) -> List[str]:
+        """Record ids of all graph nodes the rule's definitions bound.
+
+        Control deployment turns these into edges from the control's custom
+        node to the data nodes — the paper's "connected to the three data
+        nodes defined by the constraints".
+        """
+        return [rid for rid in self.bindings.values() if rid is not None]
+
+
+# alias kept for the public API surface
+RuleContext = EvalContext
+
+
+class RuleEngine:
+    """Evaluates compiled rules against trace graphs."""
+
+    def __init__(
+        self,
+        xom: ExecutableObjectModel,
+        vocabulary: Vocabulary,
+    ) -> None:
+        self.xom = xom
+        self.vocabulary = vocabulary
+
+    def _unobservable_concepts(
+        self, compiled: CompiledRule, observable_types: Optional[Set[str]]
+    ) -> List[str]:
+        if observable_types is None:
+            return []
+        missing = []
+        for concept in compiled.concepts:
+            bom_class = self.vocabulary.concept(concept)
+            if bom_class.node_type not in observable_types:
+                missing.append(concept)
+        return missing
+
+    def evaluate(
+        self,
+        compiled: CompiledRule,
+        graph: ProvenanceGraph,
+        parameters: Optional[Dict[str, object]] = None,
+        observable_types: Optional[Set[str]] = None,
+    ) -> RuleOutcome:
+        """Evaluate *compiled* against one trace *graph*."""
+        trace_id = graph.name
+        if self._unobservable_concepts(compiled, observable_types):
+            return RuleOutcome(
+                rule_name=compiled.name,
+                trace_id=trace_id,
+                verdict=RuleVerdict.UNDETERMINED,
+            )
+
+        context = EvalContext(
+            graph=graph,
+            xom=self.xom,
+            vocabulary=self.vocabulary,
+            parameters=dict(parameters or {}),
+        )
+
+        anchor = compiled.anchor_variable
+        for definition in compiled.rule.definitions:
+            value = evaluate_definition(definition, context)
+            if definition.var == anchor and value is None:
+                return self._outcome_from(
+                    compiled, trace_id, RuleVerdict.NOT_APPLICABLE, context
+                )
+
+        condition_value = evaluate_condition(compiled.rule.condition, context)
+        actions = (
+            compiled.rule.then_actions
+            if condition_value
+            else compiled.rule.else_actions
+        )
+        default = (
+            RuleVerdict.SATISFIED
+            if condition_value
+            else RuleVerdict.NOT_SATISFIED
+        )
+
+        outcome = self._outcome_from(compiled, trace_id, default, context)
+        outcome.condition_value = condition_value
+        for action in actions:
+            self._execute_action(action, context, outcome)
+        # Re-capture bindings: Assign actions may have added variables.
+        self._capture_bindings(context, outcome)
+        return outcome
+
+    def evaluate_many(
+        self,
+        compiled: CompiledRule,
+        graphs: Sequence[ProvenanceGraph],
+        parameters: Optional[Dict[str, object]] = None,
+        observable_types: Optional[Set[str]] = None,
+    ) -> List[RuleOutcome]:
+        """Evaluate one rule across many trace graphs."""
+        return [
+            self.evaluate(compiled, graph, parameters, observable_types)
+            for graph in graphs
+        ]
+
+    # -- helpers -------------------------------------------------------------
+
+    def _outcome_from(
+        self,
+        compiled: CompiledRule,
+        trace_id: str,
+        verdict: RuleVerdict,
+        context: EvalContext,
+    ) -> RuleOutcome:
+        outcome = RuleOutcome(
+            rule_name=compiled.name, trace_id=trace_id, verdict=verdict
+        )
+        self._capture_bindings(context, outcome)
+        return outcome
+
+    @staticmethod
+    def _capture_bindings(context: EvalContext, outcome: RuleOutcome) -> None:
+        for var, value in context.env.items():
+            if isinstance(value, XomObject):
+                outcome.bindings[var] = value.record.record_id
+            else:
+                outcome.bindings[var] = None
+                outcome.env_values[var] = value
+        outcome.touched_nodes = sorted(context.touched)
+
+    @staticmethod
+    def _execute_action(
+        action: ast.Node, context: EvalContext, outcome: RuleOutcome
+    ) -> None:
+        if isinstance(action, ast.SetStatus):
+            outcome.verdict = (
+                RuleVerdict.SATISFIED
+                if action.satisfied
+                else RuleVerdict.NOT_SATISFIED
+            )
+            return
+        if isinstance(action, ast.Alert):
+            outcome.alerts.append(action.message)
+            return
+        if isinstance(action, ast.Assign):
+            context.env[action.var] = evaluate_expression(
+                action.expr, context
+            )
+            return
+        raise RuleEngineError(
+            f"unknown action node {type(action).__name__}"
+        )

@@ -1,0 +1,111 @@
+"""Verbalization profiles: different vocabularies over the same model.
+
+§IV: "Different verbalization for different business vocabulary is
+possible.  This work suggests that the task of verbalization is a role
+that is executed after the provenance graph data is created."  A
+:class:`VerbalizationProfile` carries per-concept label overrides and
+per-phrase overrides so that the *same* provenance data model verbalizes
+into the vocabulary of a different business audience (another language,
+audit terminology, a department's jargon) — and rules authored in either
+vocabulary compile to the same executions.
+
+Profiles are data, not code: they can be authored by the same business
+people who author controls, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.brms.bom import BomClass, BusinessObjectModel
+from repro.brms.verbalization import Verbalizer
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel
+from repro.errors import VocabularyError
+
+
+@dataclass(frozen=True)
+class VerbalizationProfile:
+    """Overrides applied on top of the default verbalization.
+
+    Attributes:
+        name: profile name (``"default"``, ``"de"``, ``"audit"`` …).
+        concept_labels: node type → concept label override
+            (``{"jobrequisition": "Stellenausschreibung"}``).
+        phrases: (node type, member name) → phrase override
+            (``{("jobrequisition", "managergen"): "Bereichsleiter"}``).
+    """
+
+    name: str
+    concept_labels: Dict[str, str] = field(default_factory=dict)
+    phrases: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def concept_label(self, node_type: str, default: str) -> str:
+        return self.concept_labels.get(node_type, default)
+
+    def phrase(self, node_type: str, member: str, default: str) -> str:
+        return self.phrases.get((node_type, member), default)
+
+
+DEFAULT_PROFILE = VerbalizationProfile(name="default")
+
+
+def verbalize_with_profile(
+    xom: ExecutableObjectModel,
+    profile: VerbalizationProfile,
+    cache: bool = True,
+) -> Vocabulary:
+    """Verbalize *xom* under *profile*; returns a ready vocabulary.
+
+    Overrides must stay unambiguous: two members of one concept must not
+    collapse onto the same phrase (raises :class:`VocabularyError`).
+    """
+    base = Verbalizer(xom).verbalize(bom_name=f"{xom.model.name}-{profile.name}")
+    renamed = BusinessObjectModel(base.name)
+    for bom_class in base.classes():
+        node_type = bom_class.node_type
+        new_class = BomClass(
+            concept=profile.concept_label(node_type, bom_class.concept),
+            node_type=node_type,
+            qualified_name=bom_class.qualified_name,
+        )
+        seen: Dict[str, str] = {}
+        for member in bom_class.members:
+            phrase = profile.phrase(node_type, member.name, member.phrase)
+            lowered = phrase.lower()
+            if lowered in seen:
+                raise VocabularyError(
+                    f"profile {profile.name!r} maps both "
+                    f"{seen[lowered]!r} and {member.name!r} of "
+                    f"{node_type!r} to phrase {phrase!r}"
+                )
+            seen[lowered] = member.name
+            new_class.members.append(replace(member, phrase=phrase))
+        renamed.add_class(new_class)
+    return Vocabulary(renamed, cache=cache)
+
+
+def profile_from_translations(
+    name: str,
+    concepts: Optional[Dict[str, str]] = None,
+    **phrase_overrides: Dict[str, str],
+) -> VerbalizationProfile:
+    """Build a profile from per-node-type phrase dictionaries.
+
+    >>> profile_from_translations(
+    ...     "audit",
+    ...     concepts={"jobrequisition": "Hiring Request"},
+    ...     jobrequisition={"managergen": "approving executive"},
+    ... ).phrase("jobrequisition", "managergen", "general manager")
+    'approving executive'
+    """
+    phrases: Dict[Tuple[str, str], str] = {}
+    for node_type, overrides in phrase_overrides.items():
+        for member, phrase in overrides.items():
+            phrases[(node_type, member)] = phrase
+    return VerbalizationProfile(
+        name=name,
+        concept_labels=dict(concepts or {}),
+        phrases=phrases,
+    )

@@ -1,0 +1,138 @@
+"""Rule repository and deployment lifecycle.
+
+"Often implementation of internal control points depends on IT departments
+in creating, testing and deployment of internal controls by business
+people" (§II.C) — the repository is the artifact store that lets business
+people own that lifecycle instead.  Rules move through DRAFT → DEPLOYED →
+RETIRED; every edit of a deployed rule produces a new version, the old one
+is retained for audit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.brms.bal.compiler import BalCompiler, CompiledRule
+from repro.errors import DeploymentError
+
+
+class RuleState(enum.Enum):
+    DRAFT = "draft"
+    DEPLOYED = "deployed"
+    RETIRED = "retired"
+
+
+@dataclass(frozen=True)
+class RuleArtifact:
+    """One version of one rule in the repository."""
+
+    name: str
+    version: int
+    state: RuleState
+    compiled: CompiledRule
+
+    @property
+    def source(self) -> str:
+        return self.compiled.source
+
+
+class RuleRepository:
+    """Versioned storage of BAL rules with a deployment lifecycle."""
+
+    def __init__(self, compiler: BalCompiler) -> None:
+        self.compiler = compiler
+        self._versions: Dict[str, List[RuleArtifact]] = {}
+
+    # -- authoring -------------------------------------------------------------
+
+    def author(self, name: str, text: str) -> RuleArtifact:
+        """Create a new draft (version 1) or a new draft version of *name*.
+
+        Compilation runs immediately: authoring errors surface at save
+        time, exactly as a rule editor validates against the vocabulary.
+        """
+        compiled = self.compiler.compile(name, text)
+        versions = self._versions.setdefault(name, [])
+        artifact = RuleArtifact(
+            name=name,
+            version=len(versions) + 1,
+            state=RuleState.DRAFT,
+            compiled=compiled,
+        )
+        versions.append(artifact)
+        return artifact
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def deploy(self, name: str, version: Optional[int] = None) -> RuleArtifact:
+        """Deploy a draft; any previously deployed version retires."""
+        artifact = self._get(name, version)
+        if artifact.state is RuleState.RETIRED:
+            raise DeploymentError(
+                f"rule {name!r} v{artifact.version} is retired"
+            )
+        versions = self._versions[name]
+        for index, existing in enumerate(versions):
+            if (
+                existing.state is RuleState.DEPLOYED
+                and existing.version != artifact.version
+            ):
+                versions[index] = replace(existing, state=RuleState.RETIRED)
+        index = artifact.version - 1
+        versions[index] = replace(artifact, state=RuleState.DEPLOYED)
+        return versions[index]
+
+    def retire(self, name: str) -> RuleArtifact:
+        """Retire the deployed version of *name*."""
+        deployed = self.deployed(name)
+        if deployed is None:
+            raise DeploymentError(f"rule {name!r} has no deployed version")
+        versions = self._versions[name]
+        index = deployed.version - 1
+        versions[index] = replace(deployed, state=RuleState.RETIRED)
+        return versions[index]
+
+    # -- queries -------------------------------------------------------------------
+
+    def _get(self, name: str, version: Optional[int]) -> RuleArtifact:
+        versions = self._versions.get(name)
+        if not versions:
+            raise DeploymentError(f"unknown rule {name!r}")
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise DeploymentError(
+                f"rule {name!r} has no version {version}"
+            )
+        return versions[version - 1]
+
+    def get(self, name: str, version: Optional[int] = None) -> RuleArtifact:
+        """Latest (or a specific) version of a rule."""
+        return self._get(name, version)
+
+    def deployed(self, name: str) -> Optional[RuleArtifact]:
+        """The deployed version of *name*, or None."""
+        for artifact in self._versions.get(name, ()):
+            if artifact.state is RuleState.DEPLOYED:
+                return artifact
+        return None
+
+    def all_deployed(self) -> List[RuleArtifact]:
+        """Every deployed rule, in authoring order."""
+        result = []
+        for versions in self._versions.values():
+            for artifact in versions:
+                if artifact.state is RuleState.DEPLOYED:
+                    result.append(artifact)
+        return result
+
+    def names(self) -> List[str]:
+        return list(self._versions.keys())
+
+    def history(self, name: str) -> List[RuleArtifact]:
+        """All versions of *name*, oldest first."""
+        if name not in self._versions:
+            raise DeploymentError(f"unknown rule {name!r}")
+        return list(self._versions[name])

@@ -1,0 +1,112 @@
+"""Verbalization: generating the BOM from the XOM.
+
+"When the BOM is created from the execution model, class attributes are
+verbalized as navigation phrases and the methods are verbalized as action
+phrases" (§II.D).  The :class:`Verbalizer` performs that generation:
+
+- every XOM class becomes a BOM concept whose label comes from the data
+  model (``jobrequisition`` → ``Job Requisition``),
+- every attribute becomes a navigation-phrase member (``managergen`` with
+  ``verbalized="general manager"`` → phrase ``general manager``, rendered
+  as "the general manager of {this}"),
+- every relation role becomes a navigation-phrase member using the relation
+  type's label (``submitterOf`` with label ``the submitter of`` → phrase
+  ``submitter`` on the target concept).
+
+Crucially — and this is the paper's applicability argument for unmanaged
+processes — verbalization consumes only the data model and XOM, never
+application code: "verbalization can be done over the execution trace
+without changing the application code" (§IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.brms.bom import BomClass, BomMember, BusinessObjectModel, MemberKind
+from repro.brms.xom import ExecutableObjectModel
+from repro.model.schema import RelationTypeSpec
+
+
+def _phrase_from_relation_label(spec: RelationTypeSpec) -> str:
+    """Extract the phrase core from a relation label.
+
+    ``the submitter of`` → ``submitter``; a bare label like ``actor`` stays
+    as is.
+    """
+    words = spec.label.strip().split()
+    if words and words[0].lower() in ("the", "a", "an"):
+        words = words[1:]
+    if words and words[-1].lower() == "of":
+        words = words[:-1]
+    return " ".join(words) if words else spec.name
+
+
+class Verbalizer:
+    """Generates a BOM (and so a vocabulary) from a XOM."""
+
+    def __init__(self, xom: ExecutableObjectModel) -> None:
+        self.xom = xom
+
+    def verbalize(self, bom_name: Optional[str] = None) -> BusinessObjectModel:
+        """Produce the BOM for the whole XOM."""
+        model = self.xom.model
+        bom = BusinessObjectModel(bom_name or f"{model.name}-bom")
+
+        for xom_class in self.xom.classes():
+            spec = xom_class.node_type
+            bom_class = BomClass(
+                concept=spec.label,
+                node_type=spec.name,
+                qualified_name=xom_class.qualified_name,
+            )
+            for attribute in spec.attributes:
+                bom_class.add_member(
+                    BomMember(
+                        name=attribute.name,
+                        phrase=attribute.verbalized,
+                        kind=MemberKind.ATTRIBUTE,
+                        attribute=attribute.name,
+                    )
+                )
+            # Every record carries a capture timestamp; verbalize it as a
+            # built-in so temporal controls ("the approval must precede the
+            # candidate search") need no per-type declaration.  Declared
+            # attributes named "timestamp" win over the built-in.
+            if bom_class.member_by_phrase("timestamp") is None:
+                bom_class.add_member(
+                    BomMember(
+                        name="__timestamp__",
+                        phrase="timestamp",
+                        kind=MemberKind.VIRTUAL,
+                        phrase_kind="navigation",
+                        getter=lambda obj: obj.record.timestamp,
+                    )
+                )
+            bom.add_class(bom_class)
+
+        # Relation roles: a relation Resource --submitterOf--> Data gives the
+        # *target* concept a "submitter" member traversing the edge backwards,
+        # and the *source* concept nothing by default (an explicit inverse
+        # label can be modelled as a second relation type).
+        for relation in model.relation_types():
+            phrase = _phrase_from_relation_label(relation)
+            for spec in model.node_types(relation.target_class):
+                bom_class = bom.for_node_type(spec.name)
+                if bom_class.member_by_phrase(phrase) is not None:
+                    continue  # attribute verbalizations win over relations
+                source_types = model.node_types(relation.source_class)
+                result_concept = (
+                    source_types[0].label if len(source_types) == 1 else None
+                )
+                bom_class.add_member(
+                    BomMember(
+                        name=relation.name,
+                        phrase=phrase,
+                        kind=MemberKind.RELATION,
+                        relation_type=relation.name,
+                        direction="in",
+                        result_concept=result_concept,
+                    )
+                )
+        return bom

@@ -1,0 +1,177 @@
+"""The business vocabulary.
+
+"In short, the vocabulary is the set of terms and phrases attached to the
+elements of the BOM" (§II.D).  The :class:`Vocabulary` wraps a BOM with the
+lookups rule parsing, compilation, and editing need:
+
+- resolve a concept label ("Job Requisition") to its BOM class,
+- resolve a phrase ("general manager") to a member, given the owning
+  concept — or across all concepts when the owner is not yet known (the
+  compiler infers owners where it can; the engine resolves dynamically by
+  the runtime object's concept),
+- list everything, for the editor's "drop down menus [that] contain the
+  associated vocabulary for every graph node and its attributes" (§III).
+
+Phrase lookup is the hottest path of rule evaluation; the vocabulary caches
+``(concept, phrase) → member`` resolutions.  The cache can be disabled for
+the E8 ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.brms.bom import BomClass, BomMember, BusinessObjectModel
+from repro.errors import VocabularyError
+
+
+class Vocabulary:
+    """Phrase/term lookups over a BOM, with optional caching."""
+
+    def __init__(self, bom: BusinessObjectModel, cache: bool = True) -> None:
+        self.bom = bom
+        self.cache_enabled = cache
+        self._cache: Dict[Tuple[str, str], Optional[BomMember]] = {}
+        self.lookups = 0  # total member lookups (ablation metric)
+        self.cache_hits = 0
+
+    # -- concepts ------------------------------------------------------------
+
+    def concept(self, label: str) -> BomClass:
+        """The BOM class for a concept label; raises when unknown."""
+        if not self.bom.has_concept(label):
+            raise VocabularyError(f"unknown concept {label!r}")
+        return self.bom.concept(label)
+
+    def has_concept(self, label: str) -> bool:
+        return self.bom.has_concept(label)
+
+    def concept_labels(self) -> List[str]:
+        return [c.concept for c in self.bom.classes()]
+
+    def match_concept_prefix(self, words: List[str]) -> Optional[Tuple[str, int]]:
+        """Longest concept label matching a prefix of *words*.
+
+        Returns ``(label, word_count)`` or None.  The BAL parser uses this
+        to consume multi-word concept names like "job requisition".
+        """
+        best: Optional[Tuple[str, int]] = None
+        lowered = [w.lower() for w in words]
+        for label in self.concept_labels():
+            parts = label.lower().split()
+            if len(parts) <= len(lowered) and lowered[: len(parts)] == parts:
+                if best is None or len(parts) > best[1]:
+                    best = (label, len(parts))
+        return best
+
+    # -- members -------------------------------------------------------------
+
+    def member(self, concept: str, phrase: str) -> BomMember:
+        """The member verbalized as *phrase* on *concept*; raises if absent."""
+        found = self.find_member(concept, phrase)
+        if found is None:
+            raise VocabularyError(
+                f"concept {concept!r} has no phrase {phrase!r}"
+            )
+        return found
+
+    def find_member(self, concept: str, phrase: str) -> Optional[BomMember]:
+        """Like :meth:`member` but returns None instead of raising."""
+        self.lookups += 1
+        key = (concept.strip().lower(), phrase.strip().lower())
+        if self.cache_enabled and key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        bom_class = (
+            self.bom.concept(concept) if self.bom.has_concept(concept) else None
+        )
+        member = (
+            bom_class.member_by_phrase(phrase) if bom_class is not None else None
+        )
+        if self.cache_enabled:
+            self._cache[key] = member
+        return member
+
+    def find_member_for_type(
+        self, node_type: str, phrase: str
+    ) -> Optional[BomMember]:
+        """Resolve *phrase* on the concept that verbalizes *node_type*.
+
+        Rule evaluation resolves this way (by the runtime object's node
+        type) rather than by concept label, so vocabularies whose profile
+        renamed the concepts still execute correctly.
+        """
+        self.lookups += 1
+        key = (f"type:{node_type}", phrase.strip().lower())
+        if self.cache_enabled and key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        member: Optional[BomMember] = None
+        if self.bom.has_node_type(node_type):
+            member = self.bom.for_node_type(node_type).member_by_phrase(
+                phrase
+            )
+        if self.cache_enabled:
+            self._cache[key] = member
+        return member
+
+    def concepts_with_phrase(self, phrase: str) -> List[str]:
+        """All concept labels that verbalize *phrase* (ambiguity check)."""
+        wanted = phrase.strip().lower()
+        return [
+            bom_class.concept
+            for bom_class in self.bom.classes()
+            if bom_class.member_by_phrase(wanted) is not None
+        ]
+
+    def match_phrase_prefix(self, words: List[str]) -> Optional[Tuple[str, int]]:
+        """Longest phrase (on any concept) matching a prefix of *words*."""
+        best: Optional[Tuple[str, int]] = None
+        lowered = [w.lower() for w in words]
+        for bom_class in self.bom.classes():
+            for member in bom_class.members:
+                parts = member.phrase.lower().split()
+                if (
+                    len(parts) <= len(lowered)
+                    and lowered[: len(parts)] == parts
+                ):
+                    if best is None or len(parts) > best[1]:
+                        best = (member.phrase, len(parts))
+        return best
+
+    # -- editor support --------------------------------------------------------
+
+    def dropdown_entries(self) -> Dict[str, List[str]]:
+        """Concept → rendered phrases, as the rule editor's menus show them.
+
+        Rendered in the "the <phrase> of <the concept>" surface form the
+        paper's Fig. 3 illustrates ("the general manager of the job
+        requisition").
+        """
+        entries: Dict[str, List[str]] = {}
+        for bom_class in self.bom.classes():
+            rendered = [
+                f"the {member.phrase} of the {bom_class.concept.lower()}"
+                for member in bom_class.members
+            ]
+            entries[bom_class.concept] = rendered
+        return entries
+
+    def complete(self, prefix: str, limit: int = 10) -> List[str]:
+        """Editor autocomplete: phrases starting with *prefix*.
+
+        Matches across all concepts (the editor narrows by the expression's
+        concept once known), case-insensitively, returning the rendered
+        ``the <phrase> of …`` surface forms, deduplicated and sorted.
+        """
+        wanted = prefix.strip().lower()
+        matches = set()
+        for bom_class in self.bom.classes():
+            for member in bom_class.members:
+                if member.phrase.lower().startswith(wanted):
+                    matches.add(f"the {member.phrase} of")
+        return sorted(matches)[:limit]
+
+    def invalidate_cache(self) -> None:
+        """Drop cached resolutions (after BOM edits)."""
+        self._cache.clear()

@@ -1,0 +1,248 @@
+"""The executable object model (XOM).
+
+"The first step of the solution is to generate an executable java object
+model (XOM) from the provenance data model.  This way the nodes and the
+edges of the graph and their attributes are directly linked to XOM java
+objects through getters and setters methods" (§II.D).
+
+Here the XOM is a set of :class:`XomClass` descriptors generated from a
+:class:`~repro.model.schema.ProvenanceDataModel`, one per node type, each
+naming its getters.  At runtime an :class:`XomObject` pairs a provenance
+record with the trace graph it lives in, so attribute getters read record
+attributes and relation getters traverse graph edges — exactly the paper's
+"directly linked […] through getters and setters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import XomError
+from repro.graph.graph import ProvenanceGraph
+from repro.model.attributes import AttributeValue
+from repro.model.records import ProvenanceRecord
+from repro.model.schema import NodeTypeSpec, ProvenanceDataModel
+
+
+def _getter_name(attribute: str) -> str:
+    """Java-bean getter name: ``managergen`` → ``getManagergen``."""
+    return "get" + attribute[:1].upper() + attribute[1:]
+
+
+@dataclass(frozen=True)
+class XomRelationAccessor:
+    """A generated relation getter on a XOM class.
+
+    Attributes:
+        relation_type: the provenance relation traversed.
+        direction: ``"in"`` (edges pointing at this node) or ``"out"``.
+        many: whether the getter yields a list or a single object.
+    """
+
+    name: str
+    relation_type: str
+    direction: str
+    many: bool = False
+
+
+@dataclass(frozen=True)
+class XomClass:
+    """A generated runtime class for one node type.
+
+    Attributes:
+        qualified_name: package-qualified name, e.g.
+            ``mycompany.jobrequisition`` (the paper's example package).
+        node_type: the data-model node type this class executes.
+        getters: attribute name → generated getter name.
+        relations: generated relation accessors.
+    """
+
+    qualified_name: str
+    node_type: NodeTypeSpec
+    getters: Dict[str, str] = field(default_factory=dict)
+    relations: Tuple[XomRelationAccessor, ...] = field(default_factory=tuple)
+
+    @property
+    def simple_name(self) -> str:
+        return self.qualified_name.rsplit(".", 1)[-1]
+
+
+class XomObject:
+    """A runtime XOM instance: a graph node viewed through its XOM class.
+
+    Attribute getters read the wrapped record; relation getters traverse the
+    trace graph.  Virtual members (the paper's ``getManagergen`` hashtable
+    example) are provided by the BOM layer, not here.
+    """
+
+    def __init__(
+        self,
+        xom_class: XomClass,
+        record: ProvenanceRecord,
+        graph: ProvenanceGraph,
+        xom: "ExecutableObjectModel",
+    ) -> None:
+        self.xom_class = xom_class
+        self.record = record
+        self.graph = graph
+        self._xom = xom
+
+    def __repr__(self) -> str:
+        return (
+            f"<XomObject {self.xom_class.simple_name} "
+            f"{self.record.record_id}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XomObject)
+            and other.record.record_id == self.record.record_id
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.record.record_id)
+
+    def get(self, attribute: str) -> Optional[AttributeValue]:
+        """Attribute getter; None when the record lacks the attribute."""
+        return self.record.get(attribute)
+
+    def follow(
+        self, relation_type: str, direction: str = "in"
+    ) -> List["XomObject"]:
+        """Relation getter: XOM objects connected over *relation_type*.
+
+        ``direction="in"`` returns sources of edges targeting this node
+        (e.g. the submitter of a requisition over ``submitterOf``);
+        ``"out"`` returns targets of edges leaving it.
+        """
+        if direction == "in":
+            relations = self.graph.edges_to(self.record.record_id, relation_type)
+            ids = [r.source_id for r in relations]
+        elif direction == "out":
+            relations = self.graph.edges_from(
+                self.record.record_id, relation_type
+            )
+            ids = [r.target_id for r in relations]
+        else:
+            raise XomError(f"direction must be 'in' or 'out': {direction!r}")
+        return [self._xom.wrap(self.graph.node(i), self.graph) for i in ids]
+
+    def follow_one(
+        self, relation_type: str, direction: str = "in"
+    ) -> Optional["XomObject"]:
+        """Like :meth:`follow` but expects at most one; None when absent."""
+        objects = self.follow(relation_type, direction)
+        if len(objects) > 1:
+            raise XomError(
+                f"{self.record.record_id}: multiple {relation_type!r} "
+                f"({direction}) edges where one was expected"
+            )
+        return objects[0] if objects else None
+
+
+class ExecutableObjectModel:
+    """The XOM: generated classes for every node type of a data model."""
+
+    def __init__(
+        self, model: ProvenanceDataModel, package: str = "mycompany"
+    ) -> None:
+        self.model = model
+        self.package = package
+        self._classes: Dict[str, XomClass] = {}
+        for spec in model.node_types():
+            self._classes[spec.name] = self._generate_class(spec)
+
+    def _generate_class(self, spec: NodeTypeSpec) -> XomClass:
+        getters = {
+            attribute.name: _getter_name(attribute.name)
+            for attribute in spec.attributes
+        }
+        accessors = []
+        for relation in self.model.relation_types():
+            # A node type participates in a relation when its record class
+            # matches either endpoint class; generate the accessor for the
+            # role(s) it can play.
+            if spec.record_class is relation.target_class:
+                accessors.append(
+                    XomRelationAccessor(
+                        name=_getter_name(relation.name) + "Source",
+                        relation_type=relation.name,
+                        direction="in",
+                    )
+                )
+            if spec.record_class is relation.source_class:
+                accessors.append(
+                    XomRelationAccessor(
+                        name=_getter_name(relation.name) + "Target",
+                        relation_type=relation.name,
+                        direction="out",
+                    )
+                )
+        return XomClass(
+            qualified_name=f"{self.package}.{spec.name}",
+            node_type=spec,
+            getters=getters,
+            relations=tuple(accessors),
+        )
+
+    def xom_class(self, node_type: str) -> XomClass:
+        """The generated class for *node_type*."""
+        try:
+            return self._classes[node_type]
+        except KeyError:
+            raise XomError(f"no XOM class for node type {node_type!r}") from None
+
+    def classes(self) -> List[XomClass]:
+        return list(self._classes.values())
+
+    def wrap(
+        self, record: ProvenanceRecord, graph: ProvenanceGraph
+    ) -> XomObject:
+        """Instantiate the XOM object for a graph node record."""
+        if record.entity_type in self._classes:
+            xom_class = self._classes[record.entity_type]
+        else:
+            # Custom records (control points, alerts) have no declared type;
+            # give them an anonymous class so traversal still works.
+            xom_class = XomClass(
+                qualified_name=f"{self.package}.{record.entity_type}",
+                node_type=NodeTypeSpec(
+                    name=record.entity_type,
+                    record_class=record.record_class,
+                ),
+            )
+        return XomObject(xom_class, record, graph, self)
+
+    def instances(
+        self, graph: ProvenanceGraph, node_type: str
+    ) -> List[XomObject]:
+        """All XOM instances of *node_type* in *graph*."""
+        return [
+            self.wrap(record, graph)
+            for record in graph.nodes(entity_type=node_type)
+        ]
+
+    def render_class_source(self, node_type: str) -> str:
+        """Render the Java-like class source the paper shows for PE3.
+
+        Purely presentational — used by the Figure 3 benchmark to regenerate
+        the paper's ``public class jobrequisition`` listing.
+        """
+        xom_class = self.xom_class(node_type)
+        spec = xom_class.node_type
+        lines = [
+            f"package {self.package};",
+            f"public class {spec.name} {{",
+            f'    public String class = "{spec.record_class.value.lower()}";',
+        ]
+        for attribute in spec.attributes:
+            lines.append(f"    public String {attribute.name};")
+        for attribute in spec.attributes:
+            getter = xom_class.getters[attribute.name]
+            lines.append(
+                f"    public String {getter}() {{ "
+                f"return this.{attribute.name}; }}"
+            )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Event capture: from application events to provenance records.
+
+§II.A of the paper: "The trace of a business process is obtained by using
+recording clients which process application events and transform them into
+provenance events. […] The recorder client processes application events,
+transforms them into provenance events and records them in the provenance
+store."  This package implements that pipeline:
+
+- :mod:`repro.capture.events` — the raw, heterogeneous application events IT
+  systems produce (log lines, document saves, mail, workflow steps),
+- :mod:`repro.capture.mapping` — declarative rules typing application events
+  into provenance records per the data model,
+- :mod:`repro.capture.filters` — relevance filtering and sensitive-data
+  scrubbing ("to avoid redundancy and possible exposure of sensitive data,
+  recorder clients do not copy all application data"),
+- :mod:`repro.capture.recorder` — the recorder client itself,
+- :mod:`repro.capture.correlation` — the data correlation and enrichment
+  analytics that "link and enrich the collected data to produce the
+  provenance graph".
+"""
+
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.filters import (
+    AttributeAllowList,
+    EventFilter,
+    RelevanceFilter,
+    SensitiveDataScrubber,
+)
+from repro.capture.mapping import EventMapping, MappingRule
+from repro.capture.recorder import RecorderClient
+from repro.capture.correlation import (
+    CorrelationAnalytics,
+    CorrelationRule,
+    SequenceRule,
+    attribute_join,
+    co_trace,
+)
+
+__all__ = [
+    "ApplicationEvent",
+    "AttributeAllowList",
+    "CorrelationAnalytics",
+    "CorrelationRule",
+    "EventFilter",
+    "EventMapping",
+    "EventSource",
+    "MappingRule",
+    "RecorderClient",
+    "RelevanceFilter",
+    "SequenceRule",
+    "SensitiveDataScrubber",
+    "attribute_join",
+    "co_trace",
+]

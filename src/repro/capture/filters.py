@@ -1,0 +1,134 @@
+"""Relevance filtering and sensitive-data scrubbing.
+
+"The captured data must be relevant and specific to the business operation
+under consideration. […] To avoid redundancy and possible exposure of
+sensitive data, recorder clients do not copy all application data" (§II.A).
+
+Two filter stages run inside the recorder client:
+
+- a :class:`RelevanceFilter` decides whether an event is recorded at all
+  (events whose kind no mapping rule claims are irrelevant by definition;
+  additional predicates can narrow further),
+- a :class:`SensitiveDataScrubber` removes or masks payload fields before
+  anything reaches the provenance store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.capture.events import ApplicationEvent
+
+EventPredicate = Callable[[ApplicationEvent], bool]
+
+
+class EventFilter:
+    """Base interface: decide whether an event passes, with a reason."""
+
+    def admit(self, event: ApplicationEvent) -> Tuple[bool, str]:
+        """Return ``(passes, reason_if_dropped)``."""
+        raise NotImplementedError
+
+
+class RelevanceFilter(EventFilter):
+    """Admits only events relevant to the business scope.
+
+    Args:
+        relevant_kinds: event kinds the scope cares about; empty means all.
+        predicate: optional extra predicate (e.g. only events of a given
+            department).
+    """
+
+    def __init__(
+        self,
+        relevant_kinds: Optional[Iterable[str]] = None,
+        predicate: Optional[EventPredicate] = None,
+    ) -> None:
+        self.relevant_kinds: FrozenSet[str] = frozenset(relevant_kinds or ())
+        self.predicate = predicate
+
+    def admit(self, event: ApplicationEvent) -> Tuple[bool, str]:
+        if self.relevant_kinds and event.kind not in self.relevant_kinds:
+            return False, f"kind {event.kind!r} not relevant to scope"
+        if self.predicate is not None and not self.predicate(event):
+            return False, "predicate rejected event"
+        return True, ""
+
+
+@dataclass(frozen=True)
+class AttributeAllowList:
+    """Per event kind, the payload fields allowed into provenance.
+
+    An allow list (rather than a block list) implements the paper's "do not
+    copy all application data": only fields the data model needs survive.
+    """
+
+    allowed: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, **kind_fields: Iterable[str]) -> "AttributeAllowList":
+        """Build from ``kind=("field", ...)`` keyword pairs.
+
+        Event kinds use dots (``task.completed``); since dots cannot appear
+        in Python keywords, use ``__`` in their place:
+        ``task__completed=("actor", "start")``.
+        """
+        return cls(
+            {
+                kind.replace("__", "."): frozenset(fields)
+                for kind, fields in kind_fields.items()
+            }
+        )
+
+    def fields_for(self, kind: str) -> Optional[FrozenSet[str]]:
+        """Allowed fields for *kind*; None means no restriction declared."""
+        return self.allowed.get(kind)
+
+
+class SensitiveDataScrubber:
+    """Removes sensitive or disallowed payload fields before recording.
+
+    Two mechanisms compose:
+
+    - *sensitive_fields* are always removed, whatever the event kind
+      (salary, SSN, medical notes, …),
+    - an :class:`AttributeAllowList` keeps only declared fields per kind.
+    """
+
+    def __init__(
+        self,
+        sensitive_fields: Optional[Iterable[str]] = None,
+        allow_list: Optional[AttributeAllowList] = None,
+    ) -> None:
+        self.sensitive_fields: Set[str] = set(sensitive_fields or ())
+        self.allow_list = allow_list
+
+    def scrub(self, event: ApplicationEvent) -> Tuple[ApplicationEvent, int]:
+        """Return ``(scrubbed_event, removed_field_count)``."""
+        allowed = (
+            self.allow_list.fields_for(event.kind)
+            if self.allow_list is not None
+            else None
+        )
+        kept: Dict[str, str] = {}
+        removed = 0
+        for name, value in event.payload.items():
+            if name in self.sensitive_fields:
+                removed += 1
+                continue
+            if allowed is not None and name not in allowed:
+                removed += 1
+                continue
+            kept[name] = value
+        if not removed:
+            return event, 0
+        scrubbed = ApplicationEvent(
+            event_id=event.event_id,
+            source=event.source,
+            kind=event.kind,
+            timestamp=event.timestamp,
+            app_id=event.app_id,
+            payload=kept,
+        )
+        return scrubbed, removed

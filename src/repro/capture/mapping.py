@@ -1,0 +1,148 @@
+"""Mapping application events to typed provenance records.
+
+"The captured data is then typed according to the proposed data model by
+using the specifications of the business and stored" (§II.A).  A
+:class:`MappingRule` declares, for one event kind, which provenance node
+type it produces and how payload fields become attributes.  The
+:class:`EventMapping` is the ordered rule set a recorder client runs.
+
+Rules are pure data + small functions, so a business scope's capture
+configuration reads declaratively::
+
+    mapping = EventMapping(model)
+    mapping.rule(
+        kind="requisition.submitted",
+        record_class=RecordClass.DATA,
+        entity_type="jobrequisition",
+        fields={"reqid": "reqid", "type": "position_type"},
+        key="reqid",
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.capture.events import ApplicationEvent
+from repro.errors import MappingError
+from repro.model.records import ProvenanceRecord, RecordClass, record_from_parts
+from repro.model.schema import ProvenanceDataModel
+
+
+@dataclass(frozen=True)
+class MappingRule:
+    """How one event kind becomes a provenance record.
+
+    Attributes:
+        kind: the application event kind this rule claims.
+        record_class: the provenance class of the produced record.
+        entity_type: the node type in the data model.
+        fields: mapping from attribute name → payload field name.  Fields
+            missing from the payload are simply omitted (partial capture is
+            normal in partially managed processes).
+        key: payload field contributing to the record id, making re-captures
+            of the same artifact idempotent per trace; defaults to the event
+            id.
+        when: optional guard — the rule applies only when it returns True.
+    """
+
+    kind: str
+    record_class: RecordClass
+    entity_type: str
+    fields: Mapping[str, str] = field(default_factory=dict)
+    key: str = ""
+    when: Optional[Callable[[ApplicationEvent], bool]] = None
+
+    def applies_to(self, event: ApplicationEvent) -> bool:
+        if event.kind != self.kind:
+            return False
+        if self.when is not None and not self.when(event):
+            return False
+        return True
+
+    def record_id_for(self, event: ApplicationEvent) -> str:
+        """Deterministic record id: trace-scoped artifact key or event id."""
+        if self.key:
+            key_value = event.get(self.key)
+            if key_value:
+                return f"{event.app_id or 'noapp'}:{self.entity_type}:{key_value}"
+        return f"evt:{event.event_id}"
+
+    def build_record(
+        self, event: ApplicationEvent, model: Optional[ProvenanceDataModel]
+    ) -> ProvenanceRecord:
+        """Produce the typed record for *event*."""
+        raw: Dict[str, str] = {}
+        for attribute, payload_field in self.fields.items():
+            if payload_field in event.payload:
+                raw[attribute] = event.payload[payload_field]
+        if model is not None:
+            attributes = model.coerce_attributes(self.entity_type, raw)
+        else:
+            attributes = dict(raw)
+        return record_from_parts(
+            record_class=self.record_class,
+            record_id=self.record_id_for(event),
+            app_id=event.app_id or "unattributed",
+            entity_type=self.entity_type,
+            timestamp=event.timestamp,
+            attributes=attributes,
+        )
+
+
+class EventMapping:
+    """The ordered set of mapping rules for one business scope."""
+
+    def __init__(self, model: Optional[ProvenanceDataModel] = None) -> None:
+        self.model = model
+        self._rules: List[MappingRule] = []
+
+    def add(self, rule: MappingRule) -> "EventMapping":
+        self._rules.append(rule)
+        return self
+
+    def rule(
+        self,
+        kind: str,
+        record_class: RecordClass,
+        entity_type: str,
+        fields: Optional[Mapping[str, str]] = None,
+        key: str = "",
+        when: Optional[Callable[[ApplicationEvent], bool]] = None,
+    ) -> "EventMapping":
+        """Declare a rule inline; returns self for chaining."""
+        return self.add(
+            MappingRule(
+                kind=kind,
+                record_class=record_class,
+                entity_type=entity_type,
+                fields=fields or {},
+                key=key,
+                when=when,
+            )
+        )
+
+    def kinds(self) -> List[str]:
+        """All event kinds some rule claims (drives relevance filtering)."""
+        seen: List[str] = []
+        for rule in self._rules:
+            if rule.kind not in seen:
+                seen.append(rule.kind)
+        return seen
+
+    def match(self, event: ApplicationEvent) -> Optional[MappingRule]:
+        """First rule that applies to *event*, or None."""
+        for rule in self._rules:
+            if rule.applies_to(event):
+                return rule
+        return None
+
+    def map(self, event: ApplicationEvent) -> ProvenanceRecord:
+        """Map *event*; raises :class:`MappingError` when no rule claims it."""
+        rule = self.match(event)
+        if rule is None:
+            raise MappingError(
+                f"no mapping rule for event kind {event.kind!r}"
+            )
+        return rule.build_record(event, self.model)

@@ -1,0 +1,121 @@
+"""The recorder client.
+
+Pipeline per §II.A: application event → relevance filter → sensitive-data
+scrubbing → typing per the data model → append to the provenance store.
+
+The recorder is also where *idempotent capture* happens: the same business
+artifact observed twice (a document saved, then re-opened by an auditor)
+maps to the same record id, and the recorder skips the duplicate rather
+than failing — recording clients on different systems routinely overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.capture.events import ApplicationEvent, EventEnvelope
+from repro.capture.filters import RelevanceFilter, SensitiveDataScrubber
+from repro.capture.mapping import EventMapping
+from repro.store.store import ProvenanceStore
+
+
+@dataclass
+class RecorderStats:
+    """Capture statistics exposed for monitoring the recorder itself."""
+
+    seen: int = 0
+    recorded: int = 0
+    dropped_irrelevant: int = 0
+    dropped_unmapped: int = 0
+    duplicates: int = 0
+    scrubbed_fields: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "seen": self.seen,
+            "recorded": self.recorded,
+            "dropped_irrelevant": self.dropped_irrelevant,
+            "dropped_unmapped": self.dropped_unmapped,
+            "duplicates": self.duplicates,
+            "scrubbed_fields": self.scrubbed_fields,
+        }
+
+
+class RecorderClient:
+    """Transforms application events into provenance records in a store.
+
+    Args:
+        store: the provenance store appended to.
+        mapping: the event mapping (typing rules) of the business scope.
+        relevance: optional relevance filter; defaults to "kinds some
+            mapping rule claims" — anything unmappable is irrelevant.
+        scrubber: optional sensitive-data scrubber.
+        strict: when True, an event passing relevance but matching no
+            mapping rule raises instead of being dropped (useful in tests).
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        mapping: EventMapping,
+        relevance: Optional[RelevanceFilter] = None,
+        scrubber: Optional[SensitiveDataScrubber] = None,
+        strict: bool = False,
+    ) -> None:
+        self.store = store
+        self.mapping = mapping
+        self.relevance = relevance or RelevanceFilter(mapping.kinds())
+        self.scrubber = scrubber
+        self.strict = strict
+        self.stats = RecorderStats()
+
+    def process(self, event: ApplicationEvent) -> EventEnvelope:
+        """Process one event; returns its disposition envelope."""
+        self.stats.seen += 1
+
+        admitted, reason = self.relevance.admit(event)
+        if not admitted:
+            self.stats.dropped_irrelevant += 1
+            return EventEnvelope(event, recorded=False, dropped_reason=reason)
+
+        scrubbed_count = 0
+        if self.scrubber is not None:
+            event, scrubbed_count = self.scrubber.scrub(event)
+            self.stats.scrubbed_fields += scrubbed_count
+
+        rule = self.mapping.match(event)
+        if rule is None:
+            if self.strict:
+                from repro.errors import MappingError
+
+                raise MappingError(
+                    f"no mapping rule for event kind {event.kind!r}"
+                )
+            self.stats.dropped_unmapped += 1
+            return EventEnvelope(
+                event,
+                recorded=False,
+                dropped_reason=f"no mapping rule for {event.kind!r}",
+                scrubbed_fields=scrubbed_count,
+            )
+
+        record = rule.build_record(event, self.mapping.model)
+        if record.record_id in self.store:
+            self.stats.duplicates += 1
+            return EventEnvelope(
+                event,
+                recorded=False,
+                dropped_reason="duplicate artifact",
+                scrubbed_fields=scrubbed_count,
+            )
+
+        self.store.append(record)
+        self.stats.recorded += 1
+        return EventEnvelope(event, recorded=True, scrubbed_fields=scrubbed_count)
+
+    def process_all(
+        self, events: Iterable[ApplicationEvent]
+    ) -> List[EventEnvelope]:
+        """Process many events, in order; returns all envelopes."""
+        return [self.process(event) for event in events]

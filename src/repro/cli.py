@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Three subcommands wrap the common flows so the system is drivable without
+writing Python::
+
+    python -m repro simulate hiring --cases 50 --violation-rate 0.2
+    python -m repro check hiring --cases 50 --violation-rate 0.2 \
+        --visibility 0.8
+    python -m repro vocabulary hiring
+
+- ``simulate`` runs a workload and prints capture statistics plus the
+  Table-I rows of the first trace,
+- ``check`` runs the workload, evaluates its controls, and prints the
+  compliance dashboard (optionally under a visibility projection),
+- ``vocabulary`` prints the rule editor's drop-down menus for a workload's
+  generated business vocabulary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.controls.dashboard import ComplianceDashboard
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.processes import expenses, hiring, incidents, procurement
+from repro.processes.violations import ViolationPlan
+from repro.processes.visibility import VisibilityPolicy
+from repro.reporting.tables import render_provenance_table
+
+WORKLOADS = {
+    "hiring": hiring,
+    "procurement": procurement,
+    "expenses": expenses,
+    "incidents": incidents,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Internal control points for partially managed processes "
+            "(Doganata, ICDE 2011 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "workload", choices=sorted(WORKLOADS),
+            help="which simulated business scenario to run",
+        )
+        p.add_argument("--cases", type=int, default=50,
+                       help="number of process cases to simulate")
+        p.add_argument("--seed", type=int, default=7,
+                       help="simulation seed (runs are deterministic)")
+        p.add_argument(
+            "--violation-rate", type=float, default=0.0,
+            help="injection probability per violation kind (0..1)",
+        )
+        p.add_argument(
+            "--visibility", type=float, default=None,
+            help="uniform capture rate (0..1); omit for full visibility",
+        )
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a workload and show what was captured"
+    )
+    add_workload_args(simulate)
+
+    check = sub.add_parser(
+        "check", help="simulate, evaluate controls, print the dashboard"
+    )
+    add_workload_args(check)
+    check.add_argument(
+        "--exceptions-only", action="store_true",
+        help="print only the violation report",
+    )
+
+    report = sub.add_parser(
+        "report", help="simulate, evaluate, and print a full audit report"
+    )
+    add_workload_args(report)
+
+    vocabulary = sub.add_parser(
+        "vocabulary", help="print the generated business vocabulary"
+    )
+    vocabulary.add_argument("workload", choices=sorted(WORKLOADS))
+    return parser
+
+
+def _simulate(args):
+    module = WORKLOADS[args.workload]
+    workload = module.workload()
+    plan = (
+        ViolationPlan.uniform(list(module.VIOLATION_KINDS),
+                              args.violation_rate)
+        if args.violation_rate > 0
+        else ViolationPlan.none()
+    )
+    visibility = (
+        VisibilityPolicy.uniform(args.visibility)
+        if args.visibility is not None
+        else None
+    )
+    sim = workload.simulate(
+        cases=args.cases, seed=args.seed,
+        violations=plan, visibility=visibility,
+    )
+    return module, workload, sim
+
+
+def cmd_simulate(args, out) -> int:
+    __, __, sim = _simulate(args)
+    print(
+        f"workload {sim.workload_name!r}: {len(sim.runs)} cases, "
+        f"{sim.visible_events} events captured, "
+        f"{sim.dropped_events} dropped, {len(sim.store)} provenance rows",
+        file=out,
+    )
+    if sim.store.app_ids():
+        trace_id = sim.store.app_ids()[0]
+        rows = [r for r in sim.store.rows() if r.app_id == trace_id]
+        print(file=out)
+        print(
+            render_provenance_table(
+                rows, title=f"Provenance rows of trace {trace_id}"
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_check(args, out) -> int:
+    module, workload, sim = _simulate(args)
+    evaluator = ComplianceEvaluator(
+        sim.store, sim.xom, sim.vocabulary,
+        observable_types=sim.observable_types,
+    )
+    results = evaluator.run(sim.controls)
+    dashboard = ComplianceDashboard()
+    for control in sim.controls:
+        dashboard.register_control(control)
+    dashboard.record_all(results)
+    if args.exceptions_only:
+        exceptions = dashboard.exceptions()
+        if not exceptions:
+            print("no violations", file=out)
+        for result in exceptions:
+            print(result.describe(), file=out)
+    else:
+        print(dashboard.render(), file=out)
+    return 1 if dashboard.exceptions() else 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.reporting.audit import AuditReportBuilder
+
+    __, __, sim = _simulate(args)
+    evaluator = ComplianceEvaluator(
+        sim.store, sim.xom, sim.vocabulary,
+        observable_types=sim.observable_types,
+    )
+    results = evaluator.run(sim.controls)
+    builder = AuditReportBuilder(sim.store, sim.controls)
+    print(builder.build(results), file=out)
+    return 0
+
+
+def cmd_vocabulary(args, out) -> int:
+    module = WORKLOADS[args.workload]
+    sim = module.workload().simulate(cases=0)
+    for concept, phrases in sim.vocabulary.dropdown_entries().items():
+        print(concept, file=out)
+        for phrase in phrases:
+            print(f"  - {phrase}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return cmd_simulate(args, out)
+    if args.command == "check":
+        return cmd_check(args, out)
+    if args.command == "report":
+        return cmd_report(args, out)
+    return cmd_vocabulary(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""The control authoring tool.
+
+"The internal control authoring tool (ILOG JRules) provides for editing
+capability in natural language.  The business vocabulary generated in BOM is
+provided by using drop down menus in the rule editing tool" (§III).  The
+:class:`ControlAuthoringTool` is that surface, headless: vocabulary menus,
+non-throwing validation (editors show problems, they don't crash), and the
+author → deploy lifecycle over a rule repository.
+
+This is the component that closes the paper's IT gap: nothing here touches
+the application code, the store schema, or the graph — only vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.brms.bal.compiler import BalCompiler
+from repro.brms.repository import RuleRepository
+from repro.brms.vocabulary import Vocabulary
+from repro.controls.control import ControlSeverity, InternalControl
+from repro.errors import BalCompileError, BalSyntaxError, ControlError
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found while validating rule text in the editor."""
+
+    kind: str  # "syntax" | "vocabulary"
+    message: str
+    line: int = 0
+    column: int = 0
+
+
+class ControlAuthoringTool:
+    """Headless rule-editor: menus, validation, authoring, deployment."""
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+        self.compiler = BalCompiler(vocabulary)
+        self.repository = RuleRepository(self.compiler)
+        self._controls: Dict[str, InternalControl] = {}
+
+    # -- editor support ---------------------------------------------------------
+
+    def vocabulary_menus(self) -> Dict[str, List[str]]:
+        """The drop-down menus: concept → rendered navigation phrases."""
+        return self.vocabulary.dropdown_entries()
+
+    def validate(self, text: str) -> List[ValidationIssue]:
+        """Validate rule text without authoring it; returns issues found."""
+        try:
+            self.compiler.compile("__validation__", text)
+        except BalSyntaxError as exc:
+            return [
+                ValidationIssue(
+                    kind="syntax",
+                    message=str(exc),
+                    line=exc.line,
+                    column=exc.column,
+                )
+            ]
+        except BalCompileError as exc:
+            return [ValidationIssue(kind="vocabulary", message=str(exc))]
+        return []
+
+    # -- authoring ------------------------------------------------------------------
+
+    def author(
+        self,
+        name: str,
+        text: str,
+        description: str = "",
+        severity: ControlSeverity = ControlSeverity.MEDIUM,
+        owner: str = "",
+        parameter_defaults: Optional[Dict[str, object]] = None,
+    ) -> InternalControl:
+        """Author (or re-author, creating a new version of) a control."""
+        artifact = self.repository.author(name, text)
+        control = InternalControl(
+            name=name,
+            compiled=artifact.compiled,
+            description=description,
+            severity=severity,
+            owner=owner,
+            parameter_defaults=dict(parameter_defaults or {}),
+        )
+        self._controls[name] = control
+        return control
+
+    def deploy(self, name: str) -> InternalControl:
+        """Deploy the latest authored version of *name*."""
+        if name not in self._controls:
+            raise ControlError(f"unknown control {name!r}")
+        self.repository.deploy(name)
+        return self._controls[name]
+
+    def retire(self, name: str) -> None:
+        self.repository.retire(name)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def control(self, name: str) -> InternalControl:
+        try:
+            return self._controls[name]
+        except KeyError:
+            raise ControlError(f"unknown control {name!r}") from None
+
+    def deployed_controls(self) -> List[InternalControl]:
+        """Controls whose repository rule is currently deployed."""
+        return [
+            self._controls[artifact.name]
+            for artifact in self.repository.all_deployed()
+            if artifact.name in self._controls
+        ]

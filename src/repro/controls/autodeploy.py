@@ -1,0 +1,121 @@
+"""Automatic deployment of per-instance control points.
+
+§IV lists "automatic deployment of control points to provenance graph" as
+future work.  The gap it names: the paper's worked control is parametrized
+by a requisition id (``<string ID>``) — someone still has to instantiate
+it per requisition.  The :class:`AutoSpecializer` closes that gap: given a
+parametrized control and a *binding rule* ("the parameter is the
+requisition ID of each Job Requisition"), it watches the store, and for
+every new instance of the subject concept it specializes and deploys one
+control bound to that instance's key.
+
+This composes with :class:`~repro.controls.deployment.ControlDeployment`,
+so each auto-deployed instance then re-checks continuously like any other
+deployed control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.bom import MemberKind
+from repro.controls.control import InternalControl
+from repro.controls.deployment import ControlDeployment
+from repro.errors import ControlError
+from repro.model.records import ProvenanceRecord
+from repro.store.store import ProvenanceStore
+
+
+@dataclass(frozen=True)
+class ParameterBinding:
+    """How a control parameter is filled from subject instances.
+
+    Attributes:
+        parameter: the control's ``<parameter>`` name.
+        concept: the business concept whose instances trigger deployment.
+        phrase: the vocabulary phrase naming the instance attribute whose
+            value fills the parameter (e.g. ``requisition ID``).
+    """
+
+    parameter: str
+    concept: str
+    phrase: str
+
+
+class AutoSpecializer:
+    """Deploys one specialized control per subject instance, automatically."""
+
+    def __init__(
+        self,
+        deployment: ControlDeployment,
+        vocabulary: Vocabulary,
+    ) -> None:
+        self.deployment = deployment
+        self.vocabulary = vocabulary
+        self.store: ProvenanceStore = deployment.store
+        self._rules: List[tuple] = []  # (control, binding, node_type, attr)
+        self._seen: Set[tuple] = set()  # (control name, key value)
+        self._attached = False
+
+    def register(
+        self, control: InternalControl, binding: ParameterBinding
+    ) -> None:
+        """Register a parametrized control for automatic specialization.
+
+        Validates that the binding actually fills the control's remaining
+        parameters and that the phrase resolves to an attribute of the
+        concept.
+        """
+        remaining = control.unbound_parameters()
+        if remaining != [binding.parameter]:
+            raise ControlError(
+                f"control {control.name!r} has unbound parameters "
+                f"{remaining}; the binding fills only "
+                f"{binding.parameter!r}"
+            )
+        member = self.vocabulary.member(binding.concept, binding.phrase)
+        if member.kind is not MemberKind.ATTRIBUTE:
+            raise ControlError(
+                f"binding phrase {binding.phrase!r} is not an attribute of "
+                f"{binding.concept!r}"
+            )
+        node_type = self.vocabulary.concept(binding.concept).node_type
+        self._rules.append((control, binding, node_type, member.attribute))
+        self._attach()
+        # Specialize for instances that already exist.
+        for record in self.store.records():
+            self._consider(record)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _attach(self) -> None:
+        if not self._attached:
+            self.store.subscribe(self._consider)
+            self._attached = True
+
+    def _consider(self, record: ProvenanceRecord) -> None:
+        for control, binding, node_type, attribute in self._rules:
+            if record.entity_type != node_type:
+                continue
+            key = record.get(attribute)
+            if key is None:
+                continue
+            seen_key = (control.name, key)
+            if seen_key in self._seen:
+                continue
+            self._seen.add(seen_key)
+            specialized = control.specialized(
+                str(key), **{binding.parameter: key}
+            )
+            self.deployment.deploy(specialized)
+
+    @property
+    def deployed_instances(self) -> int:
+        """How many specialized controls have been auto-deployed."""
+        return len(self._seen)
+
+    def instance_names(self) -> List[str]:
+        """Names of the auto-deployed specialized controls."""
+        return sorted(f"{name}[{key}]" for name, key in self._seen)

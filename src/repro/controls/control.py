@@ -1,0 +1,103 @@
+"""The internal-control-point artifact.
+
+An :class:`InternalControl` packages a compiled BAL rule with the governance
+metadata auditors need: description, severity, owner, and default parameter
+values.  Controls that take parameters (the paper's ``<string ID>``) can be
+*specialized* per deployment — e.g. one generic requisition control applied
+to every requisition id found in a trace — or left parameterless to act on
+"a Job Requisition" per trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.brms.bal.compiler import CompiledRule
+from repro.errors import ControlError
+
+
+class ControlSeverity(enum.Enum):
+    """How severe a violation of the control is for risk reporting."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class InternalControl:
+    """An authored internal control point.
+
+    Attributes:
+        name: unique control name.
+        compiled: the compiled BAL rule.
+        description: what business risk the control addresses.
+        severity: violation severity for the dashboard.
+        owner: the business person or role owning the control.
+        parameter_defaults: default values for the rule's parameters.
+    """
+
+    name: str
+    compiled: CompiledRule
+    description: str = ""
+    severity: ControlSeverity = ControlSeverity.MEDIUM
+    owner: str = ""
+    parameter_defaults: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ControlError("control needs a name")
+        unknown = set(self.parameter_defaults) - set(self.compiled.parameters)
+        if unknown:
+            raise ControlError(
+                f"control {self.name!r} defaults unknown parameters: "
+                f"{sorted(unknown)}"
+            )
+
+    @property
+    def source(self) -> str:
+        """The BAL text as authored."""
+        return self.compiled.source
+
+    def unbound_parameters(
+        self, parameters: Optional[Dict[str, object]] = None
+    ) -> list:
+        """Rule parameters still missing after defaults and *parameters*."""
+        bound = set(self.parameter_defaults)
+        if parameters:
+            bound |= set(parameters)
+        return [p for p in self.compiled.parameters if p not in bound]
+
+    def resolve_parameters(
+        self, parameters: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """Defaults overlaid with call-site *parameters*; raises when any
+        parameter remains unbound."""
+        missing = self.unbound_parameters(parameters)
+        if missing:
+            raise ControlError(
+                f"control {self.name!r} is missing parameters: {missing}"
+            )
+        resolved = dict(self.parameter_defaults)
+        if parameters:
+            resolved.update(parameters)
+        return resolved
+
+    def specialized(
+        self, suffix: str, **parameters: object
+    ) -> "InternalControl":
+        """A copy bound to specific parameter values (e.g. one requisition).
+
+        The copy's name is ``<name>[<suffix>]`` so per-instance results stay
+        distinguishable on the dashboard.
+        """
+        merged = dict(self.parameter_defaults)
+        merged.update(parameters)
+        return replace(
+            self,
+            name=f"{self.name}[{suffix}]",
+            parameter_defaults=merged,
+        )

@@ -1,0 +1,173 @@
+"""The compliance dashboard.
+
+"The compliance results of process execution traces against the deployed
+internal control points are then queried from the provenance store and
+results are displayed in a dashboard" (§III).  The
+:class:`ComplianceDashboard` consumes results — pushed live from a
+:class:`~repro.controls.deployment.ControlDeployment` or loaded in bulk —
+and renders the key performance indicators the paper's dashboard displays:
+per-control compliance rates, violation counts by severity, and an
+exception list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.controls.control import ControlSeverity, InternalControl
+from repro.controls.status import ComplianceResult, ComplianceStatus
+
+
+@dataclass
+class ControlKpi:
+    """Aggregated key performance indicators for one control."""
+
+    control_name: str
+    satisfied: int = 0
+    violated: int = 0
+    not_applicable: int = 0
+    undetermined: int = 0
+
+    @property
+    def checked(self) -> int:
+        return (
+            self.satisfied
+            + self.violated
+            + self.not_applicable
+            + self.undetermined
+        )
+
+    @property
+    def conclusive(self) -> int:
+        return self.satisfied + self.violated
+
+    @property
+    def compliance_rate(self) -> Optional[float]:
+        """Satisfied share of conclusive checks; None with no evidence."""
+        if not self.conclusive:
+            return None
+        return self.satisfied / self.conclusive
+
+    def add(self, status: ComplianceStatus) -> None:
+        if status is ComplianceStatus.SATISFIED:
+            self.satisfied += 1
+        elif status is ComplianceStatus.VIOLATED:
+            self.violated += 1
+        elif status is ComplianceStatus.NOT_APPLICABLE:
+            self.not_applicable += 1
+        else:
+            self.undetermined += 1
+
+
+class ComplianceDashboard:
+    """Aggregates compliance results into KPIs and renders them as text."""
+
+    def __init__(self) -> None:
+        self._kpis: Dict[str, ControlKpi] = {}
+        self._latest: Dict[Tuple[str, str], ComplianceResult] = {}
+        self._severities: Dict[str, ControlSeverity] = {}
+
+    # -- feeding -------------------------------------------------------------
+
+    def register_control(self, control: InternalControl) -> None:
+        """Optional: register severity metadata for richer reporting."""
+        self._severities[control.name] = control.severity
+
+    def record(self, result: ComplianceResult) -> None:
+        """Consume one result (usable directly as a deployment listener).
+
+        Re-checks of the same (control, trace) pair replace the previous
+        result — KPIs always reflect the latest state, not the history.
+        """
+        key = (result.control_name, result.trace_id)
+        previous = self._latest.get(key)
+        kpi = self._kpis.setdefault(
+            result.control_name, ControlKpi(result.control_name)
+        )
+        if previous is not None:
+            self._remove(kpi, previous.status)
+        kpi.add(result.status)
+        self._latest[key] = result
+
+    @staticmethod
+    def _remove(kpi: ControlKpi, status: ComplianceStatus) -> None:
+        if status is ComplianceStatus.SATISFIED:
+            kpi.satisfied -= 1
+        elif status is ComplianceStatus.VIOLATED:
+            kpi.violated -= 1
+        elif status is ComplianceStatus.NOT_APPLICABLE:
+            kpi.not_applicable -= 1
+        else:
+            kpi.undetermined -= 1
+
+    def record_all(self, results) -> None:
+        for result in results:
+            self.record(result)
+
+    # -- reading ------------------------------------------------------------------
+
+    def kpi(self, control_name: str) -> Optional[ControlKpi]:
+        return self._kpis.get(control_name)
+
+    def kpis(self) -> List[ControlKpi]:
+        return list(self._kpis.values())
+
+    def exceptions(self) -> List[ComplianceResult]:
+        """All current violations, highest severity first."""
+        order = {
+            ControlSeverity.CRITICAL: 0,
+            ControlSeverity.HIGH: 1,
+            ControlSeverity.MEDIUM: 2,
+            ControlSeverity.LOW: 3,
+        }
+        violations = [
+            result
+            for result in self._latest.values()
+            if result.status is ComplianceStatus.VIOLATED
+        ]
+        violations.sort(
+            key=lambda r: (
+                order.get(
+                    self._severities.get(r.control_name,
+                                         ControlSeverity.MEDIUM),
+                    2,
+                ),
+                r.control_name,
+                r.trace_id,
+            )
+        )
+        return violations
+
+    # -- rendering -------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The text dashboard: one KPI row per control plus exceptions."""
+        lines = ["COMPLIANCE DASHBOARD", "=" * 72]
+        header = (
+            f"{'control':<32}{'ok':>5}{'viol':>6}{'n/a':>6}"
+            f"{'und':>6}{'rate':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * 72)
+        for kpi in sorted(self._kpis.values(), key=lambda k: k.control_name):
+            rate = (
+                f"{kpi.compliance_rate:6.1%}"
+                if kpi.compliance_rate is not None
+                else "   n/a"
+            )
+            lines.append(
+                f"{kpi.control_name:<32}{kpi.satisfied:>5}"
+                f"{kpi.violated:>6}{kpi.not_applicable:>6}"
+                f"{kpi.undetermined:>6}{rate:>8}"
+            )
+        exceptions = self.exceptions()
+        if exceptions:
+            lines.append("-" * 72)
+            lines.append(f"EXCEPTIONS ({len(exceptions)})")
+            for result in exceptions:
+                severity = self._severities.get(
+                    result.control_name, ControlSeverity.MEDIUM
+                )
+                lines.append(f"  [{severity.value:>8}] {result.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Deployed controls: continuous compliance checking.
+
+The real-time style of §II.A ("a query can be deployed into the provenance
+store to emit results in real-time") applied to whole controls: a
+:class:`ControlDeployment` subscribes to the store, and whenever a record
+arrives whose entity type is *relevant* to a deployed control (one of the
+node types behind the control's concepts), that control is re-checked for
+the affected trace.  Results are written back as control-point subgraphs
+(:mod:`repro.controls.binding`) and streamed to listeners (dashboards).
+
+Re-checks are incremental: only (control, trace) pairs whose inputs changed
+re-evaluate, which is what makes the deployed style cheaper than re-running
+the evaluator over the whole store (experiment E5 measures exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel
+from repro.controls.binding import CONTROL_NODE_TYPE, ControlBinder
+from repro.controls.control import InternalControl
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.controls.status import ComplianceResult
+from repro.errors import DeploymentError
+from repro.model.records import ProvenanceRecord, RelationRecord
+from repro.store.store import ProvenanceStore
+
+ResultListener = Callable[[ComplianceResult], None]
+
+
+class ControlDeployment:
+    """Continuous checking of deployed controls over a live store."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        xom: ExecutableObjectModel,
+        vocabulary: Vocabulary,
+        bind_results: bool = True,
+        observable_types: Optional[Set[str]] = None,
+        immediate: bool = True,
+    ) -> None:
+        """Args:
+            immediate: when True (default), every relevant append re-checks
+                the affected controls at once — per-event freshness.  When
+                False, appends only mark (control, trace) pairs dirty and
+                :meth:`flush` evaluates each dirty pair once — micro-batched
+                freshness at a fraction of the evaluations (experiment E5).
+        """
+        self.store = store
+        self.vocabulary = vocabulary
+        self.evaluator = ComplianceEvaluator(
+            store, xom, vocabulary, observable_types
+        )
+        self.binder = ControlBinder(store) if bind_results else None
+        self.immediate = immediate
+        self._controls: Dict[str, InternalControl] = {}
+        self._relevant_types: Dict[str, Set[str]] = {}
+        self._listeners: List[ResultListener] = []
+        self._latest: Dict[Tuple[str, str], ComplianceResult] = {}
+        self._dirty: List[Tuple[str, str]] = []
+        self._dirty_set: Set[Tuple[str, str]] = set()
+        self._attached = False
+        self.rechecks = 0  # number of (control, trace) evaluations run
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def deploy(self, control: InternalControl) -> None:
+        """Deploy *control*; future appends trigger re-checks.
+
+        Existing traces are checked immediately (history replay), matching
+        continuous-query semantics.
+        """
+        if control.name in self._controls:
+            raise DeploymentError(f"control {control.name!r} already deployed")
+        if control.unbound_parameters():
+            raise DeploymentError(
+                f"control {control.name!r} cannot be deployed with unbound "
+                f"parameters {control.unbound_parameters()}; specialize it "
+                f"or give defaults"
+            )
+        self._controls[control.name] = control
+        self._relevant_types[control.name] = {
+            self.vocabulary.concept(concept).node_type
+            for concept in control.compiled.concepts
+        }
+        self._attach()
+        for trace_id in self.store.app_ids():
+            self._mark(control.name, trace_id)
+        if self.immediate:
+            self.flush()
+
+    def undeploy(self, name: str) -> None:
+        if name not in self._controls:
+            raise DeploymentError(f"control {name!r} is not deployed")
+        del self._controls[name]
+        del self._relevant_types[name]
+
+    def subscribe(self, listener: ResultListener) -> None:
+        """Receive every new compliance result as it is produced."""
+        self._listeners.append(listener)
+
+    # -- results ------------------------------------------------------------------
+
+    def latest(
+        self, control_name: str, trace_id: str
+    ) -> Optional[ComplianceResult]:
+        """Most recent result for a (control, trace) pair."""
+        return self._latest.get((control_name, trace_id))
+
+    def all_latest(self) -> List[ComplianceResult]:
+        """Most recent result of every (control, trace) pair."""
+        return list(self._latest.values())
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _attach(self) -> None:
+        if not self._attached:
+            self.store.subscribe(self._on_append)
+            self._attached = True
+
+    def _on_append(self, record: ProvenanceRecord) -> None:
+        # Control-point rows written by our own binder must not re-trigger
+        # checks, or every result would cause another evaluation.
+        if record.entity_type == CONTROL_NODE_TYPE:
+            return
+        if record.entity_type.startswith("checks"):
+            return
+        for name, control in list(self._controls.items()):
+            relevant = self._relevant_types[name]
+            if isinstance(record, RelationRecord):
+                # A new edge can complete a control's subgraph even though
+                # its endpoints arrived earlier.
+                endpoints_relevant = self._edge_touches(record, relevant)
+                if not endpoints_relevant:
+                    continue
+            elif record.entity_type not in relevant:
+                continue
+            self._mark(name, record.app_id)
+        if self.immediate:
+            self.flush()
+
+    def _edge_touches(
+        self, relation: RelationRecord, relevant: Set[str]
+    ) -> bool:
+        for node_id in (relation.source_id, relation.target_id):
+            if node_id in self.store:
+                if self.store.get(node_id).entity_type in relevant:
+                    return True
+        return False
+
+    def _mark(self, control_name: str, trace_id: str) -> None:
+        key = (control_name, trace_id)
+        if key not in self._dirty_set:
+            self._dirty_set.add(key)
+            self._dirty.append(key)
+
+    @property
+    def dirty_count(self) -> int:
+        """How many (control, trace) pairs await a flush."""
+        return len(self._dirty)
+
+    def flush(self) -> List[ComplianceResult]:
+        """Evaluate every dirty (control, trace) pair once.
+
+        Immediate mode calls this after every append; batched mode leaves
+        it to the caller (e.g. after a correlation run), which is what
+        makes it cheaper — a burst of records for one trace costs one
+        evaluation, not one per record.
+        """
+        pending, self._dirty = self._dirty, []
+        self._dirty_set.clear()
+        results = []
+        for control_name, trace_id in pending:
+            control = self._controls.get(control_name)
+            if control is None:  # undeployed while dirty
+                continue
+            results.append(self._recheck(control, trace_id))
+        return results
+
+    def _recheck(
+        self, control: InternalControl, trace_id: str
+    ) -> ComplianceResult:
+        self.rechecks += 1
+        result = self.evaluator.check_trace(control, trace_id)
+        self._latest[(control.name, trace_id)] = result
+        if self.binder is not None:
+            self.binder.bind(result)
+        for listener in list(self._listeners):
+            listener(result)
+        return result

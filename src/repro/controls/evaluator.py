@@ -1,0 +1,124 @@
+"""Evaluating internal controls across execution traces.
+
+The :class:`ComplianceEvaluator` is the on-demand (query-frontend) style of
+§II.A: given a store and a set of controls, it builds each trace's graph
+and runs every control against it, producing
+:class:`~repro.controls.status.ComplianceResult` rows.  The deployed
+(real-time) style lives in :mod:`repro.controls.deployment`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.brms.engine import RuleEngine
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel
+from repro.controls.control import InternalControl
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.graph.build import build_trace_graph
+from repro.graph.graph import ProvenanceGraph
+from repro.store.store import ProvenanceStore
+
+
+class ComplianceEvaluator:
+    """Runs controls over trace graphs built from a provenance store."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        xom: ExecutableObjectModel,
+        vocabulary: Vocabulary,
+        observable_types: Optional[Set[str]] = None,
+    ) -> None:
+        self.store = store
+        self.engine = RuleEngine(xom, vocabulary)
+        self.observable_types = observable_types
+
+    # -- single control -----------------------------------------------------
+
+    def check_trace(
+        self,
+        control: InternalControl,
+        trace_id: str,
+        parameters: Optional[Dict[str, object]] = None,
+        graph: Optional[ProvenanceGraph] = None,
+        as_of: Optional[int] = None,
+    ) -> ComplianceResult:
+        """Check one control against one trace.
+
+        Args:
+            as_of: evaluate against the trace *as it looked* at this
+                simulated time (records with later timestamps are invisible)
+                — the audit question "was this trace compliant on date X?".
+        """
+        if graph is None:
+            graph = build_trace_graph(self.store, trace_id, as_of=as_of)
+        outcome = self.engine.evaluate(
+            control.compiled,
+            graph,
+            parameters=control.resolve_parameters(parameters),
+            observable_types=self.observable_types,
+        )
+        result = ComplianceResult.from_outcome(outcome)
+        result.control_name = control.name
+        result.checked_at = max(
+            (record.timestamp for record in graph.nodes()), default=0
+        )
+        return result
+
+    def check_all_traces(
+        self,
+        control: InternalControl,
+        trace_ids: Optional[Iterable[str]] = None,
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> List[ComplianceResult]:
+        """Check one control against every trace in the store."""
+        ids = list(trace_ids) if trace_ids is not None else self.store.app_ids()
+        return [self.check_trace(control, trace_id, parameters)
+                for trace_id in ids]
+
+    # -- control sets ----------------------------------------------------------
+
+    def run(
+        self,
+        controls: Sequence[InternalControl],
+        trace_ids: Optional[Iterable[str]] = None,
+    ) -> List[ComplianceResult]:
+        """Check every control against every trace (graphs built once)."""
+        ids = list(trace_ids) if trace_ids is not None else self.store.app_ids()
+        results: List[ComplianceResult] = []
+        for trace_id in ids:
+            graph = build_trace_graph(self.store, trace_id)
+            for control in controls:
+                results.append(
+                    self.check_trace(control, trace_id, graph=graph)
+                )
+        return results
+
+    # -- reporting ------------------------------------------------------------------
+
+    @staticmethod
+    def violations(
+        results: Iterable[ComplianceResult],
+    ) -> List[ComplianceResult]:
+        """The exception report: only violated results."""
+        return [
+            result
+            for result in results
+            if result.status is ComplianceStatus.VIOLATED
+        ]
+
+    @staticmethod
+    def summary(
+        results: Iterable[ComplianceResult],
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-control counts by status."""
+        table: Dict[str, Dict[str, int]] = {}
+        for result in results:
+            row = table.setdefault(
+                result.control_name,
+                {status.value: 0 for status in ComplianceStatus},
+            )
+            row[result.status.value] += 1
+        return table

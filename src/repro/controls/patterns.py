@@ -1,0 +1,220 @@
+"""Structural verification: control points as subgraph patterns.
+
+§II.C offers a second, purely structural verification style: "A business
+control point is satisfied if certain vertices and edges exist in the
+provenance graph.  Hence, it is possible to claim that a business control
+point is a sub graph of the provenance graph. […] The compliance status of
+the internal control point is verified by checking if the edges specified
+in the definition of internal control point exist."
+
+:func:`pattern_from_rule` compiles the *structural skeleton* of a BAL rule
+— the anchor instance binding with its equality predicates, plus every
+``<relation phrase> of <anchor>`` navigation the conditions require to be
+non-null — into a :class:`~repro.graph.match.GraphPattern`.
+:class:`PatternVerifier` then checks traces by pure subgraph existence.
+
+The structural style is *weaker* than full rule evaluation (it cannot see
+value comparisons like "the approver email … is not the submitter email"),
+but it is exactly what the paper describes for edge-existence controls, it
+needs no rule engine at check time, and for controls whose conditions are
+all of the ``X is not null`` form it provably agrees with the engine —
+the tests assert that agreement on the paper's worked control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.brms.bal import ast
+from repro.brms.bal.compiler import CompiledRule
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.bom import MemberKind
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.errors import PatternError
+from repro.graph.build import build_trace_graph
+from repro.graph.match import (
+    EdgePattern,
+    GraphPattern,
+    NodePattern,
+    match_pattern,
+)
+from repro.store.query import AttributePredicate
+from repro.store.store import ProvenanceStore
+
+
+def _literal_value(node: ast.Node) -> Optional[object]:
+    if isinstance(node, ast.Literal):
+        return node.value
+    return None
+
+
+def _anchor_predicates(
+    where: Optional[ast.Node], vocabulary: Vocabulary, concept: str
+) -> Tuple[AttributePredicate, ...]:
+    """Equality predicates of the anchor's where-clause, where extractable.
+
+    Only ``the <attribute phrase> of this is <literal>`` conjuncts become
+    attribute predicates; anything else is ignored (the structural pattern
+    under-approximates, it never over-constrains on things it cannot see).
+    """
+    predicates: List[AttributePredicate] = []
+
+    def visit(node: Optional[ast.Node]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.And):
+            for condition in node.conditions:
+                visit(condition)
+            return
+        if not isinstance(node, ast.Comparison) or node.op != "eq":
+            return
+        left, right = node.left, node.right
+        if not isinstance(left, ast.Navigation):
+            left, right = right, left
+        if not isinstance(left, ast.Navigation):
+            return
+        if not isinstance(left.target, ast.ThisRef):
+            return
+        value = _literal_value(right)
+        if value is None:
+            return
+        member = vocabulary.find_member(concept, left.phrase)
+        if member is None or member.kind is not MemberKind.ATTRIBUTE:
+            return
+        predicates.append(
+            AttributePredicate(member.attribute, "==", value)
+        )
+
+    visit(where)
+    return tuple(predicates)
+
+
+def _required_relations(
+    rule: ast.Rule, anchor_var: str, vocabulary: Vocabulary, concept: str
+) -> List[Tuple[str, str]]:
+    """(phrase, relation_type) pairs the condition requires to exist.
+
+    Collected from ``the <relation phrase> of '<anchor>' is not null``
+    conditions (directly or inside ``all of`` blocks and conjunctions).
+    """
+    required: List[Tuple[str, str]] = []
+
+    def visit(node: ast.Node) -> None:
+        if isinstance(node, ast.And):
+            for condition in node.conditions:
+                visit(condition)
+            return
+        if isinstance(node, ast.Comparison) and node.op == "not_null":
+            navigation = node.left
+            if not isinstance(navigation, ast.Navigation):
+                return
+            target = navigation.target
+            if not (isinstance(target, ast.VarRef)
+                    and target.name == anchor_var):
+                return
+            member = vocabulary.find_member(concept, navigation.phrase)
+            if member is None or member.kind is not MemberKind.RELATION:
+                return
+            required.append((navigation.phrase, member.relation_type))
+
+    visit(rule.condition)
+    return required
+
+
+@dataclass(frozen=True)
+class StructuralControl:
+    """A control compiled to its subgraph pattern.
+
+    Attributes:
+        name: control name.
+        anchor_pattern: matches the control's subject node.
+        full_pattern: anchor + one node/edge per required relation.
+        required_relations: (phrase, relation type) pairs checked.
+    """
+
+    name: str
+    anchor_pattern: GraphPattern
+    full_pattern: GraphPattern
+    required_relations: Tuple[Tuple[str, str], ...]
+
+
+def pattern_from_rule(
+    compiled: CompiledRule, vocabulary: Vocabulary
+) -> StructuralControl:
+    """Compile a rule's structural skeleton to graph patterns.
+
+    Raises :class:`PatternError` when the rule has no instance-binding
+    anchor (a purely computational rule has no subgraph to check).
+    """
+    anchor_var = compiled.anchor_variable
+    if anchor_var is None:
+        raise PatternError(
+            f"rule {compiled.name!r} has no instance binding to anchor a "
+            f"subgraph pattern"
+        )
+    binder = None
+    for definition in compiled.rule.definitions:
+        if definition.var == anchor_var:
+            binder = definition.binder
+            break
+    assert isinstance(binder, ast.InstanceBinding)
+    bom_class = vocabulary.concept(binder.concept)
+    predicates = _anchor_predicates(
+        binder.where, vocabulary, binder.concept
+    )
+    anchor_node = NodePattern(
+        var="anchor",
+        entity_type=bom_class.node_type,
+        predicates=predicates,
+    )
+    anchor_pattern = GraphPattern(nodes=[anchor_node])
+
+    required = _required_relations(
+        compiled.rule, anchor_var, vocabulary, binder.concept
+    )
+    nodes = [anchor_node]
+    edges = []
+    for index, (phrase, relation_type) in enumerate(required):
+        var = f"evidence_{index}"
+        nodes.append(NodePattern(var=var))
+        # Verbalized relation members traverse in-edges: evidence -> anchor.
+        edges.append(EdgePattern(var, "anchor", relation_type))
+    full_pattern = GraphPattern(nodes=nodes, edges=edges)
+    full_pattern.validate()
+    return StructuralControl(
+        name=compiled.name,
+        anchor_pattern=anchor_pattern,
+        full_pattern=full_pattern,
+        required_relations=tuple(required),
+    )
+
+
+class PatternVerifier:
+    """Checks structural controls by subgraph existence (§II.C style)."""
+
+    def __init__(self, store: ProvenanceStore) -> None:
+        self.store = store
+
+    def check_trace(
+        self, control: StructuralControl, trace_id: str
+    ) -> ComplianceResult:
+        graph = build_trace_graph(self.store, trace_id)
+        anchors = match_pattern(graph, control.anchor_pattern)
+        if not anchors:
+            status = ComplianceStatus.NOT_APPLICABLE
+        elif match_pattern(graph, control.full_pattern):
+            status = ComplianceStatus.SATISFIED
+        else:
+            status = ComplianceStatus.VIOLATED
+        return ComplianceResult(
+            control_name=control.name, trace_id=trace_id, status=status
+        )
+
+    def check_all_traces(
+        self, control: StructuralControl
+    ) -> List[ComplianceResult]:
+        return [
+            self.check_trace(control, trace_id)
+            for trace_id in self.store.app_ids()
+        ]

@@ -1,0 +1,79 @@
+"""Compliance statuses and per-trace results.
+
+The controls layer wraps the rule engine's verdicts in audit terminology:
+a ``NOT_SATISFIED`` rule is a ``VIOLATED`` control.  ``NOT_APPLICABLE``
+(the control's subject artifact does not occur in the trace) and
+``UNDETERMINED`` (required artifact types are not observable under the
+current capture configuration) keep evidence gaps distinct from violations,
+which is what separates a useful exception report from a noisy one in a
+partially managed process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.brms.engine import RuleOutcome, RuleVerdict
+
+
+class ComplianceStatus(enum.Enum):
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    NOT_APPLICABLE = "not_applicable"
+    UNDETERMINED = "undetermined"
+
+    @classmethod
+    def from_verdict(cls, verdict: RuleVerdict) -> "ComplianceStatus":
+        return _VERDICT_MAP[verdict]
+
+    @property
+    def is_conclusive(self) -> bool:
+        """Whether the status is an actual verdict rather than a gap."""
+        return self in (ComplianceStatus.SATISFIED, ComplianceStatus.VIOLATED)
+
+
+_VERDICT_MAP = {
+    RuleVerdict.SATISFIED: ComplianceStatus.SATISFIED,
+    RuleVerdict.NOT_SATISFIED: ComplianceStatus.VIOLATED,
+    RuleVerdict.NOT_APPLICABLE: ComplianceStatus.NOT_APPLICABLE,
+    RuleVerdict.UNDETERMINED: ComplianceStatus.UNDETERMINED,
+}
+
+
+@dataclass
+class ComplianceResult:
+    """The outcome of checking one control against one trace."""
+
+    control_name: str
+    trace_id: str
+    status: ComplianceStatus
+    checked_at: int = 0
+    alerts: List[str] = field(default_factory=list)
+    bound_nodes: Dict[str, Optional[str]] = field(default_factory=dict)
+    touched_nodes: List[str] = field(default_factory=list)
+    control_node_id: Optional[str] = None  # set once bound into the store
+
+    @classmethod
+    def from_outcome(
+        cls, outcome: RuleOutcome, checked_at: int = 0
+    ) -> "ComplianceResult":
+        return cls(
+            control_name=outcome.rule_name,
+            trace_id=outcome.trace_id,
+            status=ComplianceStatus.from_verdict(outcome.verdict),
+            checked_at=checked_at,
+            alerts=list(outcome.alerts),
+            bound_nodes=dict(outcome.bindings),
+            touched_nodes=list(outcome.touched_nodes),
+        )
+
+    def describe(self) -> str:
+        """One line for exception reports and dashboards."""
+        text = (
+            f"[{self.status.value:>14}] {self.control_name} @ {self.trace_id}"
+        )
+        if self.alerts:
+            text += f"  ({'; '.join(self.alerts)})"
+        return text

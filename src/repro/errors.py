@@ -1,0 +1,119 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library failures without also swallowing programming errors.  The
+hierarchy mirrors the subsystem layout: model, store, capture, graph, BRMS
+(with a dedicated branch for BAL authoring problems), and controls.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A provenance data-model definition or validation problem."""
+
+
+class SchemaViolation(ModelError):
+    """A record does not conform to the declared provenance data model."""
+
+
+class UnknownRecordClass(ModelError):
+    """A record class name is not one of the five provenance classes."""
+
+
+class StoreError(ReproError):
+    """A provenance-store failure (codec, index, or query)."""
+
+
+class DuplicateRecordId(StoreError):
+    """Two records with the same id were appended to the same store."""
+
+
+class RecordNotFound(StoreError):
+    """A lookup by record id found nothing."""
+
+
+class CodecError(StoreError):
+    """XML (de)serialization of a provenance row failed."""
+
+
+class QueryError(StoreError):
+    """A store query is malformed or references unknown fields."""
+
+
+class CaptureError(ReproError):
+    """A recorder client or correlation analytic failed."""
+
+
+class MappingError(CaptureError):
+    """No mapping rule matched an application event that required one."""
+
+
+class GraphError(ReproError):
+    """A provenance-graph construction or traversal failure."""
+
+
+class PatternError(GraphError):
+    """A subgraph pattern is malformed."""
+
+
+class BrmsError(ReproError):
+    """A business-rule-management failure (XOM, BOM, vocabulary, engine)."""
+
+
+class XomError(BrmsError):
+    """Executable-object-model generation or instantiation failed."""
+
+
+class BomError(BrmsError):
+    """Business-object-model construction or BOM-to-XOM mapping failed."""
+
+
+class VocabularyError(BrmsError):
+    """A verbalization phrase is missing, duplicated, or malformed."""
+
+
+class BalError(BrmsError):
+    """Base class for Business Action Language problems."""
+
+
+class BalSyntaxError(BalError):
+    """The BAL text failed to lex or parse.
+
+    Carries the offending line/column so authoring tools can point at the
+    problem in the editor.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BalCompileError(BalError):
+    """The BAL parse tree referenced vocabulary that does not resolve."""
+
+
+class RuleEngineError(BrmsError):
+    """Rule execution failed at runtime."""
+
+
+class ControlError(ReproError):
+    """An internal-control definition, binding, or evaluation failure."""
+
+
+class BindingError(ControlError):
+    """A control point could not be linked to the provenance graph."""
+
+
+class DeploymentError(ControlError):
+    """A control point could not be deployed or is in the wrong state."""
+
+
+class ProcessError(ReproError):
+    """A process specification or simulation failure."""

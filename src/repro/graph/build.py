@@ -1,0 +1,85 @@
+"""Building provenance graphs from a store.
+
+Building is a projection: node records become nodes, relation records become
+edges.  Relations pointing at never-captured nodes (normal under partial
+visibility) are *skipped and counted*, never silently invented — the count
+feeds the visibility metrics of experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.graph.graph import ProvenanceGraph
+from repro.model.records import RelationRecord
+from repro.store.query import RecordQuery
+from repro.store.store import ProvenanceStore
+
+
+@dataclass
+class BuildReport:
+    """What happened while building a graph from a store."""
+
+    nodes: int = 0
+    edges: int = 0
+    dangling_relations: List[str] = field(default_factory=list)
+
+    @property
+    def dangling_count(self) -> int:
+        return len(self.dangling_relations)
+
+
+def build_graph(
+    store: ProvenanceStore,
+    app_id: Optional[str] = None,
+    name: Optional[str] = None,
+    report: Optional[BuildReport] = None,
+    as_of: Optional[int] = None,
+) -> ProvenanceGraph:
+    """Build a graph from *store*, optionally restricted to one trace.
+
+    Args:
+        store: the provenance store.
+        app_id: when given, only records of that trace are included.
+        name: graph name; defaults to the store model name or the trace id.
+        report: optional build report filled with node/edge/dangling counts.
+        as_of: when given, only records with ``timestamp <= as_of`` are
+            included — the graph *as the auditor would have seen it* at that
+            simulated time.  Relations to not-yet-captured nodes count as
+            dangling, exactly like under partial visibility.
+    """
+    if name is None:
+        name = app_id or (store.model.name if store.model else "provenance")
+    graph = ProvenanceGraph(name=name)
+
+    query = RecordQuery(app_id=app_id, until=as_of)
+    relations: List[RelationRecord] = []
+    for record in store.select(query):
+        if isinstance(record, RelationRecord):
+            relations.append(record)
+        else:
+            graph.add_node_record(record)
+
+    dangling: List[str] = []
+    for relation in relations:
+        if relation.source_id in graph and relation.target_id in graph:
+            graph.add_relation_record(relation)
+        else:
+            dangling.append(relation.record_id)
+
+    if report is not None:
+        report.nodes = graph.node_count
+        report.edges = graph.edge_count
+        report.dangling_relations = dangling
+    return graph
+
+
+def build_trace_graph(
+    store: ProvenanceStore,
+    app_id: str,
+    report: Optional[BuildReport] = None,
+    as_of: Optional[int] = None,
+) -> ProvenanceGraph:
+    """Build the graph of one execution trace (Figure 2 is one of these)."""
+    return build_graph(store, app_id=app_id, report=report, as_of=as_of)

@@ -1,0 +1,195 @@
+"""The provenance graph structure.
+
+A directed multigraph whose nodes are Data/Task/Resource/Custom records and
+whose edges are Relation records.  The graph is a *view* built from a store;
+it holds the records themselves so that queries against node attributes need
+no store round-trip.  Backed by :mod:`networkx` for the generic graph
+algorithms, wrapped so the rest of the library speaks provenance vocabulary
+(record classes, relation types) rather than raw networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.model.records import (
+    ProvenanceRecord,
+    RecordClass,
+    RelationRecord,
+)
+
+
+class ProvenanceGraph:
+    """Typed directed multigraph over provenance records."""
+
+    def __init__(self, name: str = "provenance") -> None:
+        self.name = name
+        self._graph = nx.MultiDiGraph(name=name)
+        self._records: Dict[str, ProvenanceRecord] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node_record(self, record: ProvenanceRecord) -> None:
+        """Add a node record (idempotent for identical records)."""
+        if isinstance(record, RelationRecord):
+            raise GraphError(
+                f"{record.record_id} is a relation; use add_relation_record"
+            )
+        existing = self._records.get(record.record_id)
+        if existing is not None and existing != record:
+            raise GraphError(
+                f"conflicting node record for id {record.record_id}"
+            )
+        self._records[record.record_id] = record
+        self._graph.add_node(record.record_id)
+
+    def add_relation_record(self, relation: RelationRecord) -> None:
+        """Add an edge; both endpoints must already be nodes.
+
+        Dangling relations are a fact of life in partially managed processes
+        (the node's event was never captured); callers decide whether to
+        skip or raise — the graph itself refuses silently-broken edges.
+        """
+        if relation.source_id not in self._records:
+            raise GraphError(
+                f"relation {relation.record_id}: unknown source "
+                f"{relation.source_id}"
+            )
+        if relation.target_id not in self._records:
+            raise GraphError(
+                f"relation {relation.record_id}: unknown target "
+                f"{relation.target_id}"
+            )
+        self._graph.add_edge(
+            relation.source_id,
+            relation.target_id,
+            key=relation.record_id,
+            relation=relation,
+        )
+
+    # -- nodes ---------------------------------------------------------------
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def node(self, record_id: str) -> ProvenanceRecord:
+        try:
+            return self._records[record_id]
+        except KeyError:
+            raise GraphError(f"no node {record_id!r} in graph") from None
+
+    def nodes(
+        self,
+        record_class: Optional[RecordClass] = None,
+        entity_type: Optional[str] = None,
+    ) -> List[ProvenanceRecord]:
+        """All node records, optionally filtered by class and/or type."""
+        result = []
+        for record in self._records.values():
+            if record_class is not None and record.record_class is not record_class:
+                continue
+            if entity_type is not None and record.entity_type != entity_type:
+                continue
+            result.append(record)
+        return result
+
+    @property
+    def node_count(self) -> int:
+        return len(self._records)
+
+    # -- edges ---------------------------------------------------------------
+
+    def edges(
+        self, relation_type: Optional[str] = None
+    ) -> List[RelationRecord]:
+        """All relation records, optionally of one type."""
+        result = []
+        for __, __, data in self._graph.edges(data=True):
+            relation = data["relation"]
+            if relation_type is None or relation.entity_type == relation_type:
+                result.append(relation)
+        return result
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def edges_from(
+        self, record_id: str, relation_type: Optional[str] = None
+    ) -> List[RelationRecord]:
+        """Outgoing relations of a node, optionally of one type."""
+        if record_id not in self._records:
+            return []
+        result = []
+        for __, __, data in self._graph.out_edges(record_id, data=True):
+            relation = data["relation"]
+            if relation_type is None or relation.entity_type == relation_type:
+                result.append(relation)
+        return result
+
+    def edges_to(
+        self, record_id: str, relation_type: Optional[str] = None
+    ) -> List[RelationRecord]:
+        """Incoming relations of a node, optionally of one type."""
+        if record_id not in self._records:
+            return []
+        result = []
+        for __, __, data in self._graph.in_edges(record_id, data=True):
+            relation = data["relation"]
+            if relation_type is None or relation.entity_type == relation_type:
+                result.append(relation)
+        return result
+
+    def has_edge(
+        self, source_id: str, target_id: str, relation_type: Optional[str] = None
+    ) -> bool:
+        """Whether an edge (optionally of a type) exists between two nodes.
+
+        This is the primitive compliance verification reduces to: "the
+        compliance status of the internal control point is verified by
+        checking if the edges specified in the definition […] exist" (§II.C).
+        """
+        if not self._graph.has_edge(source_id, target_id):
+            return False
+        if relation_type is None:
+            return True
+        edge_data = self._graph.get_edge_data(source_id, target_id)
+        return any(
+            data["relation"].entity_type == relation_type
+            for data in edge_data.values()
+        )
+
+    # -- interop -------------------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """The underlying networkx graph (shared, do not mutate)."""
+        return self._graph
+
+    def subgraph(self, record_ids: List[str]) -> "ProvenanceGraph":
+        """A new graph containing only the given nodes and edges among them."""
+        sub = ProvenanceGraph(name=f"{self.name}-sub")
+        wanted = set(record_ids)
+        for record_id in record_ids:
+            if record_id in self._records:
+                sub.add_node_record(self._records[record_id])
+        for relation in self.edges():
+            if relation.source_id in wanted and relation.target_id in wanted:
+                if relation.source_id in sub._records and (
+                    relation.target_id in sub._records
+                ):
+                    sub.add_relation_record(relation)
+        return sub
+
+    def census(self) -> Dict[str, int]:
+        """Node/edge counts by class and relation type (Figure 2 stats)."""
+        counts: Dict[str, int] = {}
+        for record in self._records.values():
+            key = f"node:{record.record_class.value}"
+            counts[key] = counts.get(key, 0) + 1
+        for relation in self.edges():
+            key = f"edge:{relation.entity_type}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,193 @@
+"""Subgraph pattern matching.
+
+"Hence, it is possible to claim that a business control point is a sub graph
+of the provenance graph" (§II.C).  Deployed control points compile to a
+:class:`GraphPattern`: node patterns constrained by class/type/attribute
+predicates and edge patterns between them.  Matching finds all assignments
+of graph nodes to pattern nodes such that every edge pattern is realized.
+
+The matcher is a straightforward backtracking search ordered by candidate
+count — control patterns are small (a handful of nodes), so worst-case
+complexity is irrelevant in practice; tests exercise correctness including
+multi-match and no-match cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PatternError
+from repro.graph.graph import ProvenanceGraph
+from repro.model.records import ProvenanceRecord, RecordClass
+from repro.store.query import AttributePredicate
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """A pattern node: a variable plus constraints on the record it binds.
+
+    Attributes:
+        var: the variable name (e.g. ``request`` for "the current job
+            request" definition of the paper's worked example).
+        record_class: required record class, or None.
+        entity_type: required entity type, or None.
+        predicates: attribute constraints, all of which must hold.
+        optional: when True, the pattern still matches if no node can bind
+            this variable — the binding is simply absent.  Evaluation uses
+            this to distinguish "artifact missing" from "hard mismatch".
+    """
+
+    var: str
+    record_class: Optional[RecordClass] = None
+    entity_type: Optional[str] = None
+    predicates: Tuple[AttributePredicate, ...] = field(default_factory=tuple)
+    optional: bool = False
+
+    def admits(self, record: ProvenanceRecord) -> bool:
+        if (
+            self.record_class is not None
+            and record.record_class is not self.record_class
+        ):
+            return False
+        if (
+            self.entity_type is not None
+            and record.entity_type != self.entity_type
+        ):
+            return False
+        return all(p.matches(record) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    """A required edge between two pattern variables.
+
+    The edge is required only when both endpoints actually bind (patterns
+    with optional endpoints degrade gracefully).
+    """
+
+    source_var: str
+    target_var: str
+    relation_type: Optional[str] = None
+
+
+@dataclass
+class GraphPattern:
+    """A small subgraph pattern: nodes + required edges."""
+
+    nodes: List[NodePattern] = field(default_factory=list)
+    edges: List[EdgePattern] = field(default_factory=list)
+
+    def node_pattern(self, var: str) -> NodePattern:
+        for pattern in self.nodes:
+            if pattern.var == var:
+                return pattern
+        raise PatternError(f"no node pattern for variable {var!r}")
+
+    def validate(self) -> None:
+        """Raise :class:`PatternError` on structural problems."""
+        names = [n.var for n in self.nodes]
+        if len(names) != len(set(names)):
+            raise PatternError("duplicate pattern variable")
+        known = set(names)
+        for edge in self.edges:
+            if edge.source_var not in known:
+                raise PatternError(
+                    f"edge references unknown variable {edge.source_var!r}"
+                )
+            if edge.target_var not in known:
+                raise PatternError(
+                    f"edge references unknown variable {edge.target_var!r}"
+                )
+
+
+Binding = Dict[str, str]  # var -> record_id
+
+
+def _candidates(
+    graph: ProvenanceGraph, pattern: NodePattern
+) -> List[ProvenanceRecord]:
+    return [
+        record
+        for record in graph.nodes(pattern.record_class, pattern.entity_type)
+        if pattern.admits(record)
+    ]
+
+
+def match_pattern(
+    graph: ProvenanceGraph, pattern: GraphPattern
+) -> List[Binding]:
+    """All complete bindings of *pattern* in *graph*.
+
+    A binding maps every non-optional variable to a distinct node id;
+    optional variables appear only when a consistent node exists.  Returns
+    an empty list when the pattern cannot be satisfied.
+    """
+    pattern.validate()
+
+    required = [n for n in pattern.nodes if not n.optional]
+    optional = [n for n in pattern.nodes if n.optional]
+
+    candidate_sets = {
+        node.var: _candidates(graph, node) for node in pattern.nodes
+    }
+    # Fail fast: a required variable with no candidates cannot match.
+    for node in required:
+        if not candidate_sets[node.var]:
+            return []
+
+    # Order required variables by selectivity (fewest candidates first).
+    order = sorted(required, key=lambda n: len(candidate_sets[n.var]))
+
+    edges_by_vars: Dict[Tuple[str, str], List[EdgePattern]] = {}
+    for edge in pattern.edges:
+        edges_by_vars.setdefault((edge.source_var, edge.target_var), []).append(
+            edge
+        )
+
+    def edges_ok(binding: Binding) -> bool:
+        for (source_var, target_var), edge_list in edges_by_vars.items():
+            if source_var not in binding or target_var not in binding:
+                continue
+            for edge in edge_list:
+                if not graph.has_edge(
+                    binding[source_var], binding[target_var], edge.relation_type
+                ):
+                    return False
+        return True
+
+    results: List[Binding] = []
+
+    def backtrack(index: int, binding: Binding) -> None:
+        if index == len(order):
+            extended = _extend_optional(graph, binding, optional,
+                                        candidate_sets, edges_ok)
+            results.append(extended)
+            return
+        node = order[index]
+        used = set(binding.values())
+        for record in candidate_sets[node.var]:
+            if record.record_id in used:
+                continue
+            binding[node.var] = record.record_id
+            if edges_ok(binding):
+                backtrack(index + 1, binding)
+            del binding[node.var]
+
+    backtrack(0, {})
+    return results
+
+
+def _extend_optional(graph, binding, optional, candidate_sets, edges_ok):
+    """Greedily bind optional variables consistent with the edges."""
+    extended = dict(binding)
+    for node in optional:
+        used = set(extended.values())
+        for record in candidate_sets[node.var]:
+            if record.record_id in used:
+                continue
+            extended[node.var] = record.record_id
+            if edges_ok(extended):
+                break
+            del extended[node.var]
+    return extended

@@ -1,0 +1,79 @@
+"""Typed traversal over the provenance graph.
+
+Navigation phrases in the business vocabulary compile down to these
+primitives: "the submitter of the job requisition" is *follow the
+``submitterOf`` relation into the requisition node, backwards*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set
+
+from repro.graph.graph import ProvenanceGraph
+from repro.model.records import ProvenanceRecord
+
+
+def follow(
+    graph: ProvenanceGraph,
+    record_id: str,
+    relation_type: str,
+    direction: str = "out",
+) -> List[ProvenanceRecord]:
+    """Nodes reached from *record_id* over one relation type.
+
+    Args:
+        direction: ``"out"`` follows source→target, ``"in"`` target→source.
+    """
+    if direction not in ("out", "in"):
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    if direction == "out":
+        relations = graph.edges_from(record_id, relation_type)
+        ids = [r.target_id for r in relations]
+    else:
+        relations = graph.edges_to(record_id, relation_type)
+        ids = [r.source_id for r in relations]
+    return [graph.node(i) for i in ids]
+
+
+def neighbors(graph: ProvenanceGraph, record_id: str) -> List[ProvenanceRecord]:
+    """All nodes adjacent to *record_id*, in either direction, deduplicated."""
+    seen: Set[str] = set()
+    result: List[ProvenanceRecord] = []
+    for relation in graph.edges_from(record_id):
+        if relation.target_id not in seen:
+            seen.add(relation.target_id)
+            result.append(graph.node(relation.target_id))
+    for relation in graph.edges_to(record_id):
+        if relation.source_id not in seen:
+            seen.add(relation.source_id)
+            result.append(graph.node(relation.source_id))
+    return result
+
+
+def reachable(
+    graph: ProvenanceGraph,
+    record_id: str,
+    relation_type: Optional[str] = None,
+    max_hops: Optional[int] = None,
+) -> Set[str]:
+    """Ids reachable from *record_id* following edges forward.
+
+    Args:
+        relation_type: restrict traversal to one relation type.
+        max_hops: limit the search depth.
+    """
+    if record_id not in graph:
+        return set()
+    visited: Set[str] = {record_id}
+    queue = deque([(record_id, 0)])
+    while queue:
+        current, depth = queue.popleft()
+        if max_hops is not None and depth >= max_hops:
+            continue
+        for relation in graph.edges_from(current, relation_type):
+            if relation.target_id not in visited:
+                visited.add(relation.target_id)
+                queue.append((relation.target_id, depth + 1))
+    visited.discard(record_id)
+    return visited

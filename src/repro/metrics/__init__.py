@@ -1,0 +1,38 @@
+"""Metrics for the derived experiments.
+
+- :mod:`repro.metrics.detection` — precision/recall/F1 of violation
+  detection against injected ground truth, plus verdict-agreement between
+  two control implementations (E4),
+- :mod:`repro.metrics.authoring` — artifact-size and change-impact metrics
+  for the authoring-cost comparison (E6),
+- :mod:`repro.metrics.timing` — a tiny deterministic-workload stopwatch
+  used by benchmarks that need phase breakdowns (E5/E7).
+"""
+
+from repro.metrics.detection import (
+    ConfusionCounts,
+    DetectionReport,
+    detection_report,
+    trace_level_detection,
+    verdict_agreement,
+)
+from repro.metrics.authoring import (
+    ArtifactCost,
+    bal_cost,
+    python_cost,
+    query_cost,
+)
+from repro.metrics.timing import Stopwatch
+
+__all__ = [
+    "ArtifactCost",
+    "ConfusionCounts",
+    "DetectionReport",
+    "Stopwatch",
+    "bal_cost",
+    "detection_report",
+    "python_cost",
+    "query_cost",
+    "trace_level_detection",
+    "verdict_agreement",
+]

@@ -1,0 +1,160 @@
+"""Detection-quality metrics against injected ground truth.
+
+The unit of evaluation is the (control, trace) pair.  Ground truth comes
+from the workload's oracle (what the injected flags say *should* hold at
+full visibility); the prediction is what the checker actually reported on
+the — possibly partially visible — store.
+
+Two granularities:
+
+- per-pair confusion over the VIOLATED class (`detection_report`): a pair
+  counts as positive when ground truth says VIOLATED; a prediction counts
+  as positive when the checker said VIOLATED.  NOT_APPLICABLE/UNDETERMINED
+  predictions are negatives (the checker raised no exception), which
+  penalizes evidence gaps as missed detections — exactly how an audit
+  would experience them.
+- per-trace binary (`trace_level_detection`): "does this trace contain any
+  violation" vs "did the checker flag any violation" — the only granularity
+  at which the control-free replay baseline can compete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.controls.status import ComplianceResult, ComplianceStatus
+
+# trace id -> control name -> expected status
+GroundTruthTable = Mapping[str, Mapping[str, ComplianceStatus]]
+
+
+@dataclass
+class ConfusionCounts:
+    """Binary confusion counts over the VIOLATED class."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positive + self.false_positive
+        return self.true_positive / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positive + self.false_negative
+        return self.true_positive / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        denominator = self.precision + self.recall
+        if denominator == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / denominator
+
+    def add(self, actual_positive: bool, predicted_positive: bool) -> None:
+        if actual_positive and predicted_positive:
+            self.true_positive += 1
+        elif actual_positive:
+            self.false_negative += 1
+        elif predicted_positive:
+            self.false_positive += 1
+        else:
+            self.true_negative += 1
+
+
+@dataclass
+class DetectionReport:
+    """Overall and per-control confusion counts."""
+
+    overall: ConfusionCounts
+    per_control: Dict[str, ConfusionCounts]
+
+    def row(self) -> Tuple[float, float, float]:
+        return (self.overall.precision, self.overall.recall, self.overall.f1)
+
+
+def detection_report(
+    results: Iterable[ComplianceResult],
+    truth: GroundTruthTable,
+) -> DetectionReport:
+    """Confusion over (control, trace) pairs present in *results*."""
+    overall = ConfusionCounts()
+    per_control: Dict[str, ConfusionCounts] = {}
+    for result in results:
+        expected = truth.get(result.trace_id, {}).get(result.control_name)
+        if expected is None:
+            continue
+        actual_positive = expected is ComplianceStatus.VIOLATED
+        predicted_positive = result.status is ComplianceStatus.VIOLATED
+        overall.add(actual_positive, predicted_positive)
+        per_control.setdefault(
+            result.control_name, ConfusionCounts()
+        ).add(actual_positive, predicted_positive)
+    return DetectionReport(overall=overall, per_control=per_control)
+
+
+def trace_level_detection(
+    results: Iterable[ComplianceResult],
+    truth: GroundTruthTable,
+    trace_ids: Optional[Sequence[str]] = None,
+) -> ConfusionCounts:
+    """Per-trace binary detection: any violation expected vs any flagged."""
+    flagged: Set[str] = set()
+    seen: Set[str] = set()
+    for result in results:
+        seen.add(result.trace_id)
+        if result.status is ComplianceStatus.VIOLATED:
+            flagged.add(result.trace_id)
+    ids = list(trace_ids) if trace_ids is not None else sorted(seen)
+    counts = ConfusionCounts()
+    for trace_id in ids:
+        expected_statuses = truth.get(trace_id, {})
+        actual_positive = any(
+            status is ComplianceStatus.VIOLATED
+            for status in expected_statuses.values()
+        )
+        counts.add(actual_positive, trace_id in flagged)
+    return counts
+
+
+def verdict_agreement(
+    results_a: Iterable[ComplianceResult],
+    results_b: Iterable[ComplianceResult],
+) -> Tuple[int, int, List[Tuple[str, str]]]:
+    """Compare two checkers pair by pair.
+
+    Returns ``(agreements, comparisons, disagreements)`` where each
+    disagreement is the (control, trace) key.  Used by E4 to assert that
+    vocabulary-authored controls and hardcoded IT controls give identical
+    verdicts on the same store.
+    """
+    table_a = {
+        (result.control_name, result.trace_id): result.status
+        for result in results_a
+    }
+    agreements = 0
+    comparisons = 0
+    disagreements: List[Tuple[str, str]] = []
+    for result in results_b:
+        key = (result.control_name, result.trace_id)
+        if key not in table_a:
+            continue
+        comparisons += 1
+        if table_a[key] is result.status:
+            agreements += 1
+        else:
+            disagreements.append(key)
+    return agreements, comparisons, disagreements

@@ -1,0 +1,56 @@
+"""Phase timing for benchmark breakdowns.
+
+pytest-benchmark measures whole bench bodies; the E5/E7 harnesses also want
+per-phase breakdowns (simulate / record / correlate / evaluate).  The
+:class:`Stopwatch` collects named spans with ``time.perf_counter`` and
+renders them; it is measurement-only and never feeds assertions, so test
+determinism is unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+
+class Stopwatch:
+    """Accumulates named timing spans."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a with-block under *name* (accumulates on reuse)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._spans:
+                self._spans[name] = 0.0
+                self._order.append(name)
+            self._spans[name] += elapsed
+
+    def seconds(self, name: str) -> float:
+        return self._spans.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._spans.values())
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(name, seconds, share-of-total) rows in first-use order."""
+        total = self.total or 1.0
+        return [
+            (name, self._spans[name], self._spans[name] / total)
+            for name in self._order
+        ]
+
+    def render(self) -> str:
+        lines = ["phase breakdown:"]
+        for name, seconds, share in self.rows():
+            lines.append(f"  {name:<24}{seconds:>9.4f}s  {share:>6.1%}")
+        return "\n".join(lines)

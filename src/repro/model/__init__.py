@@ -1,0 +1,57 @@
+"""Provenance data model.
+
+The paper's Section II.B fixes five record classes that are "proven
+sufficient to represent any business process":
+
+- :class:`~repro.model.records.DataRecord` — business artifacts (documents,
+  e-mails, database records, …),
+- :class:`~repro.model.records.TaskRecord` — process activities that utilize
+  or manipulate data,
+- :class:`~repro.model.records.ResourceRecord` — people, runtimes and other
+  actors,
+- :class:`~repro.model.records.CustomRecord` — domain-specific virtual
+  artifacts such as compliance goals, alerts and checkpoints,
+- :class:`~repro.model.records.RelationRecord` — the edges of the provenance
+  graph, produced mostly by correlation analytics.
+
+The :class:`~repro.model.schema.ProvenanceDataModel` declares which *types*
+of each class a given business scope produces (e.g. a ``jobrequisition`` data
+type with ``reqid``/``type``/``position`` attributes) and validates records
+against those declarations.  The same model later seeds XOM generation in
+:mod:`repro.brms.xom`.
+"""
+
+from repro.model.attributes import AttributeSpec, AttributeType
+from repro.model.records import (
+    CustomRecord,
+    DataRecord,
+    ProvenanceRecord,
+    RecordClass,
+    RelationRecord,
+    ResourceRecord,
+    TaskRecord,
+    record_from_parts,
+)
+from repro.model.schema import (
+    NodeTypeSpec,
+    ProvenanceDataModel,
+    RelationTypeSpec,
+)
+from repro.model.builder import ModelBuilder
+
+__all__ = [
+    "AttributeSpec",
+    "AttributeType",
+    "CustomRecord",
+    "DataRecord",
+    "ModelBuilder",
+    "NodeTypeSpec",
+    "ProvenanceDataModel",
+    "ProvenanceRecord",
+    "RecordClass",
+    "RelationRecord",
+    "RelationTypeSpec",
+    "ResourceRecord",
+    "TaskRecord",
+    "record_from_parts",
+]

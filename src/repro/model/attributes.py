@@ -1,0 +1,111 @@
+"""Attribute typing for provenance records.
+
+Table I of the paper stores every record attribute as an XML element, which
+makes all values strings on disk.  The data model, however, knows richer
+types (the ``type`` of a job requisition is effectively a new/existing flag;
+timestamps are numeric), and the XOM generated for rule authoring needs those
+types to verbalize comparisons correctly.  :class:`AttributeSpec` is the
+single place where an attribute's name, type, and requiredness are declared;
+it can coerce wire strings to typed values and back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import SchemaViolation
+
+AttributeValue = Union[str, int, float, bool]
+
+
+class AttributeType(enum.Enum):
+    """Wire-level value types an attribute may carry."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    TIMESTAMP = "timestamp"
+
+    def to_wire(self, value: AttributeValue) -> str:
+        """Render a typed value in its canonical XML text form."""
+        if self is AttributeType.BOOLEAN:
+            return "true" if value else "false"
+        return str(value)
+
+    def from_wire(self, text: str) -> AttributeValue:
+        """Parse canonical XML text back into a typed value.
+
+        Raises :class:`SchemaViolation` when the text does not parse as this
+        type, because a mistyped row in the store means the recorder client
+        and the data model disagree.
+        """
+        try:
+            if self is AttributeType.STRING:
+                return text
+            if self is AttributeType.INTEGER:
+                return int(text)
+            if self in (AttributeType.FLOAT,):
+                return float(text)
+            if self is AttributeType.TIMESTAMP:
+                return int(text)
+            if self is AttributeType.BOOLEAN:
+                lowered = text.strip().lower()
+                if lowered in ("true", "1", "yes"):
+                    return True
+                if lowered in ("false", "0", "no"):
+                    return False
+                raise ValueError(text)
+        except ValueError as exc:
+            raise SchemaViolation(
+                f"value {text!r} is not a valid {self.value}"
+            ) from exc
+        raise SchemaViolation(f"unhandled attribute type {self!r}")
+
+    def accepts(self, value: AttributeValue) -> bool:
+        """True when a Python value is type-compatible with this attribute."""
+        if self is AttributeType.STRING:
+            return isinstance(value, str)
+        if self in (AttributeType.INTEGER, AttributeType.TIMESTAMP):
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is AttributeType.BOOLEAN:
+            return isinstance(value, bool)
+        return False
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one attribute of a node type.
+
+    Attributes:
+        name: the attribute name as it appears in XML elements and, after
+            verbalization, in navigation phrases.
+        type: the wire-level type.
+        required: whether every record of the owning type must carry it.
+        verbalized: the business-vocabulary noun used when verbalizing the
+            attribute; defaults to the attribute name with underscores
+            expanded (``manager_gen`` → ``manager gen``).
+    """
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+    required: bool = False
+    verbalized: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaViolation(f"invalid attribute name {self.name!r}")
+        if not self.verbalized:
+            object.__setattr__(self, "verbalized", self.name.replace("_", " "))
+
+    def validate(self, value: AttributeValue) -> None:
+        """Raise :class:`SchemaViolation` unless *value* fits this spec."""
+        if not self.type.accepts(value):
+            raise SchemaViolation(
+                f"attribute {self.name!r} expects {self.type.value}, "
+                f"got {value!r}"
+            )

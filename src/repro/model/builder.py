@@ -1,0 +1,117 @@
+"""Fluent builder for provenance data models.
+
+Developing the provenance data model is an explicit step in the paper's
+method; the builder keeps that step readable in examples:
+
+    model = (
+        ModelBuilder("hiring")
+        .data("jobrequisition", "Job Requisition",
+              reqid=str, type=str, position=str)
+        .resource("person", "Person", name=str, email=str, manager=str)
+        .relation("submitterOf", RecordClass.RESOURCE, RecordClass.DATA,
+                  label="the submitter of")
+        .build()
+    )
+
+Python types map onto :class:`~repro.model.attributes.AttributeType`:
+``str`` → STRING, ``int`` → INTEGER, ``float`` → FLOAT, ``bool`` → BOOLEAN.
+Pass an :class:`AttributeSpec` directly for required attributes or
+timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ModelError
+from repro.model.attributes import AttributeSpec, AttributeType
+from repro.model.records import RecordClass
+from repro.model.schema import (
+    NodeTypeSpec,
+    ProvenanceDataModel,
+    RelationTypeSpec,
+)
+
+_PY_TYPE_MAP = {
+    str: AttributeType.STRING,
+    int: AttributeType.INTEGER,
+    float: AttributeType.FLOAT,
+    bool: AttributeType.BOOLEAN,
+}
+
+AttributeDecl = Union[type, AttributeType, AttributeSpec]
+
+
+def _to_spec(name: str, decl: AttributeDecl) -> AttributeSpec:
+    if isinstance(decl, AttributeSpec):
+        if decl.name != name:
+            raise ModelError(
+                f"attribute spec name {decl.name!r} does not match key {name!r}"
+            )
+        return decl
+    if isinstance(decl, AttributeType):
+        return AttributeSpec(name=name, type=decl)
+    if decl in _PY_TYPE_MAP:
+        return AttributeSpec(name=name, type=_PY_TYPE_MAP[decl])
+    raise ModelError(f"cannot interpret attribute declaration {decl!r}")
+
+
+class ModelBuilder:
+    """Accumulates node and relation type declarations, then builds."""
+
+    def __init__(self, name: str) -> None:
+        self._model = ProvenanceDataModel(name)
+
+    def _node(
+        self,
+        record_class: RecordClass,
+        name: str,
+        label: str,
+        /,
+        **attributes: AttributeDecl,
+    ) -> "ModelBuilder":
+        specs = tuple(_to_spec(key, decl) for key, decl in attributes.items())
+        self._model.add_node_type(
+            NodeTypeSpec(
+                name=name,
+                record_class=record_class,
+                label=label,
+                attributes=specs,
+            )
+        )
+        return self
+
+    def data(self, name: str, label: str = "", /, **attributes: AttributeDecl):
+        """Declare a Data node type."""
+        return self._node(RecordClass.DATA, name, label, **attributes)
+
+    def task(self, name: str, label: str = "", /, **attributes: AttributeDecl):
+        """Declare a Task node type."""
+        return self._node(RecordClass.TASK, name, label, **attributes)
+
+    def resource(self, name: str, label: str = "", /, **attributes: AttributeDecl):
+        """Declare a Resource node type."""
+        return self._node(RecordClass.RESOURCE, name, label, **attributes)
+
+    def custom(self, name: str, label: str = "", /, **attributes: AttributeDecl):
+        """Declare a Custom node type (checkpoints, alerts, goals)."""
+        return self._node(RecordClass.CUSTOM, name, label, **attributes)
+
+    def relation(
+        self,
+        name: str,
+        source: RecordClass,
+        target: RecordClass,
+        label: str = "",
+    ) -> "ModelBuilder":
+        """Declare a relation (edge) type between two node classes."""
+        self._model.add_relation_type(
+            RelationTypeSpec(
+                name=name, source_class=source, target_class=target, label=label
+            )
+        )
+        return self
+
+    def build(self) -> ProvenanceDataModel:
+        """Return the finished model."""
+        return self._model

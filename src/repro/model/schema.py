@@ -1,0 +1,286 @@
+"""The provenance data model (schema).
+
+"Central to this process is the development of the provenance data model,
+based on the IT implementation of the process and the context of the business
+operations" (§II).  The model declares, per business scope:
+
+- the *node types* expected at runtime (e.g. Data type ``jobrequisition``
+  with its attributes, Task type ``submission``, Resource type ``person``),
+- the *relation types* that correlation analytics may produce, together with
+  the node classes they connect (``submitterOf``: Resource → Data).
+
+The model validates captured records, drives XOM generation for the rule
+system (:mod:`repro.brms.xom`), and supplies the concept labels used by
+verbalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ModelError, SchemaViolation
+from repro.model.attributes import AttributeSpec, AttributeValue
+from repro.model.records import (
+    ProvenanceRecord,
+    RecordClass,
+    RelationRecord,
+)
+
+
+def _default_label(name: str) -> str:
+    """Derive a human concept label from a type name.
+
+    ``jobrequisition`` → ``Jobrequisition``; callers normally pass an
+    explicit label such as ``Job Requisition`` (the paper's concept.label).
+    """
+    return name[:1].upper() + name[1:]
+
+
+@dataclass(frozen=True)
+class NodeTypeSpec:
+    """Declaration of a node type within one of the four node classes.
+
+    Attributes:
+        name: the entity-type name recorder clients emit (``jobrequisition``).
+        record_class: which of Data/Task/Resource/Custom it belongs to.
+        label: the business concept label used by verbalization
+            (``Job Requisition``).
+        attributes: attribute declarations keyed by name.
+    """
+
+    name: str
+    record_class: RecordClass
+    label: str = ""
+    attributes: Tuple[AttributeSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.record_class is RecordClass.RELATION:
+            raise ModelError("node types cannot use the Relation class")
+        if not self.label:
+            object.__setattr__(self, "label", _default_label(self.name))
+        names = [spec.name for spec in self.attributes]
+        if len(names) != len(set(names)):
+            raise ModelError(f"duplicate attribute in node type {self.name!r}")
+
+    def attribute(self, name: str) -> Optional[AttributeSpec]:
+        """The spec for attribute *name*, or None when undeclared."""
+        for spec in self.attributes:
+            if spec.name == name:
+                return spec
+        return None
+
+    def required_attributes(self) -> List[AttributeSpec]:
+        return [spec for spec in self.attributes if spec.required]
+
+    def validate_record(self, record: ProvenanceRecord) -> None:
+        """Raise :class:`SchemaViolation` unless *record* conforms."""
+        if record.record_class is not self.record_class:
+            raise SchemaViolation(
+                f"record {record.record_id} has class "
+                f"{record.record_class.value}, type {self.name!r} expects "
+                f"{self.record_class.value}"
+            )
+        for spec in self.attributes:
+            value = record.get(spec.name)
+            if value is None:
+                if spec.required:
+                    raise SchemaViolation(
+                        f"record {record.record_id} of type {self.name!r} "
+                        f"is missing required attribute {spec.name!r}"
+                    )
+                continue
+            spec.validate(value)
+
+
+@dataclass(frozen=True)
+class RelationTypeSpec:
+    """Declaration of a relation (edge) type.
+
+    Attributes:
+        name: the relation name (``submitterOf``, ``approvalOf``, ``actor``…).
+        source_class: record class required of the edge source.
+        target_class: record class required of the edge target.
+        label: the phrase fragment verbalization uses
+            (``the submitter of``).
+    """
+
+    name: str
+    source_class: RecordClass
+    target_class: RecordClass
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if RecordClass.RELATION in (self.source_class, self.target_class):
+            raise ModelError("relations cannot connect other relations")
+        if not self.label:
+            object.__setattr__(self, "label", _default_label(self.name))
+
+
+class ProvenanceDataModel:
+    """The set of node and relation types for one business scope.
+
+    The model is the contract shared by recorder clients (which type events
+    according to it), the store (which validates on append when asked), the
+    graph builder, and the BRMS (which generates the XOM/BOM from it).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ModelError("data model needs a name")
+        self.name = name
+        self._node_types: Dict[str, NodeTypeSpec] = {}
+        self._relation_types: Dict[str, RelationTypeSpec] = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def add_node_type(self, spec: NodeTypeSpec) -> NodeTypeSpec:
+        """Register a node type; names are unique across all node classes."""
+        if spec.name in self._node_types:
+            raise ModelError(f"node type {spec.name!r} already declared")
+        self._node_types[spec.name] = spec
+        return spec
+
+    def add_relation_type(self, spec: RelationTypeSpec) -> RelationTypeSpec:
+        """Register a relation type; names are unique."""
+        if spec.name in self._relation_types:
+            raise ModelError(f"relation type {spec.name!r} already declared")
+        self._relation_types[spec.name] = spec
+        return spec
+
+    # -- lookup ------------------------------------------------------------
+
+    def node_type(self, name: str) -> NodeTypeSpec:
+        try:
+            return self._node_types[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown node type {name!r} in model {self.name!r}"
+            ) from None
+
+    def relation_type(self, name: str) -> RelationTypeSpec:
+        try:
+            return self._relation_types[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown relation type {name!r} in model {self.name!r}"
+            ) from None
+
+    def has_node_type(self, name: str) -> bool:
+        return name in self._node_types
+
+    def has_relation_type(self, name: str) -> bool:
+        return name in self._relation_types
+
+    def node_types(
+        self, record_class: Optional[RecordClass] = None
+    ) -> List[NodeTypeSpec]:
+        """All node types, optionally restricted to one record class."""
+        specs = list(self._node_types.values())
+        if record_class is not None:
+            specs = [s for s in specs if s.record_class is record_class]
+        return specs
+
+    def relation_types(self) -> List[RelationTypeSpec]:
+        return list(self._relation_types.values())
+
+    def node_type_by_label(self, label: str) -> Optional[NodeTypeSpec]:
+        """Find a node type by its business concept label (case-insensitive)."""
+        wanted = label.strip().lower()
+        for spec in self._node_types.values():
+            if spec.label.lower() == wanted:
+                return spec
+        return None
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, record: ProvenanceRecord) -> None:
+        """Raise :class:`SchemaViolation` unless *record* fits this model.
+
+        Custom records of undeclared types are allowed: the paper treats the
+        Custom class as "an extension point to capture domain specific,
+        mostly virtual artifacts" — control points are attached after model
+        development.
+        """
+        if isinstance(record, RelationRecord):
+            if not self.has_relation_type(record.entity_type):
+                raise SchemaViolation(
+                    f"relation {record.record_id} has undeclared type "
+                    f"{record.entity_type!r}"
+                )
+            return
+        if self.has_node_type(record.entity_type):
+            self.node_type(record.entity_type).validate_record(record)
+            return
+        if record.record_class is RecordClass.CUSTOM:
+            return
+        raise SchemaViolation(
+            f"record {record.record_id} has undeclared node type "
+            f"{record.entity_type!r}"
+        )
+
+    def validate_relation_endpoints(
+        self,
+        relation: RelationRecord,
+        source: ProvenanceRecord,
+        target: ProvenanceRecord,
+    ) -> None:
+        """Check that an edge connects the classes its type declares."""
+        spec = self.relation_type(relation.entity_type)
+        if source.record_class is not spec.source_class:
+            raise SchemaViolation(
+                f"relation {relation.entity_type!r} requires a "
+                f"{spec.source_class.value} source, got "
+                f"{source.record_class.value}"
+            )
+        if target.record_class is not spec.target_class:
+            raise SchemaViolation(
+                f"relation {relation.entity_type!r} requires a "
+                f"{spec.target_class.value} target, got "
+                f"{target.record_class.value}"
+            )
+
+    # -- convenience -------------------------------------------------------
+
+    def coerce_attributes(
+        self, entity_type: str, raw: Mapping[str, str]
+    ) -> Dict[str, AttributeValue]:
+        """Coerce wire strings to typed values per the node type's specs.
+
+        Attributes the model does not declare pass through as strings — the
+        store keeps them, and verbalization simply does not offer them.
+        """
+        typed: Dict[str, AttributeValue] = {}
+        spec = self._node_types.get(entity_type)
+        for name, text in raw.items():
+            attribute = spec.attribute(name) if spec else None
+            if attribute is None:
+                typed[name] = text
+            else:
+                typed[name] = attribute.type.from_wire(text)
+        return typed
+
+    def describe(self) -> str:
+        """A human-readable inventory used by examples and docs."""
+        lines = [f"Provenance data model {self.name!r}"]
+        for record_class in (
+            RecordClass.DATA,
+            RecordClass.TASK,
+            RecordClass.RESOURCE,
+            RecordClass.CUSTOM,
+        ):
+            specs = self.node_types(record_class)
+            if not specs:
+                continue
+            lines.append(f"  {record_class.value} types:")
+            for spec in specs:
+                attrs = ", ".join(a.name for a in spec.attributes) or "-"
+                lines.append(f"    {spec.name} ({spec.label}): {attrs}")
+        if self._relation_types:
+            lines.append("  Relation types:")
+            for rel in self._relation_types.values():
+                lines.append(
+                    f"    {rel.name}: {rel.source_class.value} -> "
+                    f"{rel.target_class.value}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Business-process simulation: the paper's missing substrate.
+
+The paper runs on IBM WebSphere Lombardi; we simulate instead.  A
+:class:`~repro.processes.spec.ProcessSpec` describes a process as activity
+and choice steps; the :class:`~repro.processes.engine.ProcessSimulator`
+executes cases through it, emitting the heterogeneous
+:class:`~repro.capture.events.ApplicationEvent` streams real IT systems
+would produce.  Determinism: everything derives from a seeded
+``random.Random`` plus the simulated clock, so workloads regenerate
+identically.
+
+What makes processes *partially managed* is modelled explicitly:
+
+- :mod:`repro.processes.visibility` — a projection dropping events by
+  source-system capture probability (management profiles from fully managed
+  to unmanaged),
+- :mod:`repro.processes.violations` — controlled injection of compliance
+  violations with per-case ground truth, the basis of experiment E4.
+
+Workloads (each bundles a data model, capture configuration, process spec,
+BAL controls, and ground truth):
+
+- :mod:`repro.processes.hiring` — the paper's Figure-1 "New Position Open"
+  process,
+- :mod:`repro.processes.procurement` — purchase-to-pay with approval,
+  three-way match and segregation-of-duties controls,
+- :mod:`repro.processes.expenses` — expense reimbursement with receipt and
+  audit controls.
+"""
+
+from repro.processes.spec import (
+    ActivityStep,
+    ChoiceStep,
+    EndStep,
+    ProcessSpec,
+)
+from repro.processes.engine import CaseRun, ProcessSimulator
+from repro.processes.visibility import (
+    ManagementProfile,
+    VisibilityPolicy,
+)
+from repro.processes.violations import ViolationPlan
+
+__all__ = [
+    "ActivityStep",
+    "CaseRun",
+    "ChoiceStep",
+    "EndStep",
+    "ManagementProfile",
+    "ProcessSimulator",
+    "ProcessSpec",
+    "ViolationPlan",
+    "VisibilityPolicy",
+]

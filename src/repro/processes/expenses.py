@@ -1,0 +1,379 @@
+"""Expense-reimbursement workload.
+
+A human-centric, lightly managed process (the kind the paper's introduction
+motivates): much of the evidence lives in e-mail and scanned receipts, so
+visibility losses bite hardest here.
+
+    submit expense report → manager approval → (> audit threshold?) audit
+    → reimburse
+
+Injected violation kinds:
+
+- ``skip_mgr_approval`` — reimbursement without manager approval,
+- ``skip_audit`` — a high-value report dodges the audit step,
+- ``missing_receipt`` — a report above the receipt threshold has none.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from repro.capture.correlation import CorrelationRule, attribute_join
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.mapping import EventMapping
+from repro.controls.control import ControlSeverity
+from repro.controls.status import ComplianceStatus
+from repro.model.attributes import AttributeSpec
+from repro.model.builder import ModelBuilder
+from repro.model.records import RecordClass
+from repro.model.schema import ProvenanceDataModel
+from repro.processes.spec import ActivityStep, ChoiceStep, EndStep, ProcessSpec
+from repro.processes.violations import ViolationPlan, has_violation
+from repro.processes.workload import ControlSpec, Workload
+from repro.store.query import RecordQuery
+
+VIOLATION_KINDS = ("skip_mgr_approval", "skip_audit", "missing_receipt")
+
+AUDIT_THRESHOLD = 1000
+RECEIPT_THRESHOLD = 25
+
+_EMPLOYEES = ("Finn Gray", "Gia Hale", "Hugo Iqbal", "Ida Jung", "Kai Lowe")
+_CATEGORIES = ("travel", "meals", "equipment", "training")
+
+
+def build_model() -> ProvenanceDataModel:
+    return (
+        ModelBuilder("expense-reimbursement")
+        .data(
+            "expensereport",
+            "Expense Report",
+            expid=AttributeSpec("expid", verbalized="report ID",
+                                required=True),
+            amount=int,
+            category=str,
+            receipt=AttributeSpec("receipt", verbalized="receipt status"),
+            employee_email=AttributeSpec(
+                "employee_email", verbalized="employee email"
+            ),
+        )
+        .data(
+            "expenseapproval",
+            "Expense Approval",
+            expid=AttributeSpec("expid", verbalized="report ID"),
+            approver_email=AttributeSpec(
+                "approver_email", verbalized="approver email"
+            ),
+        )
+        .data(
+            "auditrecord",
+            "Audit Record",
+            expid=AttributeSpec("expid", verbalized="report ID"),
+            auditor=str,
+        )
+        .data(
+            "reimbursement",
+            "Reimbursement",
+            expid=AttributeSpec("expid", verbalized="report ID"),
+            amount=int,
+        )
+        .resource("person", "Person", name=str, email=str, manager=str)
+        .relation("approvalFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the approval of")
+        .relation("auditFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the audit of")
+        .relation("reimbursementFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the reimbursement of")
+        .relation("claimantOf", RecordClass.RESOURCE, RecordClass.DATA,
+                  label="the claimant of")
+        .build()
+    )
+
+
+def case_factory(plan: ViolationPlan) -> Callable:
+    def factory(index: int, rng: random.Random) -> dict:
+        employee = rng.choice(_EMPLOYEES)
+        slug = employee.lower().replace(" ", ".")
+        case = {
+            "expid": f"EXP{index:04d}",
+            "amount": rng.randint(10, 3000),
+            "category": rng.choice(_CATEGORIES),
+            "employee": employee,
+            "employee_email": f"{slug}@acme.com",
+            "manager_email": f"manager.{slug}@acme.com",
+        }
+        plan.apply_to_case(case, rng)
+        return case
+
+    return factory
+
+
+def _event(make_id, source, kind, timestamp, app_id, **payload):
+    return ApplicationEvent(
+        event_id=make_id(), source=source, kind=kind, timestamp=timestamp,
+        app_id=app_id,
+        payload={key: str(value) for key, value in payload.items()},
+    )
+
+
+def _emit_submit(case, start, end, make_id) -> List[ApplicationEvent]:
+    needs_receipt = case["amount"] >= RECEIPT_THRESHOLD
+    has_receipt = needs_receipt and not has_violation(
+        case, "missing_receipt"
+    )
+    return [
+        _event(
+            make_id, EventSource.DIRECTORY, "directory.person.registered",
+            start, case["app_id"],
+            name=case["employee"], email=case["employee_email"],
+            manager=case["manager_email"],
+        ),
+        _event(
+            make_id, EventSource.MANUAL, "manual.expense.submitted",
+            end, case["app_id"],
+            expid=case["expid"], amount=case["amount"],
+            category=case["category"],
+            receipt="attached" if has_receipt else "none",
+            employee_email=case["employee_email"],
+        ),
+    ]
+
+
+def _emit_approval(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.EMAIL, "email.expense.approved",
+            end, case["app_id"],
+            expid=case["expid"], approver_email=case["manager_email"],
+        )
+    ]
+
+
+def _emit_audit(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.MANUAL, "manual.audit.performed",
+            end, case["app_id"],
+            expid=case["expid"], auditor="internal-audit",
+        )
+    ]
+
+
+def _emit_reimburse(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.DATABASE, "database.reimbursement.paid",
+            end, case["app_id"],
+            expid=case["expid"], amount=case["amount"],
+        )
+    ]
+
+
+def build_spec() -> ProcessSpec:
+    def route_approval(case: dict) -> str:
+        return (
+            "skip" if has_violation(case, "skip_mgr_approval") else "approve"
+        )
+
+    def route_audit(case: dict) -> str:
+        if case["amount"] <= AUDIT_THRESHOLD:
+            return "not_needed"
+        if has_violation(case, "skip_audit"):
+            return "skipped"
+        return "audit"
+
+    spec = ProcessSpec("expense-reimbursement", start="submit_expense")
+    spec.add(ActivityStep(
+        name="submit_expense", performer_role="employee",
+        emitter=_emit_submit, duration=(300, 7200),
+        next_step="approval_gateway",
+    ))
+    spec.add(ChoiceStep(
+        name="approval_gateway", decider=route_approval,
+        branches={"approve": "approve_expense", "skip": "audit_gateway"},
+    ))
+    spec.add(ActivityStep(
+        name="approve_expense", performer_role="manager",
+        emitter=_emit_approval, duration=(3600, 172800),
+        next_step="audit_gateway",
+    ))
+    spec.add(ChoiceStep(
+        name="audit_gateway", decider=route_audit,
+        branches={
+            "audit": "audit_expense",
+            "not_needed": "reimburse",
+            "skipped": "reimburse",
+        },
+    ))
+    spec.add(ActivityStep(
+        name="audit_expense", performer_role="auditor",
+        emitter=_emit_audit, duration=(3600, 259200),
+        next_step="reimburse",
+    ))
+    spec.add(ActivityStep(
+        name="reimburse", performer_role="finance",
+        emitter=_emit_reimburse, duration=(3600, 86400),
+        next_step="end",
+    ))
+    spec.add(EndStep())
+    return spec
+
+
+def build_mapping(model: ProvenanceDataModel) -> EventMapping:
+    mapping = EventMapping(model)
+    mapping.rule(
+        kind="directory.person.registered",
+        record_class=RecordClass.RESOURCE, entity_type="person",
+        fields={"name": "name", "email": "email", "manager": "manager"},
+        key="email",
+    )
+    mapping.rule(
+        kind="manual.expense.submitted",
+        record_class=RecordClass.DATA, entity_type="expensereport",
+        fields={
+            "expid": "expid", "amount": "amount", "category": "category",
+            "receipt": "receipt", "employee_email": "employee_email",
+        },
+        key="expid",
+    )
+    mapping.rule(
+        kind="email.expense.approved",
+        record_class=RecordClass.DATA, entity_type="expenseapproval",
+        fields={"expid": "expid", "approver_email": "approver_email"},
+        key="expid",
+    )
+    mapping.rule(
+        kind="manual.audit.performed",
+        record_class=RecordClass.DATA, entity_type="auditrecord",
+        fields={"expid": "expid", "auditor": "auditor"},
+        key="expid",
+    )
+    mapping.rule(
+        kind="database.reimbursement.paid",
+        record_class=RecordClass.DATA, entity_type="reimbursement",
+        fields={"expid": "expid", "amount": "amount"},
+        key="expid",
+    )
+    return mapping
+
+
+def correlation_rules() -> List[CorrelationRule]:
+    report = RecordQuery(entity_type="expensereport")
+    return [
+        attribute_join("approval-by-expid", "approvalFor",
+                       RecordQuery(entity_type="expenseapproval"), report,
+                       "expid", "expid"),
+        attribute_join("audit-by-expid", "auditFor",
+                       RecordQuery(entity_type="auditrecord"), report,
+                       "expid", "expid"),
+        attribute_join("reimbursement-by-expid", "reimbursementFor",
+                       RecordQuery(entity_type="reimbursement"), report,
+                       "expid", "expid"),
+        attribute_join("claimant-by-email", "claimantOf",
+                       RecordQuery(entity_type="person"), report,
+                       "email", "employee_email"),
+    ]
+
+
+MANAGER_APPROVAL_CONTROL = """
+definitions
+  set 'the report' to an Expense Report
+      where the reimbursement of this Expense Report is not null ;
+if
+  the approval of 'the report' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "expense reimbursed without manager approval"
+"""
+
+AUDIT_CONTROL = f"""
+definitions
+  set 'the report' to an Expense Report
+      where the amount of this Expense Report is more than
+      {AUDIT_THRESHOLD} ;
+if
+  the audit of 'the report' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "high-value expense skipped internal audit"
+"""
+
+RECEIPT_CONTROL = f"""
+definitions
+  set 'the report' to an Expense Report
+      where the amount of this Expense Report is at least
+      {RECEIPT_THRESHOLD} ;
+if
+  the receipt status of 'the report' is "attached"
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "expense above receipt threshold lacks a receipt"
+"""
+
+CONTROL_SPECS = (
+    ControlSpec(
+        name="manager-approval",
+        text=MANAGER_APPROVAL_CONTROL,
+        severity=ControlSeverity.HIGH,
+        description="Every reimbursement needs manager approval.",
+    ),
+    ControlSpec(
+        name="audit-high-value",
+        text=AUDIT_CONTROL,
+        severity=ControlSeverity.MEDIUM,
+        description="Reports above the audit threshold must be audited.",
+    ),
+    ControlSpec(
+        name="receipt-required",
+        text=RECEIPT_CONTROL,
+        severity=ControlSeverity.LOW,
+        description="Reports above the receipt threshold need receipts.",
+    ),
+)
+
+
+def ground_truth(case: dict, control_name: str) -> ComplianceStatus:
+    amount = case["amount"]
+    if control_name == "manager-approval":
+        return (
+            ComplianceStatus.VIOLATED
+            if has_violation(case, "skip_mgr_approval")
+            else ComplianceStatus.SATISFIED
+        )
+    if control_name == "audit-high-value":
+        if amount <= AUDIT_THRESHOLD:
+            return ComplianceStatus.NOT_APPLICABLE
+        return (
+            ComplianceStatus.VIOLATED
+            if has_violation(case, "skip_audit")
+            else ComplianceStatus.SATISFIED
+        )
+    if control_name == "receipt-required":
+        if amount < RECEIPT_THRESHOLD:
+            return ComplianceStatus.NOT_APPLICABLE
+        return (
+            ComplianceStatus.VIOLATED
+            if has_violation(case, "missing_receipt")
+            else ComplianceStatus.SATISFIED
+        )
+    raise ValueError(f"unknown control {control_name!r}")
+
+
+def workload() -> Workload:
+    return Workload(
+        name="expense-reimbursement",
+        build_model=build_model,
+        build_spec=build_spec,
+        case_factory=case_factory,
+        build_mapping=build_mapping,
+        correlation_rules=correlation_rules,
+        control_specs=CONTROL_SPECS,
+        ground_truth=ground_truth,
+        violation_kinds=VIOLATION_KINDS,
+    )

@@ -1,0 +1,621 @@
+"""The "New Position Open" process — the paper's Figure 1 workload.
+
+"The hiring manager submits a job requisition for a new position.  If this
+is for a new job position, the requisition is routed to the general manager
+for approval.  If this is for an existing position, the requisition is
+routed directly to human resources.  The general manager evaluates the
+submitted requisition and either approves it or rejects it. […] If
+approved, the requisition is routed to human resources [to find job
+candidates].  Otherwise, it is terminated and the hiring manager is
+notified" (§II.C, after the Lombardi user guide).
+
+Records produced (§II.C's inventory):
+
+- Data: Job Requisition, GM's approval (Approval Status), Candidate List,
+  plus Notification,
+- Task: submit job requisition, approve/reject requisition, find job
+  candidates, notify hiring manager,
+- Resource: hiring manager, general manager, human resources, system,
+- Relations: actor, generates, submitterOf, approvalOf, candidatesFor,
+  notificationFor.
+
+Injected violation kinds (experiment E4 ground truth):
+
+- ``skip_approval`` — a new-position case routes straight to candidate
+  search without GM approval,
+- ``self_approval`` — the hiring manager approves their own requisition
+  (segregation-of-duties breach),
+- ``no_candidates`` — hiring proceeds to notification without any recorded
+  candidate search.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from repro.capture.correlation import SequenceRule, attribute_join
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.mapping import EventMapping
+from repro.controls.control import ControlSeverity
+from repro.controls.status import ComplianceStatus
+from repro.model.attributes import AttributeSpec
+from repro.model.builder import ModelBuilder
+from repro.model.records import RecordClass
+from repro.model.schema import ProvenanceDataModel
+from repro.processes.spec import ActivityStep, ChoiceStep, EndStep, ProcessSpec
+from repro.processes.violations import ViolationPlan, has_violation
+from repro.processes.workload import ControlSpec, Workload
+from repro.store.query import RecordQuery
+
+VIOLATION_KINDS = ("skip_approval", "self_approval", "no_candidates")
+
+_FIRST_NAMES = ("Joe", "Jane", "Ada", "Max", "Ines", "Ravi", "Mei", "Omar")
+_LAST_NAMES = ("Doe", "Smith", "Khan", "Garcia", "Chen", "Okafor", "Weber")
+_DEPARTMENTS = ("Dept501", "Dept502", "Dept503", "Dept504")
+_POSITIONS = ("Sales", "Engineer", "Analyst", "Designer", "Accountant")
+
+
+# -- data model ----------------------------------------------------------------
+
+
+def build_model() -> ProvenanceDataModel:
+    """The provenance data model of §II.C, verbalization-ready."""
+    return (
+        ModelBuilder("new-position-open")
+        .data(
+            "jobrequisition",
+            "Job Requisition",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID",
+                                required=True),
+            type=AttributeSpec("type", verbalized="position type"),
+            position=AttributeSpec("position", verbalized="offered position"),
+            dept=str,
+            managergen=AttributeSpec("managergen",
+                                     verbalized="general manager"),
+            submitter_email=AttributeSpec(
+                "submitter_email", verbalized="submitter email"
+            ),
+        )
+        .data(
+            "approvalstatus",
+            "Approval Status",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID"),
+            status=str,
+            approver=str,
+            approver_email=AttributeSpec(
+                "approver_email", verbalized="approver email"
+            ),
+        )
+        .data(
+            "candidatelist",
+            "Candidate List",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID"),
+            count=int,
+        )
+        .data(
+            "notification",
+            "Notification",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID"),
+            recipient=str,
+        )
+        .resource(
+            "person",
+            "Person",
+            name=str,
+            email=str,
+            manager=str,
+            role=str,
+        )
+        .task("submission", "Submission",
+              start=int, end=int,
+              actor_email=AttributeSpec("actor_email",
+                                        verbalized="actor email"),
+              reqid=AttributeSpec("reqid", verbalized="requisition ID"))
+        .task("approvaltask", "Approval Task",
+              start=int, end=int,
+              actor_email=AttributeSpec("actor_email",
+                                        verbalized="actor email"),
+              reqid=AttributeSpec("reqid", verbalized="requisition ID"))
+        .task("candidatesearch", "Candidate Search",
+              start=int, end=int,
+              actor_email=AttributeSpec("actor_email",
+                                        verbalized="actor email"),
+              reqid=AttributeSpec("reqid", verbalized="requisition ID"))
+        .task("notifytask", "Notify Task",
+              start=int, end=int,
+              reqid=AttributeSpec("reqid", verbalized="requisition ID"))
+        .relation("submitterOf", RecordClass.RESOURCE, RecordClass.DATA,
+                  label="the submitter of")
+        .relation("approvalOf", RecordClass.DATA, RecordClass.DATA,
+                  label="the approval of")
+        .relation("candidatesFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the candidate list of")
+        .relation("notificationFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the notification of")
+        .relation("actor", RecordClass.RESOURCE, RecordClass.TASK,
+                  label="the actor of")
+        .relation("generates", RecordClass.TASK, RecordClass.DATA,
+                  label="the generator of")
+        # The remaining two relations of §II.C's inventory ("manager",
+        # "next task").  nextTask edges run predecessor -> successor, so
+        # the target-side verbalization reads "the previous task of".
+        .relation("managerOf", RecordClass.RESOURCE, RecordClass.RESOURCE,
+                  label="the manager of")
+        .relation("nextTask", RecordClass.TASK, RecordClass.TASK,
+                  label="the previous task of")
+        .build()
+    )
+
+
+# -- case factory ---------------------------------------------------------------
+
+
+def case_factory(plan: ViolationPlan, new_ratio: float = 0.6) -> Callable:
+    """Builds cases: people, requisition attributes, violation flags."""
+
+    def factory(index: int, rng: random.Random) -> dict:
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        manager_first = rng.choice(_FIRST_NAMES)
+        manager_last = rng.choice(_LAST_NAMES)
+        hiring_manager = f"{first} {last}"
+        general_manager = f"{manager_first} {manager_last}"
+        case = {
+            "reqid": f"Req{index:04d}",
+            "position_type": (
+                "new" if rng.random() < new_ratio else "existing"
+            ),
+            "position": rng.choice(_POSITIONS),
+            "dept": rng.choice(_DEPARTMENTS),
+            "hiring_manager": hiring_manager,
+            "hm_email": f"{first.lower()}.{last.lower()}{index}@acme.com",
+            "general_manager": general_manager,
+            "gm_email": (
+                f"{manager_first.lower()}.{manager_last.lower()}"
+                f"{index}@acme.com"
+            ),
+            "hr_email": "hr@acme.com",
+            "candidate_count": rng.randint(1, 9),
+        }
+        plan.apply_to_case(case, rng)
+        return case
+
+    return factory
+
+
+# -- emitters ----------------------------------------------------------------------
+
+
+def _event(
+    make_id: Callable[[], str],
+    source: EventSource,
+    kind: str,
+    timestamp: int,
+    app_id: str,
+    **payload: str,
+) -> ApplicationEvent:
+    return ApplicationEvent(
+        event_id=make_id(),
+        source=source,
+        kind=kind,
+        timestamp=timestamp,
+        app_id=app_id,
+        payload={key: str(value) for key, value in payload.items()},
+    )
+
+
+def _emit_submission(case, start, end, make_id) -> List[ApplicationEvent]:
+    app_id = case["app_id"]
+    return [
+        _event(
+            make_id, EventSource.DIRECTORY, "directory.person.registered",
+            start, app_id,
+            name=case["hiring_manager"], email=case["hm_email"],
+            manager=case["general_manager"], role="Hiring Manager",
+            salary_band="B2",  # sensitive; scrubbed by the recorder
+        ),
+        _event(
+            make_id, EventSource.DIRECTORY, "directory.person.registered",
+            start, app_id,
+            name=case["general_manager"], email=case["gm_email"],
+            manager="", role="General Manager",
+            salary_band="C1",
+        ),
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.submission.completed",
+            end, app_id,
+            reqid=case["reqid"], start=start, end=end,
+            actor_email=case["hm_email"],
+        ),
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.requisition.submitted",
+            end, app_id,
+            reqid=case["reqid"], type=case["position_type"],
+            position=case["position"], dept=case["dept"],
+            managergen=case["general_manager"],
+            submitter_email=case["hm_email"],
+        ),
+    ]
+
+
+def _emit_approval(case, start, end, make_id) -> List[ApplicationEvent]:
+    app_id = case["app_id"]
+    if has_violation(case, "self_approval"):
+        approver = case["hiring_manager"]
+        approver_email = case["hm_email"]
+    else:
+        approver = case["general_manager"]
+        approver_email = case["gm_email"]
+    return [
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.approvaltask.completed",
+            end, app_id,
+            reqid=case["reqid"], start=start, end=end,
+            actor_email=approver_email,
+        ),
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.approval.recorded",
+            end, app_id,
+            reqid=case["reqid"], status="approved",
+            approver=approver, approver_email=approver_email,
+        ),
+    ]
+
+
+def _emit_candidates(case, start, end, make_id) -> List[ApplicationEvent]:
+    app_id = case["app_id"]
+    return [
+        _event(
+            make_id, EventSource.WORKFLOW,
+            "workflow.candidatesearch.completed",
+            end, app_id,
+            reqid=case["reqid"], start=start, end=end,
+            actor_email=case["hr_email"],
+        ),
+        _event(
+            make_id, EventSource.DOCUMENT, "document.candidates.found",
+            end, app_id,
+            reqid=case["reqid"], count=case["candidate_count"],
+        ),
+    ]
+
+
+def _emit_notify(case, start, end, make_id) -> List[ApplicationEvent]:
+    app_id = case["app_id"]
+    return [
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.notifytask.completed",
+            end, app_id,
+            reqid=case["reqid"], start=start, end=end,
+        ),
+        _event(
+            make_id, EventSource.EMAIL, "email.notification.sent",
+            end, app_id,
+            reqid=case["reqid"], recipient=case["hm_email"],
+        ),
+    ]
+
+
+# -- process spec --------------------------------------------------------------------
+
+
+def build_spec() -> ProcessSpec:
+    """Figure 1 as a process spec, with violation-aware routing."""
+
+    def route_position_type(case: dict) -> str:
+        if case["position_type"] != "new":
+            return "existing"
+        if has_violation(case, "skip_approval"):
+            return "skip_approval"
+        return "new"
+
+    def route_candidates(case: dict) -> str:
+        if has_violation(case, "no_candidates"):
+            return "skip"
+        return "search"
+
+    spec = ProcessSpec("new-position-open", start="submit_requisition")
+    spec.add(
+        ActivityStep(
+            name="submit_requisition",
+            performer_role="hiring_manager",
+            emitter=_emit_submission,
+            duration=(300, 1800),
+            next_step="position_type_gateway",
+        )
+    )
+    spec.add(
+        ChoiceStep(
+            name="position_type_gateway",
+            decider=route_position_type,
+            branches={
+                "new": "approve_reject",
+                "existing": "candidates_gateway",
+                "skip_approval": "candidates_gateway",
+            },
+        )
+    )
+    spec.add(
+        ActivityStep(
+            name="approve_reject",
+            performer_role="general_manager",
+            emitter=_emit_approval,
+            duration=(3600, 86400),
+            next_step="candidates_gateway",
+        )
+    )
+    spec.add(
+        ChoiceStep(
+            name="candidates_gateway",
+            decider=route_candidates,
+            branches={"search": "find_candidates", "skip": "notify"},
+        )
+    )
+    spec.add(
+        ActivityStep(
+            name="find_candidates",
+            performer_role="human_resources",
+            emitter=_emit_candidates,
+            duration=(3600, 172800),
+            next_step="notify",
+        )
+    )
+    spec.add(
+        ActivityStep(
+            name="notify",
+            performer_role="system",
+            emitter=_emit_notify,
+            duration=(1, 60),
+            next_step="end",
+        )
+    )
+    spec.add(EndStep())
+    return spec
+
+
+# -- capture configuration ---------------------------------------------------------------
+
+
+def build_mapping(model: ProvenanceDataModel) -> EventMapping:
+    """Recorder typing rules: event kinds → provenance node types."""
+    mapping = EventMapping(model)
+    mapping.rule(
+        kind="directory.person.registered",
+        record_class=RecordClass.RESOURCE,
+        entity_type="person",
+        fields={
+            "name": "name", "email": "email",
+            "manager": "manager", "role": "role",
+        },
+        key="email",
+    )
+    mapping.rule(
+        kind="workflow.requisition.submitted",
+        record_class=RecordClass.DATA,
+        entity_type="jobrequisition",
+        fields={
+            "reqid": "reqid", "type": "type", "position": "position",
+            "dept": "dept", "managergen": "managergen",
+            "submitter_email": "submitter_email",
+        },
+        key="reqid",
+    )
+    mapping.rule(
+        kind="workflow.approval.recorded",
+        record_class=RecordClass.DATA,
+        entity_type="approvalstatus",
+        fields={
+            "reqid": "reqid", "status": "status",
+            "approver": "approver", "approver_email": "approver_email",
+        },
+        key="reqid",
+    )
+    mapping.rule(
+        kind="document.candidates.found",
+        record_class=RecordClass.DATA,
+        entity_type="candidatelist",
+        fields={"reqid": "reqid", "count": "count"},
+        key="reqid",
+    )
+    mapping.rule(
+        kind="email.notification.sent",
+        record_class=RecordClass.DATA,
+        entity_type="notification",
+        fields={"reqid": "reqid", "recipient": "recipient"},
+        key="reqid",
+    )
+    for task in ("submission", "approvaltask", "candidatesearch",
+                 "notifytask"):
+        mapping.rule(
+            kind=f"workflow.{task}.completed",
+            record_class=RecordClass.TASK,
+            entity_type=task,
+            fields={
+                "start": "start", "end": "end",
+                "actor_email": "actor_email", "reqid": "reqid",
+            },
+            key="reqid",
+        )
+    return mapping
+
+
+def sensitive_fields() -> List[str]:
+    """Fields the recorder must never copy into provenance."""
+    return ["salary_band"]
+
+
+def correlation_rules() -> List:
+    """The enrichment analytics producing Figure 2's edges."""
+    requisition = RecordQuery(entity_type="jobrequisition")
+    rules = [
+        attribute_join(
+            "submitter-by-email", "submitterOf",
+            RecordQuery(entity_type="person"), requisition,
+            "email", "submitter_email",
+        ),
+        attribute_join(
+            "approval-by-reqid", "approvalOf",
+            RecordQuery(entity_type="approvalstatus"), requisition,
+            "reqid", "reqid",
+        ),
+        attribute_join(
+            "candidates-by-reqid", "candidatesFor",
+            RecordQuery(entity_type="candidatelist"), requisition,
+            "reqid", "reqid",
+        ),
+        attribute_join(
+            "notification-by-reqid", "notificationFor",
+            RecordQuery(entity_type="notification"), requisition,
+            "reqid", "reqid",
+        ),
+    ]
+    for task in ("submission", "approvaltask", "candidatesearch"):
+        rules.append(
+            attribute_join(
+                f"actor-of-{task}", "actor",
+                RecordQuery(entity_type="person"),
+                RecordQuery(entity_type=task),
+                "email", "actor_email",
+            )
+        )
+    for task in ("submission",):
+        rules.append(
+            attribute_join(
+                f"{task}-generates", "generates",
+                RecordQuery(entity_type=task), requisition,
+                "reqid", "reqid",
+            )
+        )
+    rules.append(
+        attribute_join(
+            "manager-of", "managerOf",
+            RecordQuery(entity_type="person"),
+            RecordQuery(entity_type="person"),
+            "name", "manager",
+        )
+    )
+    rules.append(
+        SequenceRule(
+            name="next-task",
+            relation_type="nextTask",
+            query=RecordQuery(record_class=RecordClass.TASK),
+        )
+    )
+    return rules
+
+
+# -- controls -------------------------------------------------------------------------------
+
+
+GM_APPROVAL_CONTROL = """
+definitions
+  set 'the current job request' to a Job Requisition
+      where the position type of this Job Requisition is "new" ;
+if
+  all of the following conditions are true :
+    - the approval of 'the current job request' is not null ,
+    - the candidate list of 'the current job request' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "new position without GM approval or candidate evidence"
+"""
+
+SOD_CONTROL = """
+definitions
+  set 'the current job request' to a Job Requisition
+      where the position type of this Job Requisition is "new" ;
+  set 'the approval' to the approval of 'the current job request' ;
+if
+  any of the following conditions are true :
+    - 'the approval' is null ,
+    - the approver email of 'the approval' is not
+      the submitter email of 'the current job request'
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "requisition approved by its own submitter"
+"""
+
+SUBMITTER_KNOWN_CONTROL = """
+definitions
+  set 'the current job request' to a Job Requisition ;
+if
+  the submitter of 'the current job request' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "requisition has no identifiable submitter"
+"""
+
+CONTROL_SPECS = (
+    ControlSpec(
+        name="gm-approval",
+        text=GM_APPROVAL_CONTROL,
+        severity=ControlSeverity.HIGH,
+        description=(
+            "New-position requisitions need general-manager approval before "
+            "the candidate search starts (the paper's worked control)."
+        ),
+    ),
+    ControlSpec(
+        name="sod-approval",
+        text=SOD_CONTROL,
+        severity=ControlSeverity.CRITICAL,
+        description="A requisition must not be approved by its submitter.",
+    ),
+    ControlSpec(
+        name="submitter-known",
+        text=SUBMITTER_KNOWN_CONTROL,
+        severity=ControlSeverity.LOW,
+        description="Every requisition must trace back to a submitter.",
+    ),
+)
+
+
+def ground_truth(case: dict, control_name: str) -> ComplianceStatus:
+    """Expected status at *full* visibility, from the injected flags."""
+    is_new = case["position_type"] == "new"
+    skip = has_violation(case, "skip_approval")
+    selfish = has_violation(case, "self_approval")
+    nocand = has_violation(case, "no_candidates")
+
+    if control_name == "gm-approval":
+        if not is_new:
+            return ComplianceStatus.NOT_APPLICABLE
+        if skip or nocand:
+            return ComplianceStatus.VIOLATED
+        return ComplianceStatus.SATISFIED
+    if control_name == "sod-approval":
+        if not is_new:
+            return ComplianceStatus.NOT_APPLICABLE
+        # No approval at all: the SOD control is vacuously satisfied (the
+        # gm-approval control owns that failure).
+        if skip:
+            return ComplianceStatus.SATISFIED
+        return (
+            ComplianceStatus.VIOLATED if selfish
+            else ComplianceStatus.SATISFIED
+        )
+    if control_name == "submitter-known":
+        return ComplianceStatus.SATISFIED
+    raise ValueError(f"unknown control {control_name!r}")
+
+
+def workload() -> Workload:
+    """The assembled Figure-1 workload."""
+    return Workload(
+        name="new-position-open",
+        build_model=build_model,
+        build_spec=build_spec,
+        case_factory=case_factory,
+        build_mapping=build_mapping,
+        correlation_rules=correlation_rules,
+        control_specs=CONTROL_SPECS,
+        ground_truth=ground_truth,
+        violation_kinds=VIOLATION_KINDS,
+    )

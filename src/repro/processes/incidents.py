@@ -1,0 +1,398 @@
+"""IT incident-management workload.
+
+A service-operations process with *temporal* internal controls — the class
+of control the built-in ``timestamp`` verbalization enables:
+
+    open incident → triage (set priority) → [P1: escalate] → resolve
+    → close → [P1: postmortem]
+
+Injected violation kinds:
+
+- ``skip_escalation`` — a P1 incident is never escalated,
+- ``skip_postmortem`` — a closed P1 incident gets no postmortem,
+- ``close_before_resolve`` — the ticket is closed with a closure record
+  timestamped *before* the resolution (back-dated closure, a classic
+  SLA-gaming pattern only a temporal control catches).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from repro.capture.correlation import CorrelationRule, attribute_join
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.mapping import EventMapping
+from repro.controls.control import ControlSeverity
+from repro.controls.status import ComplianceStatus
+from repro.model.attributes import AttributeSpec
+from repro.model.builder import ModelBuilder
+from repro.model.records import RecordClass
+from repro.model.schema import ProvenanceDataModel
+from repro.processes.spec import ActivityStep, ChoiceStep, EndStep, ProcessSpec
+from repro.processes.violations import ViolationPlan, has_violation
+from repro.processes.workload import ControlSpec, Workload
+from repro.store.query import RecordQuery
+
+VIOLATION_KINDS = (
+    "skip_escalation",
+    "skip_postmortem",
+    "close_before_resolve",
+)
+
+_SERVICES = ("payments", "checkout", "search", "auth", "billing")
+_ENGINEERS = ("Noa Park", "Ola Quinn", "Pia Ruiz", "Quy Stone")
+
+
+def build_model() -> ProvenanceDataModel:
+    return (
+        ModelBuilder("incident-management")
+        .data(
+            "incident",
+            "Incident",
+            incid=AttributeSpec("incid", verbalized="incident ID",
+                                required=True),
+            priority=str,
+            service=str,
+        )
+        .data(
+            "escalation",
+            "Escalation",
+            incid=AttributeSpec("incid", verbalized="incident ID"),
+            level=str,
+        )
+        .data(
+            "resolution",
+            "Resolution",
+            incid=AttributeSpec("incid", verbalized="incident ID"),
+            resolver=str,
+        )
+        .data(
+            "closure",
+            "Closure",
+            incid=AttributeSpec("incid", verbalized="incident ID"),
+        )
+        .data(
+            "postmortem",
+            "Postmortem",
+            incid=AttributeSpec("incid", verbalized="incident ID"),
+            author=str,
+        )
+        .resource("person", "Person", name=str, email=str)
+        .relation("escalationOf", RecordClass.DATA, RecordClass.DATA,
+                  label="the escalation of")
+        .relation("resolutionOf", RecordClass.DATA, RecordClass.DATA,
+                  label="the resolution of")
+        .relation("closureOf", RecordClass.DATA, RecordClass.DATA,
+                  label="the closure of")
+        .relation("postmortemOf", RecordClass.DATA, RecordClass.DATA,
+                  label="the postmortem of")
+        .build()
+    )
+
+
+def case_factory(plan: ViolationPlan, p1_ratio: float = 0.35) -> Callable:
+    def factory(index: int, rng: random.Random) -> dict:
+        engineer = rng.choice(_ENGINEERS)
+        case = {
+            "incid": f"INC{index:04d}",
+            "priority": "P1" if rng.random() < p1_ratio else "P3",
+            "service": rng.choice(_SERVICES),
+            "engineer": engineer,
+        }
+        plan.apply_to_case(case, rng)
+        return case
+
+    return factory
+
+
+def _event(make_id, source, kind, timestamp, app_id, **payload):
+    return ApplicationEvent(
+        event_id=make_id(), source=source, kind=kind, timestamp=timestamp,
+        app_id=app_id,
+        payload={key: str(value) for key, value in payload.items()},
+    )
+
+
+def _emit_open(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.incident.opened",
+            start, case["app_id"],
+            incid=case["incid"], priority=case["priority"],
+            service=case["service"],
+        )
+    ]
+
+
+def _emit_escalation(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.incident.escalated",
+            end, case["app_id"],
+            incid=case["incid"], level="oncall-manager",
+        )
+    ]
+
+
+def _emit_resolution(case, start, end, make_id) -> List[ApplicationEvent]:
+    case["resolved_at"] = end
+    return [
+        _event(
+            make_id, EventSource.DATABASE, "database.incident.resolved",
+            end, case["app_id"],
+            incid=case["incid"], resolver=case["engineer"],
+        )
+    ]
+
+
+def _emit_closure(case, start, end, make_id) -> List[ApplicationEvent]:
+    timestamp = end
+    if has_violation(case, "close_before_resolve"):
+        # Back-dated closure: stamped before the recorded resolution.
+        timestamp = max(0, case.get("resolved_at", end) - 100)
+    return [
+        _event(
+            make_id, EventSource.DATABASE, "database.incident.closed",
+            timestamp, case["app_id"],
+            incid=case["incid"],
+        )
+    ]
+
+
+def _emit_postmortem(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.DOCUMENT, "document.postmortem.filed",
+            end, case["app_id"],
+            incid=case["incid"], author=case["engineer"],
+        )
+    ]
+
+
+def build_spec() -> ProcessSpec:
+    def route_escalation(case: dict) -> str:
+        if case["priority"] != "P1":
+            return "not_needed"
+        if has_violation(case, "skip_escalation"):
+            return "skipped"
+        return "escalate"
+
+    def route_postmortem(case: dict) -> str:
+        if case["priority"] != "P1":
+            return "not_needed"
+        if has_violation(case, "skip_postmortem"):
+            return "skipped"
+        return "postmortem"
+
+    spec = ProcessSpec("incident-management", start="open_incident")
+    spec.add(ActivityStep(
+        name="open_incident", performer_role="reporter",
+        emitter=_emit_open, duration=(60, 600),
+        next_step="escalation_gateway",
+    ))
+    spec.add(ChoiceStep(
+        name="escalation_gateway", decider=route_escalation,
+        branches={
+            "escalate": "escalate",
+            "not_needed": "resolve",
+            "skipped": "resolve",
+        },
+    ))
+    spec.add(ActivityStep(
+        name="escalate", performer_role="oncall",
+        emitter=_emit_escalation, duration=(60, 1800),
+        next_step="resolve",
+    ))
+    spec.add(ActivityStep(
+        name="resolve", performer_role="engineer",
+        emitter=_emit_resolution, duration=(600, 86400),
+        next_step="close",
+    ))
+    spec.add(ActivityStep(
+        name="close", performer_role="engineer",
+        emitter=_emit_closure, duration=(60, 3600),
+        next_step="postmortem_gateway",
+    ))
+    spec.add(ChoiceStep(
+        name="postmortem_gateway", decider=route_postmortem,
+        branches={
+            "postmortem": "file_postmortem",
+            "not_needed": None,
+            "skipped": None,
+        },
+    ))
+    spec.add(ActivityStep(
+        name="file_postmortem", performer_role="engineer",
+        emitter=_emit_postmortem, duration=(3600, 259200),
+        next_step="end",
+    ))
+    spec.add(EndStep())
+    return spec
+
+
+def build_mapping(model: ProvenanceDataModel) -> EventMapping:
+    mapping = EventMapping(model)
+    mapping.rule(
+        kind="workflow.incident.opened",
+        record_class=RecordClass.DATA, entity_type="incident",
+        fields={"incid": "incid", "priority": "priority",
+                "service": "service"},
+        key="incid",
+    )
+    mapping.rule(
+        kind="workflow.incident.escalated",
+        record_class=RecordClass.DATA, entity_type="escalation",
+        fields={"incid": "incid", "level": "level"},
+        key="incid",
+    )
+    mapping.rule(
+        kind="database.incident.resolved",
+        record_class=RecordClass.DATA, entity_type="resolution",
+        fields={"incid": "incid", "resolver": "resolver"},
+        key="incid",
+    )
+    mapping.rule(
+        kind="database.incident.closed",
+        record_class=RecordClass.DATA, entity_type="closure",
+        fields={"incid": "incid"},
+        key="incid",
+    )
+    mapping.rule(
+        kind="document.postmortem.filed",
+        record_class=RecordClass.DATA, entity_type="postmortem",
+        fields={"incid": "incid", "author": "author"},
+        key="incid",
+    )
+    return mapping
+
+
+def correlation_rules() -> List[CorrelationRule]:
+    incident = RecordQuery(entity_type="incident")
+    return [
+        attribute_join("escalation-by-incid", "escalationOf",
+                       RecordQuery(entity_type="escalation"), incident,
+                       "incid", "incid"),
+        attribute_join("resolution-by-incid", "resolutionOf",
+                       RecordQuery(entity_type="resolution"), incident,
+                       "incid", "incid"),
+        attribute_join("closure-by-incid", "closureOf",
+                       RecordQuery(entity_type="closure"), incident,
+                       "incid", "incid"),
+        attribute_join("postmortem-by-incid", "postmortemOf",
+                       RecordQuery(entity_type="postmortem"), incident,
+                       "incid", "incid"),
+    ]
+
+
+P1_ESCALATION_CONTROL = """
+definitions
+  set 'the incident' to an Incident
+      where the priority of this Incident is "P1" ;
+if
+  the escalation of 'the incident' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "P1 incident was never escalated"
+"""
+
+POSTMORTEM_CONTROL = """
+definitions
+  set 'the incident' to an Incident
+      where the priority of this Incident is "P1" ;
+if
+  any of the following conditions are true :
+    - the closure of 'the incident' is null ,
+    - the postmortem of 'the incident' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "closed P1 incident has no postmortem"
+"""
+
+CLOSE_AFTER_RESOLVE_CONTROL = """
+definitions
+  set 'the incident' to an Incident
+      where the closure of this Incident is not null ;
+  set 'the resolution' to the resolution of 'the incident' ;
+  set 'the closure' to the closure of 'the incident' ;
+if
+  all of the following conditions are true :
+    - 'the resolution' is not null ,
+    - the timestamp of 'the resolution' is before
+      the timestamp of 'the closure'
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "incident closed before (or without) its resolution"
+"""
+
+CONTROL_SPECS = (
+    ControlSpec(
+        name="p1-escalation",
+        text=P1_ESCALATION_CONTROL,
+        severity=ControlSeverity.HIGH,
+        description="Every P1 incident must be escalated.",
+    ),
+    ControlSpec(
+        name="p1-postmortem",
+        text=POSTMORTEM_CONTROL,
+        severity=ControlSeverity.MEDIUM,
+        description="Closed P1 incidents require a postmortem.",
+    ),
+    ControlSpec(
+        name="close-after-resolve",
+        text=CLOSE_AFTER_RESOLVE_CONTROL,
+        severity=ControlSeverity.CRITICAL,
+        description=(
+            "Closure must postdate resolution — catches back-dated "
+            "closures (a temporal control)."
+        ),
+    ),
+)
+
+
+def ground_truth(case: dict, control_name: str) -> ComplianceStatus:
+    is_p1 = case["priority"] == "P1"
+    if control_name == "p1-escalation":
+        if not is_p1:
+            return ComplianceStatus.NOT_APPLICABLE
+        return (
+            ComplianceStatus.VIOLATED
+            if has_violation(case, "skip_escalation")
+            else ComplianceStatus.SATISFIED
+        )
+    if control_name == "p1-postmortem":
+        if not is_p1:
+            return ComplianceStatus.NOT_APPLICABLE
+        return (
+            ComplianceStatus.VIOLATED
+            if has_violation(case, "skip_postmortem")
+            else ComplianceStatus.SATISFIED
+        )
+    if control_name == "close-after-resolve":
+        # Every case closes; the anchor always binds.
+        return (
+            ComplianceStatus.VIOLATED
+            if has_violation(case, "close_before_resolve")
+            else ComplianceStatus.SATISFIED
+        )
+    raise ValueError(f"unknown control {control_name!r}")
+
+
+def workload() -> Workload:
+    return Workload(
+        name="incident-management",
+        build_model=build_model,
+        build_spec=build_spec,
+        case_factory=case_factory,
+        build_mapping=build_mapping,
+        correlation_rules=correlation_rules,
+        control_specs=CONTROL_SPECS,
+        ground_truth=ground_truth,
+        violation_kinds=VIOLATION_KINDS,
+    )

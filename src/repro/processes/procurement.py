@@ -1,0 +1,435 @@
+"""Purchase-to-pay workload.
+
+A classic internal-audit scenario exercising numeric thresholds and
+cross-artifact consistency, beyond the paper's hiring example:
+
+    create purchase order → (≥ threshold?) manager approval → order goods
+    → goods receipt → invoice → payment
+
+Injected violation kinds:
+
+- ``skip_po_approval`` — an above-threshold order is placed unapproved,
+- ``self_approval`` — the requester approves their own order,
+- ``no_receipt`` — payment happens without a goods receipt,
+- ``price_mismatch`` — the invoice amount differs from the order amount.
+
+Controls: approval-over-threshold, segregation of duties, and a three-way
+match (order/receipt/invoice) — the latter shows BAL arithmetic and numeric
+comparison over the provenance graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from repro.capture.correlation import CorrelationRule, attribute_join
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.mapping import EventMapping
+from repro.controls.control import ControlSeverity
+from repro.controls.status import ComplianceStatus
+from repro.model.attributes import AttributeSpec
+from repro.model.builder import ModelBuilder
+from repro.model.records import RecordClass
+from repro.model.schema import ProvenanceDataModel
+from repro.processes.spec import ActivityStep, ChoiceStep, EndStep, ProcessSpec
+from repro.processes.violations import ViolationPlan, has_violation
+from repro.processes.workload import ControlSpec, Workload
+from repro.store.query import RecordQuery
+
+VIOLATION_KINDS = (
+    "skip_po_approval",
+    "self_approval",
+    "no_receipt",
+    "price_mismatch",
+)
+
+APPROVAL_THRESHOLD = 1000
+
+_REQUESTERS = ("Ana Bell", "Ben Cole", "Cara Diaz", "Dan Evans", "Eva Fox")
+_VENDORS = ("Initech", "Globex", "Umbrella Supply", "Acme Parts")
+
+
+def build_model() -> ProvenanceDataModel:
+    return (
+        ModelBuilder("purchase-to-pay")
+        .data(
+            "purchaseorder",
+            "Purchase Order",
+            poid=AttributeSpec("poid", verbalized="order ID", required=True),
+            amount=int,
+            vendor=str,
+            requester_email=AttributeSpec(
+                "requester_email", verbalized="requester email"
+            ),
+        )
+        .data(
+            "poapproval",
+            "Order Approval",
+            poid=AttributeSpec("poid", verbalized="order ID"),
+            status=str,
+            approver_email=AttributeSpec(
+                "approver_email", verbalized="approver email"
+            ),
+        )
+        .data(
+            "goodsreceipt",
+            "Goods Receipt",
+            poid=AttributeSpec("poid", verbalized="order ID"),
+            quantity=int,
+        )
+        .data(
+            "invoice",
+            "Invoice",
+            poid=AttributeSpec("poid", verbalized="order ID"),
+            amount=int,
+            vendor=str,
+        )
+        .data(
+            "payment",
+            "Payment",
+            poid=AttributeSpec("poid", verbalized="order ID"),
+            amount=int,
+        )
+        .resource("person", "Person", name=str, email=str, manager=str)
+        .relation("approvalFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the approval of")
+        .relation("receiptFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the receipt of")
+        .relation("invoiceFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the invoice of")
+        .relation("paymentFor", RecordClass.DATA, RecordClass.DATA,
+                  label="the payment of")
+        .relation("requesterOf", RecordClass.RESOURCE, RecordClass.DATA,
+                  label="the requester of")
+        .build()
+    )
+
+
+def case_factory(plan: ViolationPlan) -> Callable:
+    def factory(index: int, rng: random.Random) -> dict:
+        requester = rng.choice(_REQUESTERS)
+        slug = requester.lower().replace(" ", ".")
+        case = {
+            "poid": f"PO{index:04d}",
+            "amount": rng.randint(100, 50000),
+            "vendor": rng.choice(_VENDORS),
+            "requester": requester,
+            "requester_email": f"{slug}@acme.com",
+            "approver_email": f"manager.{slug}@acme.com",
+            "quantity": rng.randint(1, 50),
+        }
+        plan.apply_to_case(case, rng)
+        return case
+
+    return factory
+
+
+def _event(make_id, source, kind, timestamp, app_id, **payload):
+    return ApplicationEvent(
+        event_id=make_id(), source=source, kind=kind, timestamp=timestamp,
+        app_id=app_id,
+        payload={key: str(value) for key, value in payload.items()},
+    )
+
+
+def _emit_order(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.DIRECTORY, "directory.person.registered",
+            start, case["app_id"],
+            name=case["requester"], email=case["requester_email"],
+            manager=case["approver_email"],
+        ),
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.po.created",
+            end, case["app_id"],
+            poid=case["poid"], amount=case["amount"],
+            vendor=case["vendor"],
+            requester_email=case["requester_email"],
+        ),
+    ]
+
+
+def _emit_po_approval(case, start, end, make_id) -> List[ApplicationEvent]:
+    approver = (
+        case["requester_email"]
+        if has_violation(case, "self_approval")
+        else case["approver_email"]
+    )
+    return [
+        _event(
+            make_id, EventSource.WORKFLOW, "workflow.po.approved",
+            end, case["app_id"],
+            poid=case["poid"], status="approved", approver_email=approver,
+        )
+    ]
+
+
+def _emit_receipt(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.DOCUMENT, "document.goods.received",
+            end, case["app_id"],
+            poid=case["poid"], quantity=case["quantity"],
+        )
+    ]
+
+
+def _emit_invoice(case, start, end, make_id) -> List[ApplicationEvent]:
+    amount = case["amount"]
+    if has_violation(case, "price_mismatch"):
+        amount = amount + max(50, amount // 10)
+    return [
+        _event(
+            make_id, EventSource.DATABASE, "database.invoice.posted",
+            end, case["app_id"],
+            poid=case["poid"], amount=amount, vendor=case["vendor"],
+        )
+    ]
+
+
+def _emit_payment(case, start, end, make_id) -> List[ApplicationEvent]:
+    return [
+        _event(
+            make_id, EventSource.DATABASE, "database.payment.executed",
+            end, case["app_id"],
+            poid=case["poid"], amount=case["amount"],
+        )
+    ]
+
+
+def build_spec() -> ProcessSpec:
+    def route_approval(case: dict) -> str:
+        if case["amount"] < APPROVAL_THRESHOLD:
+            return "below_threshold"
+        if has_violation(case, "skip_po_approval"):
+            return "skipped"
+        return "approve"
+
+    def route_receipt(case: dict) -> str:
+        return "skip" if has_violation(case, "no_receipt") else "receive"
+
+    spec = ProcessSpec("purchase-to-pay", start="create_order")
+    spec.add(ActivityStep(
+        name="create_order", performer_role="requester",
+        emitter=_emit_order, duration=(300, 3600),
+        next_step="approval_gateway",
+    ))
+    spec.add(ChoiceStep(
+        name="approval_gateway", decider=route_approval,
+        branches={
+            "approve": "approve_order",
+            "below_threshold": "receipt_gateway",
+            "skipped": "receipt_gateway",
+        },
+    ))
+    spec.add(ActivityStep(
+        name="approve_order", performer_role="manager",
+        emitter=_emit_po_approval, duration=(3600, 86400),
+        next_step="receipt_gateway",
+    ))
+    spec.add(ChoiceStep(
+        name="receipt_gateway", decider=route_receipt,
+        branches={"receive": "receive_goods", "skip": "post_invoice"},
+    ))
+    spec.add(ActivityStep(
+        name="receive_goods", performer_role="warehouse",
+        emitter=_emit_receipt, duration=(86400, 604800),
+        next_step="post_invoice",
+    ))
+    spec.add(ActivityStep(
+        name="post_invoice", performer_role="vendor",
+        emitter=_emit_invoice, duration=(3600, 259200),
+        next_step="pay",
+    ))
+    spec.add(ActivityStep(
+        name="pay", performer_role="finance",
+        emitter=_emit_payment, duration=(3600, 86400),
+        next_step="end",
+    ))
+    spec.add(EndStep())
+    return spec
+
+
+def build_mapping(model: ProvenanceDataModel) -> EventMapping:
+    mapping = EventMapping(model)
+    mapping.rule(
+        kind="directory.person.registered",
+        record_class=RecordClass.RESOURCE, entity_type="person",
+        fields={"name": "name", "email": "email", "manager": "manager"},
+        key="email",
+    )
+    mapping.rule(
+        kind="workflow.po.created",
+        record_class=RecordClass.DATA, entity_type="purchaseorder",
+        fields={
+            "poid": "poid", "amount": "amount", "vendor": "vendor",
+            "requester_email": "requester_email",
+        },
+        key="poid",
+    )
+    mapping.rule(
+        kind="workflow.po.approved",
+        record_class=RecordClass.DATA, entity_type="poapproval",
+        fields={
+            "poid": "poid", "status": "status",
+            "approver_email": "approver_email",
+        },
+        key="poid",
+    )
+    mapping.rule(
+        kind="document.goods.received",
+        record_class=RecordClass.DATA, entity_type="goodsreceipt",
+        fields={"poid": "poid", "quantity": "quantity"},
+        key="poid",
+    )
+    mapping.rule(
+        kind="database.invoice.posted",
+        record_class=RecordClass.DATA, entity_type="invoice",
+        fields={"poid": "poid", "amount": "amount", "vendor": "vendor"},
+        key="poid",
+    )
+    mapping.rule(
+        kind="database.payment.executed",
+        record_class=RecordClass.DATA, entity_type="payment",
+        fields={"poid": "poid", "amount": "amount"},
+        key="poid",
+    )
+    return mapping
+
+
+def correlation_rules() -> List[CorrelationRule]:
+    order = RecordQuery(entity_type="purchaseorder")
+    return [
+        attribute_join("approval-by-poid", "approvalFor",
+                       RecordQuery(entity_type="poapproval"), order,
+                       "poid", "poid"),
+        attribute_join("receipt-by-poid", "receiptFor",
+                       RecordQuery(entity_type="goodsreceipt"), order,
+                       "poid", "poid"),
+        attribute_join("invoice-by-poid", "invoiceFor",
+                       RecordQuery(entity_type="invoice"), order,
+                       "poid", "poid"),
+        attribute_join("payment-by-poid", "paymentFor",
+                       RecordQuery(entity_type="payment"), order,
+                       "poid", "poid"),
+        attribute_join("requester-by-email", "requesterOf",
+                       RecordQuery(entity_type="person"), order,
+                       "email", "requester_email"),
+    ]
+
+
+PO_APPROVAL_CONTROL = f"""
+definitions
+  set 'the order' to a Purchase Order
+      where the amount of this Purchase Order is at least
+      {APPROVAL_THRESHOLD} ;
+if
+  the approval of 'the order' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "above-threshold order placed without approval"
+"""
+
+SOD_CONTROL = f"""
+definitions
+  set 'the order' to a Purchase Order
+      where the amount of this Purchase Order is at least
+      {APPROVAL_THRESHOLD} ;
+  set 'the approval' to the approval of 'the order' ;
+if
+  any of the following conditions are true :
+    - 'the approval' is null ,
+    - the approver email of 'the approval' is not
+      the requester email of 'the order'
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "order approved by its own requester"
+"""
+
+THREE_WAY_MATCH_CONTROL = """
+definitions
+  set 'the order' to a Purchase Order
+      where the payment of this Purchase Order is not null ;
+if
+  all of the following conditions are true :
+    - the receipt of 'the order' is not null ,
+    - the invoice of 'the order' is not null ,
+    - the amount of the invoice of 'the order' is
+      the amount of 'the order'
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied ;
+  alert "payment without a clean order/receipt/invoice match"
+"""
+
+CONTROL_SPECS = (
+    ControlSpec(
+        name="po-approval",
+        text=PO_APPROVAL_CONTROL,
+        severity=ControlSeverity.HIGH,
+        description="Orders at/above threshold require manager approval.",
+    ),
+    ControlSpec(
+        name="sod-procurement",
+        text=SOD_CONTROL,
+        severity=ControlSeverity.CRITICAL,
+        description="Requesters must not approve their own orders.",
+    ),
+    ControlSpec(
+        name="three-way-match",
+        text=THREE_WAY_MATCH_CONTROL,
+        severity=ControlSeverity.HIGH,
+        description="Pay only with matching order, receipt and invoice.",
+    ),
+)
+
+
+def ground_truth(case: dict, control_name: str) -> ComplianceStatus:
+    above = case["amount"] >= APPROVAL_THRESHOLD
+    skip = has_violation(case, "skip_po_approval")
+    selfish = has_violation(case, "self_approval")
+    noreceipt = has_violation(case, "no_receipt")
+    mismatch = has_violation(case, "price_mismatch")
+
+    if control_name == "po-approval":
+        if not above:
+            return ComplianceStatus.NOT_APPLICABLE
+        return (
+            ComplianceStatus.VIOLATED if skip else ComplianceStatus.SATISFIED
+        )
+    if control_name == "sod-procurement":
+        if not above:
+            return ComplianceStatus.NOT_APPLICABLE
+        if skip:
+            return ComplianceStatus.SATISFIED
+        return (
+            ComplianceStatus.VIOLATED if selfish
+            else ComplianceStatus.SATISFIED
+        )
+    if control_name == "three-way-match":
+        # Payment always happens, so the control applies to every case.
+        if noreceipt or mismatch:
+            return ComplianceStatus.VIOLATED
+        return ComplianceStatus.SATISFIED
+    raise ValueError(f"unknown control {control_name!r}")
+
+
+def workload() -> Workload:
+    return Workload(
+        name="purchase-to-pay",
+        build_model=build_model,
+        build_spec=build_spec,
+        case_factory=case_factory,
+        build_mapping=build_mapping,
+        correlation_rules=correlation_rules,
+        control_specs=CONTROL_SPECS,
+        ground_truth=ground_truth,
+        violation_kinds=VIOLATION_KINDS,
+    )

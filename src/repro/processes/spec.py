@@ -1,0 +1,149 @@
+"""Process specifications.
+
+A process is a directed graph of steps:
+
+- :class:`ActivityStep` — work performed by a role; emits application
+  events when executed (via an emitter function of the case),
+- :class:`ChoiceStep` — an XOR gateway routing by a decision function of
+  the case (deterministic given the case, which carries any random draws
+  made at case creation),
+- :class:`EndStep` — terminates the case.
+
+The structure mirrors what Figure 1 needs (sequences + XOR choices) without
+trying to be full BPMN; loops are expressible (a step may point backwards)
+and the simulator guards against runaway cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.capture.events import ApplicationEvent
+from repro.errors import ProcessError
+
+# An emitter produces the application events observed when an activity runs.
+# Signature: (case, start_time, end_time, make_event_id) -> [ApplicationEvent]
+Emitter = Callable[[dict, int, int, Callable[[], str]], List[ApplicationEvent]]
+
+# A decider picks the label of the branch a case takes at a gateway.
+Decider = Callable[[dict], str]
+
+
+@dataclass(frozen=True)
+class ActivityStep:
+    """One unit of work in the process.
+
+    Attributes:
+        name: step name (unique within the spec).
+        performer_role: the case attribute naming who performs it, for
+            documentation and ground-truth checks.
+        duration: (min, max) seconds the activity takes; the simulator draws
+            uniformly within.
+        emitter: produces the application events of this activity.
+        next_step: the following step's name, or None when followed by end.
+    """
+
+    name: str
+    performer_role: str
+    emitter: Emitter
+    duration: Tuple[int, int] = (60, 3600)
+    next_step: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ChoiceStep:
+    """An XOR gateway: routes the case by a decision function."""
+
+    name: str
+    decider: Decider
+    branches: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def route(self, case: dict) -> Optional[str]:
+        label = self.decider(case)
+        if label not in self.branches:
+            raise ProcessError(
+                f"gateway {self.name!r} decided unknown branch {label!r}"
+            )
+        return self.branches[label]
+
+
+@dataclass(frozen=True)
+class EndStep:
+    """Explicit process end."""
+
+    name: str = "end"
+
+
+Step = object  # union of the three step kinds
+
+
+class ProcessSpec:
+    """A named process: steps plus a start pointer."""
+
+    def __init__(self, name: str, start: str) -> None:
+        self.name = name
+        self.start = start
+        self._steps: Dict[str, Step] = {}
+
+    def add(self, step: Step) -> "ProcessSpec":
+        name = step.name
+        if name in self._steps:
+            raise ProcessError(f"duplicate step {name!r}")
+        self._steps[name] = step
+        return self
+
+    def step(self, name: str) -> Step:
+        try:
+            return self._steps[name]
+        except KeyError:
+            raise ProcessError(
+                f"process {self.name!r} has no step {name!r}"
+            ) from None
+
+    def steps(self) -> List[Step]:
+        return list(self._steps.values())
+
+    def activity_names(self) -> List[str]:
+        return [
+            step.name
+            for step in self._steps.values()
+            if isinstance(step, ActivityStep)
+        ]
+
+    def validate(self) -> None:
+        """Check every referenced step exists and the start is valid."""
+        if self.start not in self._steps:
+            raise ProcessError(f"start step {self.start!r} not defined")
+        for step in self._steps.values():
+            targets: List[Optional[str]] = []
+            if isinstance(step, ActivityStep):
+                targets = [step.next_step]
+            elif isinstance(step, ChoiceStep):
+                targets = list(step.branches.values())
+            for target in targets:
+                if target is not None and target not in self._steps:
+                    raise ProcessError(
+                        f"step {step.name!r} references missing step "
+                        f"{target!r}"
+                    )
+
+    def describe(self) -> List[str]:
+        """Human-readable step listing (the Figure-1 bench prints this)."""
+        lines = [f"process {self.name!r} (start: {self.start})"]
+        for step in self._steps.values():
+            if isinstance(step, ActivityStep):
+                lines.append(
+                    f"  [activity] {step.name} "
+                    f"(by {step.performer_role}) -> "
+                    f"{step.next_step or 'end'}"
+                )
+            elif isinstance(step, ChoiceStep):
+                branches = ", ".join(
+                    f"{label} -> {target or 'end'}"
+                    for label, target in step.branches.items()
+                )
+                lines.append(f"  [choice]   {step.name}: {branches}")
+            else:
+                lines.append(f"  [end]      {step.name}")
+        return lines

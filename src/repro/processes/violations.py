@@ -1,0 +1,65 @@
+"""Violation injection with ground truth.
+
+Workloads inject compliance violations at controlled rates so detection
+quality is measurable (experiment E4).  A :class:`ViolationPlan` draws, per
+case, which violation kinds occur; the draw lands in the case dict under
+``violations`` — the *ground truth* the metrics compare detections against.
+
+Injection is behavioural, not cosmetic: a case flagged ``skip_approval``
+actually routes around the approval activity, so the violation manifests
+(or, under partial visibility, fails to manifest) through the normal event
+→ capture → graph → rule pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class ViolationPlan:
+    """Per-kind injection probabilities.
+
+    Attributes:
+        rates: violation kind → probability a case carries it.  Kinds are
+            workload-specific strings (e.g. ``skip_approval``,
+            ``self_approval``).
+    """
+
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"violation rate for {kind!r} must be in [0,1]"
+                )
+
+    @classmethod
+    def none(cls) -> "ViolationPlan":
+        """A clean workload: no injected violations."""
+        return cls(rates={})
+
+    @classmethod
+    def uniform(cls, kinds: List[str], rate: float) -> "ViolationPlan":
+        return cls(rates={kind: rate for kind in kinds})
+
+    def draw(self, rng: random.Random) -> Set[str]:
+        """The violation kinds one case carries (independent draws)."""
+        return {
+            kind
+            for kind, rate in sorted(self.rates.items())
+            if rng.random() < rate
+        }
+
+    def apply_to_case(self, case: dict, rng: random.Random) -> dict:
+        """Stamp the drawn violations into *case* (under ``violations``)."""
+        case["violations"] = self.draw(rng)
+        return case
+
+
+def has_violation(case: dict, kind: str) -> bool:
+    """Whether ground truth says *case* carries violation *kind*."""
+    return kind in case.get("violations", set())

@@ -1,0 +1,132 @@
+"""Visibility projection: making processes partially managed.
+
+"Visibility of an unmanaged process is measured by the amount of relevant
+process artifacts that can be captured and distinguished" (§II).  A
+:class:`VisibilityPolicy` models that: each event source system has a
+capture probability, and the policy drops events the recording
+infrastructure would never see.  Three canonical management profiles:
+
+- ``FULLY_MANAGED`` — a BPM engine drives everything; all events captured,
+- ``PARTIALLY_MANAGED`` — the workflow core is instrumented, but documents,
+  e-mail and manual steps are only partially visible,
+- ``UNMANAGED`` — no process engine; only scattered artifacts surface.
+
+The projection is deterministic per seed, and — crucially for experiment
+E4's ground truth — it reports exactly which events it dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.mapping import EventMapping
+
+
+class ManagementProfile(enum.Enum):
+    """Preset capture probabilities per event source."""
+
+    FULLY_MANAGED = "fully_managed"
+    PARTIALLY_MANAGED = "partially_managed"
+    UNMANAGED = "unmanaged"
+
+    def capture_rates(self) -> Dict[EventSource, float]:
+        if self is ManagementProfile.FULLY_MANAGED:
+            return {source: 1.0 for source in EventSource}
+        if self is ManagementProfile.PARTIALLY_MANAGED:
+            return {
+                EventSource.WORKFLOW: 1.0,
+                EventSource.DATABASE: 0.95,
+                EventSource.DIRECTORY: 0.9,
+                EventSource.DOCUMENT: 0.7,
+                EventSource.EMAIL: 0.5,
+                EventSource.MANUAL: 0.3,
+            }
+        return {
+            EventSource.WORKFLOW: 0.4,
+            EventSource.DATABASE: 0.5,
+            EventSource.DIRECTORY: 0.6,
+            EventSource.DOCUMENT: 0.3,
+            EventSource.EMAIL: 0.2,
+            EventSource.MANUAL: 0.1,
+        }
+
+
+@dataclass
+class VisibilityPolicy:
+    """Per-source capture probabilities applied to an event stream.
+
+    Args:
+        rates: capture probability per source; sources absent from the map
+            use *default_rate*.
+        default_rate: fallback probability.
+        seed: RNG seed for the drop decisions.
+    """
+
+    rates: Dict[EventSource, float] = field(default_factory=dict)
+    default_rate: float = 1.0
+    seed: int = 13
+
+    @classmethod
+    def from_profile(
+        cls, profile: ManagementProfile, seed: int = 13
+    ) -> "VisibilityPolicy":
+        return cls(rates=profile.capture_rates(), seed=seed)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 13) -> "VisibilityPolicy":
+        """The E4 sweep knob: every source captured with probability *rate*."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"capture rate must be in [0,1], got {rate}")
+        return cls(rates={}, default_rate=rate, seed=seed)
+
+    def rate_for(self, source: EventSource) -> float:
+        return self.rates.get(source, self.default_rate)
+
+    def project(
+        self, events: Iterable[ApplicationEvent]
+    ) -> Tuple[List[ApplicationEvent], List[ApplicationEvent]]:
+        """Split *events* into (visible, dropped), deterministically."""
+        rng = random.Random(self.seed)
+        visible: List[ApplicationEvent] = []
+        dropped: List[ApplicationEvent] = []
+        for event in events:
+            if rng.random() < self.rate_for(event.source):
+                visible.append(event)
+            else:
+                dropped.append(event)
+        return visible, dropped
+
+    def observable_types(self, mapping: EventMapping) -> Set[str]:
+        """Entity types that can be captured at all under this policy.
+
+        A node type is observable when at least one mapping rule produces it
+        from an event kind whose source has non-zero capture probability.
+        Rule evaluation uses this set to return UNDETERMINED instead of a
+        fabricated verdict for concepts that cannot have evidence.
+
+        Event kinds are assumed to encode their source as the prefix before
+        the first dot matching an :class:`EventSource` value (e.g.
+        ``workflow.task.completed``); kinds without such a prefix are
+        treated as observable whenever any source has non-zero rate.
+        """
+        any_nonzero = (
+            any(rate > 0 for rate in self.rates.values())
+            or self.default_rate > 0
+        )
+        observable: Set[str] = set()
+        for rule in mapping._rules:  # noqa: SLF001 - capture-internal view
+            prefix = rule.kind.split(".", 1)[0]
+            source = _SOURCE_BY_NAME.get(prefix)
+            if source is not None:
+                if self.rate_for(source) > 0:
+                    observable.add(rule.entity_type)
+            elif any_nonzero:
+                observable.add(rule.entity_type)
+        return observable
+
+
+_SOURCE_BY_NAME = {source.value: source for source in EventSource}

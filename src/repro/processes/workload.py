@@ -1,0 +1,160 @@
+"""Workload harness: one bundle per business scenario.
+
+A :class:`Workload` packages everything a scenario needs — data model,
+process spec, case factory, capture configuration (mapping + correlation
+rules), BAL control texts, and a ground-truth oracle — and provides
+:meth:`Workload.simulate`, the full pipeline:
+
+    simulate cases → visibility projection → recorder client → store
+    → correlation analytics → (XOM → BOM → vocabulary) → authored controls
+
+The returned :class:`SimulationResult` carries the populated store, the
+ready vocabulary stack, the authored controls, and per-case ground truth —
+everything examples, tests and benchmarks need in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.brms.verbalization import Verbalizer
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel
+from repro.capture.correlation import CorrelationAnalytics, CorrelationRule
+from repro.capture.mapping import EventMapping
+from repro.capture.recorder import RecorderClient
+from repro.controls.authoring import ControlAuthoringTool
+from repro.controls.control import ControlSeverity, InternalControl
+from repro.controls.status import ComplianceStatus
+from repro.model.schema import ProvenanceDataModel
+from repro.processes.engine import CaseRun, ProcessSimulator, all_events
+from repro.processes.spec import ProcessSpec
+from repro.processes.violations import ViolationPlan
+from repro.processes.visibility import VisibilityPolicy
+from repro.store.store import ProvenanceStore
+
+# Oracle: (case, control_name) -> expected ComplianceStatus at full
+# visibility.
+GroundTruth = Callable[[dict, str], ComplianceStatus]
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """One authored control of a workload."""
+
+    name: str
+    text: str
+    severity: ControlSeverity = ControlSeverity.MEDIUM
+    description: str = ""
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one workload simulation."""
+
+    workload_name: str
+    store: ProvenanceStore
+    runs: List[CaseRun]
+    model: ProvenanceDataModel
+    xom: ExecutableObjectModel
+    vocabulary: Vocabulary
+    tool: ControlAuthoringTool
+    controls: List[InternalControl]
+    dropped_events: int = 0
+    visible_events: int = 0
+    observable_types: Optional[Set[str]] = None
+
+    def ground_truth_for(
+        self, oracle: GroundTruth
+    ) -> Dict[str, Dict[str, ComplianceStatus]]:
+        """trace id → control name → expected status (full visibility)."""
+        truth: Dict[str, Dict[str, ComplianceStatus]] = {}
+        for run in self.runs:
+            truth[run.app_id] = {
+                control.name: oracle(run.case, control.name)
+                for control in self.controls
+            }
+        return truth
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete simulated business scenario."""
+
+    name: str
+    build_model: Callable[[], ProvenanceDataModel]
+    build_spec: Callable[[], ProcessSpec]
+    case_factory: Callable[[ViolationPlan], Callable]
+    build_mapping: Callable[[ProvenanceDataModel], EventMapping]
+    correlation_rules: Callable[[], Sequence[CorrelationRule]]
+    control_specs: Sequence[ControlSpec]
+    ground_truth: GroundTruth
+    violation_kinds: Sequence[str] = field(default_factory=tuple)
+
+    def simulate(
+        self,
+        cases: int,
+        seed: int = 7,
+        violations: Optional[ViolationPlan] = None,
+        visibility: Optional[VisibilityPolicy] = None,
+        indexed: bool = True,
+        cache_vocabulary: bool = True,
+    ) -> SimulationResult:
+        """Run the full pipeline; see module docstring."""
+        plan = violations if violations is not None else ViolationPlan.none()
+        model = self.build_model()
+        spec = self.build_spec()
+        simulator = ProcessSimulator(spec, self.case_factory(plan), seed=seed)
+        runs = simulator.run(cases)
+        events = all_events(runs)
+
+        dropped_count = 0
+        if visibility is not None:
+            events, dropped = visibility.project(events)
+            dropped_count = len(dropped)
+
+        mapping = self.build_mapping(model)
+        store = ProvenanceStore(model=model, indexed=indexed)
+        recorder = RecorderClient(store, mapping)
+        recorder.process_all(events)
+
+        analytics = CorrelationAnalytics(store, model)
+        for rule in self.correlation_rules():
+            analytics.add_rule(rule)
+        analytics.run()
+
+        xom = ExecutableObjectModel(model)
+        bom = Verbalizer(xom).verbalize()
+        vocabulary = Vocabulary(bom, cache=cache_vocabulary)
+        tool = ControlAuthoringTool(vocabulary)
+        controls = []
+        for control_spec in self.control_specs:
+            controls.append(
+                tool.author(
+                    control_spec.name,
+                    control_spec.text,
+                    description=control_spec.description,
+                    severity=control_spec.severity,
+                )
+            )
+            tool.deploy(control_spec.name)
+
+        observable = (
+            visibility.observable_types(mapping)
+            if visibility is not None
+            else None
+        )
+        return SimulationResult(
+            workload_name=self.name,
+            store=store,
+            runs=runs,
+            model=model,
+            xom=xom,
+            vocabulary=vocabulary,
+            tool=tool,
+            controls=controls,
+            dropped_events=dropped_count,
+            visible_events=len(events),
+            observable_types=observable,
+        )

@@ -1,0 +1,6 @@
+"""Rendering helpers for paper-style tables and benchmark output."""
+
+from repro.reporting.audit import AuditReportBuilder
+from repro.reporting.tables import render_table, render_provenance_table
+
+__all__ = ["AuditReportBuilder", "render_provenance_table", "render_table"]

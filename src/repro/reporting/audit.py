@@ -1,0 +1,153 @@
+"""Audit report generation.
+
+"Traditionally, auditors are used to check the status and the effectiveness
+of internal controls; however, this is a costly and time consuming
+approach" (§I).  The automated replacement must still produce what an audit
+file needs: per-control effectiveness, an exception list, and — critically
+— *evidence*: for every verdict, which provenance records the control
+actually examined.  The :class:`AuditReportBuilder` renders exactly that
+from compliance results plus the store, using the control points' own
+``checks`` edges as the drill-down path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.controls.control import InternalControl
+from repro.controls.dashboard import ComplianceDashboard
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.model.records import ProvenanceRecord
+from repro.store.store import ProvenanceStore
+
+
+def _summarize_record(record: ProvenanceRecord, limit: int = 3) -> str:
+    """One-line record summary: ``jobrequisition App01-D1 {reqid=…}``."""
+    attributes = record.attributes
+    shown = sorted(attributes.items())[:limit]
+    rendered = ", ".join(f"{k}={v}" for k, v in shown)
+    if len(attributes) > limit:
+        rendered += ", …"
+    return (
+        f"{record.entity_type} {record.record_id}"
+        + (f" {{{rendered}}}" if rendered else "")
+    )
+
+
+class AuditReportBuilder:
+    """Builds a text audit report from results, controls, and the store."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        controls: Sequence[InternalControl],
+    ) -> None:
+        self.store = store
+        self.controls = {control.name: control for control in controls}
+
+    # -- evidence ------------------------------------------------------------
+
+    def evidence_lines(self, result: ComplianceResult) -> List[str]:
+        """The provenance records backing one result, one line each.
+
+        Definition-bound nodes come first (with their variable names),
+        then condition-touched nodes.
+        """
+        lines: List[str] = []
+        listed: set = set()
+        for var, node_id in sorted(result.bound_nodes.items()):
+            if node_id is None or node_id in listed:
+                continue
+            listed.add(node_id)
+            if node_id in self.store:
+                record = self.store.get(node_id)
+                lines.append(f"{var}: {_summarize_record(record)}")
+        for node_id in result.touched_nodes:
+            if node_id in listed or node_id not in self.store:
+                continue
+            listed.add(node_id)
+            record = self.store.get(node_id)
+            lines.append(f"(condition): {_summarize_record(record)}")
+        if not lines:
+            lines.append("(no evidence captured — see status)")
+        return lines
+
+    # -- report ----------------------------------------------------------------
+
+    def build(
+        self,
+        results: Iterable[ComplianceResult],
+        title: str = "INTERNAL CONTROLS AUDIT REPORT",
+    ) -> str:
+        """Render the full report for *results*."""
+        results = list(results)
+        dashboard = ComplianceDashboard()
+        for control in self.controls.values():
+            dashboard.register_control(control)
+        dashboard.record_all(results)
+
+        lines = [title, "=" * len(title), ""]
+        lines.append(
+            f"store: {len(self.store)} provenance rows across "
+            f"{len(self.store.app_ids())} traces; "
+            f"{len(self.controls)} controls; "
+            f"{len(results)} checks performed"
+        )
+        lines.append("")
+
+        # Per-control effectiveness.
+        lines.append("CONTROL EFFECTIVENESS")
+        lines.append("-" * 72)
+        for kpi in sorted(dashboard.kpis(), key=lambda k: k.control_name):
+            control = self.controls.get(kpi.control_name)
+            severity = control.severity.value if control else "medium"
+            rate = (
+                f"{kpi.compliance_rate:.1%}"
+                if kpi.compliance_rate is not None
+                else "n/a (no conclusive checks)"
+            )
+            lines.append(
+                f"{kpi.control_name} [{severity}] — compliance {rate} "
+                f"({kpi.satisfied} ok / {kpi.violated} violated / "
+                f"{kpi.not_applicable} n/a / {kpi.undetermined} undetermined)"
+            )
+            if control and control.description:
+                lines.append(f"    {control.description}")
+        lines.append("")
+
+        # Exceptions with evidence drill-down.
+        exceptions = dashboard.exceptions()
+        lines.append(f"EXCEPTIONS ({len(exceptions)})")
+        lines.append("-" * 72)
+        if not exceptions:
+            lines.append("none")
+        for result in exceptions:
+            lines.append(f"* {result.control_name} @ trace {result.trace_id}")
+            for alert in result.alerts:
+                lines.append(f"    alert: {alert}")
+            for evidence in self.evidence_lines(result):
+                lines.append(f"    evidence {evidence}")
+        lines.append("")
+
+        # Evidence gaps: what could not be concluded and why it matters.
+        gaps = [
+            result
+            for result in results
+            if result.status is ComplianceStatus.UNDETERMINED
+        ]
+        lines.append(f"EVIDENCE GAPS ({len(gaps)})")
+        lines.append("-" * 72)
+        if not gaps:
+            lines.append("none — every applicable check was conclusive")
+        else:
+            by_control: Dict[str, int] = {}
+            for result in gaps:
+                by_control[result.control_name] = (
+                    by_control.get(result.control_name, 0) + 1
+                )
+            for name, count in sorted(by_control.items()):
+                lines.append(
+                    f"{name}: {count} trace(s) unobservable under the "
+                    f"current capture configuration"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Fixed-width table rendering.
+
+Benchmarks regenerate the paper's tables as plain text; this module renders
+them consistently so `bench_output.txt` reads like the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.store.xmlcodec import StoredRow
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    materialized: List[List[str]] = [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            str(cell).ljust(widths[index])
+            for index, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _compact_xml(xml: str, limit: int = 72) -> str:
+    flattened = " ".join(xml.split())
+    if len(flattened) <= limit:
+        return flattened
+    return flattened[: limit - 1] + "…"
+
+
+def render_provenance_table(
+    rows: Iterable[StoredRow], title: str = "", xml_width: int = 72
+) -> str:
+    """Render store rows in the paper's Table I layout.
+
+    Columns: ID, CLASS, APPID, XML (the XML compacted to one line so the
+    table stays printable; full XML lives in the store).
+    """
+    table_rows = [
+        (
+            row.record_id,
+            row.record_class.value,
+            row.app_id,
+            _compact_xml(row.xml, xml_width),
+        )
+        for row in rows
+    ]
+    return render_table(("ID", "CLASS", "APPID", "XML"), table_rows, title)

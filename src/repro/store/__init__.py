@@ -1,0 +1,34 @@
+"""Provenance store.
+
+The store keeps every provenance record in the paper's Table I row shape:
+``(ID, CLASS, APPID, XML)``, where the XML column serializes the record's
+entity type and attributes as elements under a ``ps:`` namespace.  The store
+is append-only; correlation analytics and control deployment append new rows
+rather than mutating existing ones.
+
+Querying comes in the two styles of §II.A:
+
+- :mod:`repro.store.query` — an on-demand query frontend (filter by class,
+  APPID, entity type, attribute predicates, XPath-lite paths),
+- :mod:`repro.store.continuous` — deployed queries that "emit results in
+  real-time, feeding existing dashboard systems".
+"""
+
+from repro.store.xmlcodec import decode_row, encode_row, StoredRow
+from repro.store.store import ProvenanceStore
+from repro.store.index import StoreIndex
+from repro.store.query import AttributePredicate, RecordQuery, xpath_lite
+from repro.store.continuous import ContinuousQuery, Subscription
+
+__all__ = [
+    "AttributePredicate",
+    "ContinuousQuery",
+    "ProvenanceStore",
+    "RecordQuery",
+    "StoreIndex",
+    "StoredRow",
+    "Subscription",
+    "decode_row",
+    "encode_row",
+    "xpath_lite",
+]

@@ -1,0 +1,110 @@
+"""Deployed (continuous) queries.
+
+§II.A distinguishes two analysis styles.  The first: "a query can be deployed
+into the provenance store to emit results in real-time, feeding existing
+dashboard systems to display key performance indicators".  A
+:class:`ContinuousQuery` wraps a :class:`~repro.store.query.RecordQuery`,
+subscribes to a store, and pushes every matching append to its subscribers as
+it happens — no re-scan.  This is the mechanism behind continuous compliance
+checking in :mod:`repro.controls.deployment` and the KPI feeds in
+:mod:`repro.controls.dashboard`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.model.records import ProvenanceRecord
+from repro.store.query import RecordQuery
+from repro.store.store import ProvenanceStore
+
+Callback = Callable[[ProvenanceRecord], None]
+
+
+class Subscription:
+    """Handle returned by :meth:`ContinuousQuery.subscribe`; supports cancel."""
+
+    def __init__(self, query: "ContinuousQuery", callback: Callback) -> None:
+        self._query = query
+        self._callback = callback
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop receiving matches."""
+        if self.active:
+            self._query._drop(self._callback)
+            self.active = False
+
+
+class ContinuousQuery:
+    """A query deployed into a store, emitting matches in real time.
+
+    Matches arriving *before* deployment are replayed on deploy so that a
+    dashboard attached mid-stream still sees the full history — this mirrors
+    the store-backed semantics (results are a view over the table, not only
+    over future appends).
+    """
+
+    def __init__(self, query: RecordQuery, replay: bool = True) -> None:
+        self.query = query
+        self.replay = replay
+        self._callbacks: List[Callback] = []
+        self._store: Optional[ProvenanceStore] = None
+        self.emitted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def deploy(self, store: ProvenanceStore) -> "ContinuousQuery":
+        """Attach to *store*; replays history when configured to."""
+        if self._store is not None:
+            raise RuntimeError("continuous query already deployed")
+        self._store = store
+        store.subscribe(self._on_append)
+        if self.replay:
+            for record in store.select(self.query):
+                self._emit(record)
+        return self
+
+    def undeploy(self) -> None:
+        """Detach from the store; no further emissions."""
+        if self._store is not None:
+            self._store.unsubscribe(self._on_append)
+            self._store = None
+
+    @property
+    def deployed(self) -> bool:
+        return self._store is not None
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self, callback: Callback) -> Subscription:
+        """Register *callback* for every match; returns a cancel handle."""
+        self._callbacks.append(callback)
+        return Subscription(self, callback)
+
+    def _drop(self, callback: Callback) -> None:
+        self._callbacks.remove(callback)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _on_append(self, record: ProvenanceRecord) -> None:
+        if self.query.matches(record):
+            self._emit(record)
+
+    def _emit(self, record: ProvenanceRecord) -> None:
+        self.emitted += 1
+        for callback in list(self._callbacks):
+            callback(record)
+
+
+class CollectingSink:
+    """A simple subscriber that accumulates matches (used by tests/benches)."""
+
+    def __init__(self) -> None:
+        self.records: List[ProvenanceRecord] = []
+
+    def __call__(self, record: ProvenanceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)

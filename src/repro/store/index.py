@@ -1,0 +1,93 @@
+"""Secondary indexes for the provenance store.
+
+The physical table only groups rows by position; the queries the control
+evaluator issues ("the Data records of type ``jobrequisition`` in trace
+``App01``", "relations whose source is PE3") need faster access paths.  The
+index maintains hash maps over class, APPID, entity type, relation
+endpoints, and — optionally — individual attribute values.
+
+Indexing is an optimization layer: the store works with indexes disabled
+(every query falls back to a scan), which experiment E8 uses to quantify the
+speedup.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.model.attributes import AttributeValue
+from repro.model.records import ProvenanceRecord, RecordClass, RelationRecord
+
+
+class StoreIndex:
+    """Hash indexes over the records of one store.
+
+    Attributes:
+        indexed_attributes: attribute names to maintain value indexes for.
+            Attribute indexes cover ``(entity_type, name, value)`` triples.
+    """
+
+    def __init__(self, indexed_attributes: Optional[Set[str]] = None) -> None:
+        self.indexed_attributes: Set[str] = set(indexed_attributes or ())
+        self._by_class: Dict[RecordClass, List[str]] = defaultdict(list)
+        self._by_app: Dict[str, List[str]] = defaultdict(list)
+        self._by_type: Dict[str, List[str]] = defaultdict(list)
+        self._by_app_class: Dict[Tuple[str, RecordClass], List[str]] = (
+            defaultdict(list)
+        )
+        self._by_source: Dict[str, List[str]] = defaultdict(list)
+        self._by_target: Dict[str, List[str]] = defaultdict(list)
+        self._by_attribute: Dict[
+            Tuple[str, str, AttributeValue], List[str]
+        ] = defaultdict(list)
+
+    def add(self, record: ProvenanceRecord) -> None:
+        """Index one appended record."""
+        rid = record.record_id
+        self._by_class[record.record_class].append(rid)
+        self._by_app[record.app_id].append(rid)
+        self._by_type[record.entity_type].append(rid)
+        self._by_app_class[(record.app_id, record.record_class)].append(rid)
+        if isinstance(record, RelationRecord):
+            self._by_source[record.source_id].append(rid)
+            self._by_target[record.target_id].append(rid)
+        for name in self.indexed_attributes:
+            value = record.get(name)
+            if value is not None:
+                key = (record.entity_type, name, value)
+                self._by_attribute[key].append(rid)
+
+    # -- lookups (each returns ids in append order) --------------------------
+
+    def by_class(self, record_class: RecordClass) -> List[str]:
+        return list(self._by_class.get(record_class, ()))
+
+    def by_app(self, app_id: str) -> List[str]:
+        return list(self._by_app.get(app_id, ()))
+
+    def by_type(self, entity_type: str) -> List[str]:
+        return list(self._by_type.get(entity_type, ()))
+
+    def by_app_class(
+        self, app_id: str, record_class: RecordClass
+    ) -> List[str]:
+        return list(self._by_app_class.get((app_id, record_class), ()))
+
+    def relations_from(self, source_id: str) -> List[str]:
+        return list(self._by_source.get(source_id, ()))
+
+    def relations_to(self, target_id: str) -> List[str]:
+        return list(self._by_target.get(target_id, ()))
+
+    def by_attribute(
+        self, entity_type: str, name: str, value: AttributeValue
+    ) -> Optional[List[str]]:
+        """Ids with ``record.get(name) == value``; None when not indexed."""
+        if name not in self.indexed_attributes:
+            return None
+        return list(self._by_attribute.get((entity_type, name, value), ()))
+
+    def app_ids(self) -> List[str]:
+        """All distinct application ids, in first-seen order."""
+        return list(self._by_app.keys())

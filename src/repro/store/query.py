@@ -1,0 +1,217 @@
+"""On-demand queries over the provenance store.
+
+Two complementary query surfaces:
+
+- :class:`RecordQuery` — a structured filter (class, APPID, entity type,
+  attribute predicates) that the store can satisfy with its indexes.  This is
+  what the control evaluator compiles BAL definitions into.
+- :func:`xpath_lite` — a small XPath-like path language evaluated over the
+  XML column of rows, mirroring the paper's "the attributes of each data
+  entity can be extracted from the table by using XML queries".
+
+Supported xpath-lite syntax::
+
+    /jobrequisition/reqid            text of child element
+    /jobrequisition/@ps:class        attribute of the root element
+    //reqid                          text of element anywhere
+"""
+
+from __future__ import annotations
+
+import operator
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.model.attributes import AttributeValue
+from repro.model.records import ProvenanceRecord, RecordClass
+from repro.store.xmlcodec import PS_NAMESPACE, StoredRow
+
+_OPERATORS: dict = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class AttributePredicate:
+    """A single ``attribute <op> value`` filter.
+
+    ``op`` is one of ``== != < <= > >= exists absent``.  ``exists`` and
+    ``absent`` ignore *value* and test attribute presence — the evaluator
+    uses them for the paper's ``is not null`` / ``is null`` conditions.
+    """
+
+    name: str
+    op: str = "=="
+    value: Optional[AttributeValue] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS and self.op not in ("exists", "absent"):
+            raise QueryError(f"unknown predicate operator {self.op!r}")
+
+    def matches(self, record: ProvenanceRecord) -> bool:
+        present = record.has(self.name)
+        if self.op == "exists":
+            return present
+        if self.op == "absent":
+            return not present
+        if not present:
+            return False
+        actual = record.get(self.name)
+        try:
+            return _OPERATORS[self.op](actual, self.value)
+        except TypeError:
+            # Cross-type ordered comparison (e.g. str < int): no match rather
+            # than an exception, matching SQL's three-valued comparison.
+            return False
+
+
+@dataclass(frozen=True)
+class RecordQuery:
+    """Structured filter over store records.
+
+    All specified facets must match (conjunction).  Unspecified facets
+    (``None``) do not constrain.
+    """
+
+    record_class: Optional[RecordClass] = None
+    app_id: Optional[str] = None
+    entity_type: Optional[str] = None
+    predicates: Tuple[AttributePredicate, ...] = field(default_factory=tuple)
+    since: Optional[int] = None
+    until: Optional[int] = None
+
+    def where(
+        self, name: str, op: str = "==", value: Optional[AttributeValue] = None
+    ) -> "RecordQuery":
+        """Return a copy with one more attribute predicate."""
+        return RecordQuery(
+            record_class=self.record_class,
+            app_id=self.app_id,
+            entity_type=self.entity_type,
+            predicates=self.predicates + (AttributePredicate(name, op, value),),
+            since=self.since,
+            until=self.until,
+        )
+
+    def matches(self, record: ProvenanceRecord) -> bool:
+        """Whether *record* satisfies every facet of this query."""
+        if (
+            self.record_class is not None
+            and record.record_class is not self.record_class
+        ):
+            return False
+        if self.app_id is not None and record.app_id != self.app_id:
+            return False
+        if (
+            self.entity_type is not None
+            and record.entity_type != self.entity_type
+        ):
+            return False
+        if self.since is not None and record.timestamp < self.since:
+            return False
+        if self.until is not None and record.timestamp > self.until:
+            return False
+        return all(p.matches(record) for p in self.predicates)
+
+
+PathStep = Tuple[str, str]  # (axis, name) where axis is "child" or "anywhere"
+
+
+def _parse_path(path: str) -> Tuple[List[PathStep], Optional[str]]:
+    """Split an xpath-lite expression into steps plus optional @attribute."""
+    if not path.startswith("/"):
+        raise QueryError(f"xpath-lite must start with '/': {path!r}")
+    attribute: Optional[str] = None
+    if "/@" in path:
+        path, attribute = path.rsplit("/@", 1)
+        if not attribute:
+            raise QueryError("empty attribute name in xpath-lite")
+    steps: List[PathStep] = []
+    remainder = path
+    while remainder:
+        if remainder.startswith("//"):
+            axis, remainder = "anywhere", remainder[2:]
+        elif remainder.startswith("/"):
+            axis, remainder = "child", remainder[1:]
+        else:
+            raise QueryError(f"malformed xpath-lite near {remainder!r}")
+        name, __, remainder = remainder.partition("/")
+        if remainder:
+            remainder = "/" + remainder
+        if not name:
+            raise QueryError("empty step name in xpath-lite")
+        steps.append((axis, name))
+    if not steps and attribute is None:
+        raise QueryError("empty xpath-lite expression")
+    return steps, attribute
+
+
+def _qualify(name: str) -> str:
+    """Map a step name onto the ps: namespace used by the codec."""
+    if name.startswith("ps:"):
+        name = name[3:]
+    return f"{{{PS_NAMESPACE}}}{name}"
+
+
+def xpath_lite(row: StoredRow, path: str) -> List[str]:
+    """Evaluate an xpath-lite *path* against one row's XML column.
+
+    Returns matched text values (element text, or attribute values when the
+    path ends in ``/@name``).  Unknown elements simply match nothing.
+    """
+    steps, attribute = _parse_path(path)
+    try:
+        root = ET.fromstring(row.xml)
+    except ET.ParseError as exc:
+        raise QueryError(f"row {row.record_id}: malformed XML") from exc
+
+    nodes = [root]
+    for position, (axis, name) in enumerate(steps):
+        qualified = _qualify(name)
+        matched: List[ET.Element] = []
+        for node in nodes:
+            if position == 0 and axis == "child":
+                # The first child step addresses the root element itself,
+                # matching how /jobrequisition/reqid reads.
+                if node.tag == qualified:
+                    matched.append(node)
+            elif axis == "child":
+                matched.extend(child for child in node if child.tag == qualified)
+            else:
+                if node.tag == qualified:
+                    matched.append(node)
+                matched.extend(node.iter(qualified))
+        nodes = matched
+        if not nodes:
+            return []
+
+    if attribute is not None:
+        qualified_attr = _qualify(attribute) if ":" in attribute else attribute
+        results = []
+        for node in nodes:
+            value = node.get(qualified_attr)
+            if value is None and ":" not in attribute:
+                value = node.get(_qualify(attribute))
+            if value is not None:
+                results.append(value)
+        return results
+    return [(node.text or "").strip() for node in nodes]
+
+
+def scan(
+    records: List[ProvenanceRecord],
+    query: RecordQuery,
+    key: Optional[Callable[[ProvenanceRecord], object]] = None,
+) -> List[ProvenanceRecord]:
+    """Filter *records* by *query*, optionally sorting by *key*."""
+    matched = [record for record in records if query.matches(record)]
+    if key is not None:
+        matched.sort(key=key)
+    return matched

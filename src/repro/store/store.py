@@ -1,0 +1,267 @@
+"""The append-only provenance store.
+
+"The recorder client processes application events, transforms them into
+provenance events and records them in the provenance store" (§II.A).  The
+store owns:
+
+- the physical rows (Table I layout), kept verbatim so the table can be
+  re-printed at any time,
+- the materialized records decoded from those rows,
+- secondary indexes (:mod:`repro.store.index`), optional,
+- registered continuous queries (:mod:`repro.store.continuous`), which are
+  notified on every append.
+
+Optionally the store validates each append against a provenance data model;
+recorder clients normally pre-validate, but direct appends in tests and
+examples benefit from the check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import DuplicateRecordId, QueryError, RecordNotFound
+from repro.model.attributes import AttributeValue
+from repro.model.records import (
+    ProvenanceRecord,
+    RecordClass,
+    RelationRecord,
+)
+from repro.model.schema import ProvenanceDataModel
+from repro.store.index import StoreIndex
+from repro.store.query import RecordQuery
+from repro.store.xmlcodec import StoredRow, decode_row, encode_row
+
+
+class ProvenanceStore:
+    """Append-only store of provenance records with query access.
+
+    Args:
+        model: optional data model; when given, appends are validated.
+        indexed: whether to maintain secondary indexes (E8 ablation knob).
+        indexed_attributes: attribute names to value-index (e.g. ``reqid``).
+    """
+
+    def __init__(
+        self,
+        model: Optional[ProvenanceDataModel] = None,
+        indexed: bool = True,
+        indexed_attributes: Optional[Set[str]] = None,
+    ) -> None:
+        self.model = model
+        self._rows: List[StoredRow] = []
+        self._records: Dict[str, ProvenanceRecord] = {}
+        self._order: List[str] = []
+        self._index: Optional[StoreIndex] = (
+            StoreIndex(indexed_attributes) if indexed else None
+        )
+        self._observers: List[Callable[[ProvenanceRecord], None]] = []
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, record: ProvenanceRecord) -> StoredRow:
+        """Append one record; returns its physical row.
+
+        Raises :class:`DuplicateRecordId` on id reuse and, when a model is
+        attached, :class:`~repro.errors.SchemaViolation` on nonconforming
+        records.  Observers (continuous queries) run after the row commits.
+        """
+        if record.record_id in self._records:
+            raise DuplicateRecordId(record.record_id)
+        if self.model is not None:
+            self.model.validate(record)
+        row = encode_row(record)
+        self._rows.append(row)
+        self._records[record.record_id] = record
+        self._order.append(record.record_id)
+        if self._index is not None:
+            self._index.add(record)
+        for observer in self._observers:
+            observer(record)
+        return row
+
+    def extend(self, records: Iterable[ProvenanceRecord]) -> int:
+        """Append many records; returns the count appended."""
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    def subscribe(self, observer: Callable[[ProvenanceRecord], None]) -> None:
+        """Register a callback invoked after every append."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[ProvenanceRecord], None]) -> None:
+        self._observers.remove(observer)
+
+    # -- direct access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def get(self, record_id: str) -> ProvenanceRecord:
+        """Record by id; raises :class:`RecordNotFound` when absent."""
+        try:
+            return self._records[record_id]
+        except KeyError:
+            raise RecordNotFound(record_id) from None
+
+    def records(self) -> Iterator[ProvenanceRecord]:
+        """All records in append order."""
+        for record_id in self._order:
+            yield self._records[record_id]
+
+    def rows(self) -> List[StoredRow]:
+        """The physical rows in append order (Table I regeneration)."""
+        return list(self._rows)
+
+    def app_ids(self) -> List[str]:
+        """Distinct application ids in first-seen order."""
+        if self._index is not None:
+            return self._index.app_ids()
+        seen: List[str] = []
+        known = set()
+        for record in self.records():
+            if record.app_id not in known:
+                known.add(record.app_id)
+                seen.append(record.app_id)
+        return seen
+
+    # -- querying ----------------------------------------------------------
+
+    def _candidates(self, query: RecordQuery) -> Iterator[ProvenanceRecord]:
+        """Choose the narrowest index path for *query*, else scan."""
+        if self._index is None:
+            yield from self.records()
+            return
+        ids: Optional[List[str]] = None
+        # Attribute value index is the most selective path when available.
+        if query.entity_type is not None:
+            for predicate in query.predicates:
+                if predicate.op != "==" or predicate.value is None:
+                    continue
+                hit = self._index.by_attribute(
+                    query.entity_type, predicate.name, predicate.value
+                )
+                if hit is not None:
+                    ids = hit
+                    break
+        if ids is None and query.app_id is not None:
+            if query.record_class is not None:
+                ids = self._index.by_app_class(query.app_id, query.record_class)
+            else:
+                ids = self._index.by_app(query.app_id)
+        if ids is None and query.entity_type is not None:
+            ids = self._index.by_type(query.entity_type)
+        if ids is None and query.record_class is not None:
+            ids = self._index.by_class(query.record_class)
+        if ids is None:
+            yield from self.records()
+            return
+        for record_id in ids:
+            yield self._records[record_id]
+
+    def select(self, query: RecordQuery) -> List[ProvenanceRecord]:
+        """All records matching *query*, in append order."""
+        return [r for r in self._candidates(query) if query.matches(r)]
+
+    def select_one(self, query: RecordQuery) -> Optional[ProvenanceRecord]:
+        """First match or None; raises on ambiguity-free usage patterns only."""
+        for record in self._candidates(query):
+            if query.matches(record):
+                return record
+        return None
+
+    def find_data(
+        self,
+        app_id: str,
+        entity_type: str,
+        **attribute_equals: AttributeValue,
+    ) -> List[ProvenanceRecord]:
+        """Convenience: Data records of a type in a trace, by attribute."""
+        query = RecordQuery(
+            record_class=RecordClass.DATA,
+            app_id=app_id,
+            entity_type=entity_type,
+        )
+        for name, value in attribute_equals.items():
+            query = query.where(name, "==", value)
+        return self.select(query)
+
+    def relations_from(self, source_id: str) -> List[RelationRecord]:
+        """All relation records whose source is *source_id*."""
+        if self._index is not None:
+            ids = self._index.relations_from(source_id)
+            return [self._records[i] for i in ids]  # type: ignore[list-item]
+        return [
+            record
+            for record in self.records()
+            if isinstance(record, RelationRecord)
+            and record.source_id == source_id
+        ]
+
+    def relations_to(self, target_id: str) -> List[RelationRecord]:
+        """All relation records whose target is *target_id*."""
+        if self._index is not None:
+            ids = self._index.relations_to(target_id)
+            return [self._records[i] for i in ids]  # type: ignore[list-item]
+        return [
+            record
+            for record in self.records()
+            if isinstance(record, RelationRecord)
+            and record.target_id == target_id
+        ]
+
+    # -- persistence -------------------------------------------------------
+
+    def dump(self, path: str) -> int:
+        """Write the physical rows to *path* as JSON lines; returns count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in self._rows:
+                handle.write(
+                    json.dumps(
+                        {
+                            "id": row.record_id,
+                            "class": row.record_class.value,
+                            "appid": row.app_id,
+                            "xml": row.xml,
+                        }
+                    )
+                )
+                handle.write("\n")
+        return len(self._rows)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        model: Optional[ProvenanceDataModel] = None,
+        indexed: bool = True,
+        indexed_attributes: Optional[Set[str]] = None,
+    ) -> "ProvenanceStore":
+        """Rebuild a store from a file written by :meth:`dump`."""
+        if not os.path.exists(path):
+            raise QueryError(f"no store file at {path!r}")
+        store = cls(
+            model=model, indexed=indexed, indexed_attributes=indexed_attributes
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                row = StoredRow(
+                    record_id=payload["id"],
+                    record_class=RecordClass.from_wire(payload["class"]),
+                    app_id=payload["appid"],
+                    xml=payload["xml"],
+                )
+                store.append(decode_row(row, model))
+        return store

@@ -1,0 +1,177 @@
+"""XML codec for provenance rows.
+
+Table I stores "the content of the recorded provenance events as XML": each
+row is ``(ID, CLASS, APPID, XML)`` and the XML column looks like::
+
+    <ps:jobrequisition ps:id="PE3" ps:class="data">
+      <ps:appid>App01</ps:appid>
+      <ps:reqid>Req001</ps:reqid>
+      <ps:timestamp value="86400"/>
+      <ps:type>new</ps:type>
+      ...
+    </ps:jobrequisition>
+
+The codec round-trips records through that exact shape using the standard
+library's :mod:`xml.etree.ElementTree`.  Attribute typing on decode is
+delegated to the data model when one is supplied; otherwise values decode as
+strings (which is what the physical table knows).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import CodecError
+from repro.model.attributes import AttributeType, AttributeValue
+from repro.model.records import (
+    ProvenanceRecord,
+    RecordClass,
+    RelationRecord,
+    record_from_parts,
+)
+from repro.model.schema import ProvenanceDataModel
+
+PS_NAMESPACE = "http://repro.example/provenance"
+_PS = f"{{{PS_NAMESPACE}}}"
+
+ET.register_namespace("ps", PS_NAMESPACE)
+
+# Elements with reserved meaning inside the XML payload; everything else is
+# an attribute of the record.
+_RESERVED = ("appid", "timestamp", "source", "target")
+
+
+@dataclass(frozen=True)
+class StoredRow:
+    """One physical row of the provenance table (Table I layout)."""
+
+    record_id: str
+    record_class: RecordClass
+    app_id: str
+    xml: str
+
+    def as_tuple(self) -> tuple:
+        """The ``(ID, CLASS, APPID, XML)`` tuple the paper prints."""
+        return (self.record_id, self.record_class.value, self.app_id, self.xml)
+
+
+def _attribute_to_wire(value: AttributeValue) -> str:
+    if isinstance(value, bool):
+        return AttributeType.BOOLEAN.to_wire(value)
+    return str(value)
+
+
+def encode_record_xml(record: ProvenanceRecord) -> str:
+    """Serialize a record's payload into its XML column text."""
+    root = ET.Element(f"{_PS}{record.entity_type}")
+    root.set(f"{_PS}id", record.record_id)
+    root.set(f"{_PS}class", record.record_class.value.lower())
+    appid = ET.SubElement(root, f"{_PS}appid")
+    appid.text = record.app_id
+    timestamp = ET.SubElement(root, f"{_PS}timestamp")
+    timestamp.set("value", str(record.timestamp))
+    if isinstance(record, RelationRecord):
+        source = ET.SubElement(root, f"{_PS}source")
+        source.text = record.source_id
+        target = ET.SubElement(root, f"{_PS}target")
+        target.text = record.target_id
+    for name, value in sorted(record.attributes.items()):
+        element = ET.SubElement(root, f"{_PS}{name}")
+        element.text = _attribute_to_wire(value)
+    return ET.tostring(root, encoding="unicode")
+
+
+def encode_row(record: ProvenanceRecord) -> StoredRow:
+    """Turn a record into its physical Table I row."""
+    return StoredRow(
+        record_id=record.record_id,
+        record_class=record.record_class,
+        app_id=record.app_id,
+        xml=encode_record_xml(record),
+    )
+
+
+def _local_name(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def decode_row(
+    row: StoredRow, model: Optional[ProvenanceDataModel] = None
+) -> ProvenanceRecord:
+    """Materialize a record from a physical row.
+
+    When *model* is given, attribute text is coerced to the types the node
+    type declares; otherwise attributes come back as strings.  Raises
+    :class:`CodecError` on malformed XML or on mismatches between the row
+    columns and the embedded ``ps:id``/``ps:class`` markers, because such a
+    mismatch means the table was corrupted.
+    """
+    try:
+        root = ET.fromstring(row.xml)
+    except ET.ParseError as exc:
+        raise CodecError(f"row {row.record_id}: malformed XML") from exc
+
+    entity_type = _local_name(root.tag)
+    embedded_id = root.get(f"{_PS}id")
+    if embedded_id is not None and embedded_id != row.record_id:
+        raise CodecError(
+            f"row {row.record_id}: embedded ps:id {embedded_id!r} disagrees"
+        )
+    embedded_class = root.get(f"{_PS}class")
+    if (
+        embedded_class is not None
+        and embedded_class.lower() != row.record_class.value.lower()
+    ):
+        raise CodecError(
+            f"row {row.record_id}: embedded ps:class {embedded_class!r} "
+            f"disagrees with column {row.record_class.value!r}"
+        )
+
+    timestamp = 0
+    source_id = ""
+    target_id = ""
+    raw: Dict[str, str] = {}
+    for child in root:
+        name = _local_name(child.tag)
+        text = (child.text or "").strip()
+        if name == "appid":
+            if text != row.app_id:
+                raise CodecError(
+                    f"row {row.record_id}: embedded appid {text!r} disagrees"
+                )
+        elif name == "timestamp":
+            value = child.get("value", text or "0")
+            try:
+                timestamp = int(value)
+            except ValueError as exc:
+                raise CodecError(
+                    f"row {row.record_id}: bad timestamp {value!r}"
+                ) from exc
+        elif name == "source":
+            source_id = text
+        elif name == "target":
+            target_id = text
+        else:
+            raw[name] = text
+
+    attributes: Mapping[str, AttributeValue]
+    if model is not None and row.record_class is not RecordClass.RELATION:
+        attributes = model.coerce_attributes(entity_type, raw)
+    else:
+        attributes = raw
+
+    try:
+        return record_from_parts(
+            record_class=row.record_class,
+            record_id=row.record_id,
+            app_id=row.app_id,
+            entity_type=entity_type,
+            timestamp=timestamp,
+            attributes=attributes,
+            source_id=source_id,
+            target_id=target_id,
+        )
+    except Exception as exc:
+        raise CodecError(f"row {row.record_id}: {exc}") from exc

@@ -1,0 +1,236 @@
+"""Shared fixtures: a small hiring scenario for BRMS/controls tests.
+
+The fixtures build the paper's New Position Open example by hand (the full
+simulator in :mod:`repro.processes` has its own tests); rule-system tests
+need a known graph, not a simulated one.
+"""
+
+import pytest
+
+from repro.brms.bom import BusinessObjectModel
+from repro.brms.verbalization import Verbalizer
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel
+from repro.graph.graph import ProvenanceGraph
+from repro.model.attributes import AttributeSpec
+from repro.model.builder import ModelBuilder
+from repro.model.records import (
+    DataRecord,
+    RecordClass,
+    RelationRecord,
+    ResourceRecord,
+    TaskRecord,
+)
+
+
+@pytest.fixture
+def hiring_model():
+    """The provenance data model of the New Position Open process."""
+    return (
+        ModelBuilder("hiring")
+        .data(
+            "jobrequisition",
+            "Job Requisition",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID"),
+            type=AttributeSpec("type", verbalized="position type"),
+            position=AttributeSpec("position", verbalized="offered position"),
+            dept=str,
+            managergen=AttributeSpec(
+                "managergen", verbalized="general manager"
+            ),
+        )
+        .data(
+            "approvalstatus",
+            "Approval Status",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID"),
+            status=str,
+            approver=str,
+        )
+        .data(
+            "candidatelist",
+            "Candidate List",
+            reqid=AttributeSpec("reqid", verbalized="requisition ID"),
+            count=int,
+        )
+        .resource(
+            "person",
+            "Person",
+            name=str,
+            email=str,
+            manager=str,
+            role=str,
+        )
+        .task("submission", "Submission", start=int, end=int)
+        .task("approvaltask", "Approval Task", start=int, end=int)
+        .relation(
+            "submitterOf",
+            RecordClass.RESOURCE,
+            RecordClass.DATA,
+            label="the submitter of",
+        )
+        .relation(
+            "approvalOf",
+            RecordClass.DATA,
+            RecordClass.DATA,
+            label="the approval of",
+        )
+        .relation(
+            "candidatesFor",
+            RecordClass.DATA,
+            RecordClass.DATA,
+            label="the candidate list of",
+        )
+        .relation(
+            "actor",
+            RecordClass.RESOURCE,
+            RecordClass.TASK,
+            label="the actor of",
+        )
+        .relation(
+            "generates",
+            RecordClass.TASK,
+            RecordClass.DATA,
+            label="the generator of",
+        )
+        .build()
+    )
+
+
+def build_hiring_trace(
+    app_id="App01",
+    position_type="new",
+    with_approval=True,
+    with_candidates=True,
+    approval_status="approved",
+):
+    """One execution trace of the New Position Open process as a graph."""
+    graph = ProvenanceGraph(name=app_id)
+    graph.add_node_record(
+        ResourceRecord.create(
+            f"{app_id}-R1",
+            app_id,
+            "person",
+            timestamp=0,
+            attributes={
+                "name": "Joe Doe",
+                "email": "jdoe@acme.com",
+                "manager": "Jane Smith",
+                "role": "Sales Manager",
+            },
+        )
+    )
+    graph.add_node_record(
+        TaskRecord.create(
+            f"{app_id}-T1",
+            app_id,
+            "submission",
+            timestamp=10,
+            attributes={"start": 5, "end": 10},
+        )
+    )
+    graph.add_node_record(
+        DataRecord.create(
+            f"{app_id}-D1",
+            app_id,
+            "jobrequisition",
+            timestamp=10,
+            attributes={
+                "reqid": f"Req-{app_id}",
+                "type": position_type,
+                "position": "Sales",
+                "dept": "Dept501",
+                "managergen": "Jane Smith",
+            },
+        )
+    )
+    graph.add_relation_record(
+        RelationRecord.create(
+            f"{app_id}-E1",
+            app_id,
+            "submitterOf",
+            source_id=f"{app_id}-R1",
+            target_id=f"{app_id}-D1",
+        )
+    )
+    graph.add_relation_record(
+        RelationRecord.create(
+            f"{app_id}-E2",
+            app_id,
+            "actor",
+            source_id=f"{app_id}-R1",
+            target_id=f"{app_id}-T1",
+        )
+    )
+    graph.add_relation_record(
+        RelationRecord.create(
+            f"{app_id}-E3",
+            app_id,
+            "generates",
+            source_id=f"{app_id}-T1",
+            target_id=f"{app_id}-D1",
+        )
+    )
+    if with_approval:
+        graph.add_node_record(
+            DataRecord.create(
+                f"{app_id}-D2",
+                app_id,
+                "approvalstatus",
+                timestamp=20,
+                attributes={
+                    "reqid": f"Req-{app_id}",
+                    "status": approval_status,
+                    "approver": "Jane Smith",
+                },
+            )
+        )
+        graph.add_relation_record(
+            RelationRecord.create(
+                f"{app_id}-E4",
+                app_id,
+                "approvalOf",
+                source_id=f"{app_id}-D2",
+                target_id=f"{app_id}-D1",
+            )
+        )
+    if with_candidates:
+        graph.add_node_record(
+            DataRecord.create(
+                f"{app_id}-D3",
+                app_id,
+                "candidatelist",
+                timestamp=30,
+                attributes={"reqid": f"Req-{app_id}", "count": 4},
+            )
+        )
+        graph.add_relation_record(
+            RelationRecord.create(
+                f"{app_id}-E5",
+                app_id,
+                "candidatesFor",
+                source_id=f"{app_id}-D3",
+                target_id=f"{app_id}-D1",
+            )
+        )
+    return graph
+
+
+@pytest.fixture
+def hiring_trace():
+    """A compliant trace: new position with approval and candidate list."""
+    return build_hiring_trace()
+
+
+@pytest.fixture
+def hiring_xom(hiring_model):
+    return ExecutableObjectModel(hiring_model, package="mycompany")
+
+
+@pytest.fixture
+def hiring_bom(hiring_xom) -> BusinessObjectModel:
+    return Verbalizer(hiring_xom).verbalize()
+
+
+@pytest.fixture
+def hiring_vocabulary(hiring_bom) -> Vocabulary:
+    return Vocabulary(hiring_bom)

@@ -1,0 +1,153 @@
+"""Property tests: BAL condition evaluation obeys Boolean algebra.
+
+The evaluator's And/Or/Not must behave like the connectives they verbalize
+— double negation, De Morgan, commutativity — for arbitrary generated
+conditions over a fixed trace.  These laws protect rule authors: a control
+rewritten into an equivalent logical form must keep its verdicts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.brms.bal import ast
+from repro.brms.bal.evaluate import EvalContext, evaluate_condition
+from tests.conftest import build_hiring_trace
+
+
+# Module-scope stack (hypothesis disallows function-scoped fixtures with
+# @given): the hiring workload's model verbalizes the same phrases the
+# conftest fixtures do.
+from repro.brms.verbalization import Verbalizer
+from repro.brms.vocabulary import Vocabulary
+from repro.brms.xom import ExecutableObjectModel
+from repro.processes.hiring import build_model
+
+_XOM = ExecutableObjectModel(build_model())
+_VOCABULARY = Vocabulary(Verbalizer(_XOM).verbalize())
+
+
+def make_context():
+    trace = build_hiring_trace("App01")
+    return EvalContext(
+        graph=trace,
+        xom=_XOM,
+        vocabulary=_VOCABULARY,
+        env={"req": _XOM.instances(trace, "jobrequisition")[0]},
+    )
+
+
+# Atomic conditions over the fixed trace: comparisons of literals and of
+# navigations from the bound requisition.
+literal_atoms = st.builds(
+    lambda a, b, op: ast.Comparison(
+        op=op, left=ast.Literal(a), right=ast.Literal(b)
+    ),
+    a=st.integers(min_value=0, max_value=3),
+    b=st.integers(min_value=0, max_value=3),
+    op=st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+)
+
+navigation_atoms = st.sampled_from(
+    [
+        ast.Comparison(
+            op="not_null",
+            left=ast.Navigation(
+                phrase="approval", target=ast.VarRef("req")
+            ),
+        ),
+        ast.Comparison(
+            op="eq",
+            left=ast.Navigation(
+                phrase="position type", target=ast.VarRef("req")
+            ),
+            right=ast.Literal("new"),
+        ),
+        ast.Comparison(
+            op="is_null",
+            left=ast.Navigation(
+                phrase="candidate list", target=ast.VarRef("req")
+            ),
+        ),
+    ]
+)
+
+atoms = st.one_of(literal_atoms, navigation_atoms)
+
+conditions = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.builds(
+            ast.And, conditions=st.tuples(children, children)
+        ),
+        st.builds(
+            ast.Or, conditions=st.tuples(children, children)
+        ),
+        st.builds(ast.Not, condition=children),
+    ),
+    max_leaves=6,
+)
+
+
+class TestBooleanLaws:
+    @given(condition=conditions)
+    @settings(max_examples=80, deadline=None)
+    def test_double_negation(self, condition):
+        context = make_context()
+        direct = evaluate_condition(condition, context)
+        doubled = evaluate_condition(
+            ast.Not(condition=ast.Not(condition=condition)), context
+        )
+        assert direct == doubled
+
+    @given(left=conditions, right=conditions)
+    @settings(max_examples=80, deadline=None)
+    def test_de_morgan(self, left, right):
+        context = make_context()
+        not_and = evaluate_condition(
+            ast.Not(condition=ast.And(conditions=(left, right))), context
+        )
+        or_nots = evaluate_condition(
+            ast.Or(
+                conditions=(
+                    ast.Not(condition=left),
+                    ast.Not(condition=right),
+                )
+            ),
+            context,
+        )
+        assert not_and == or_nots
+
+    @given(left=conditions, right=conditions)
+    @settings(max_examples=80, deadline=None)
+    def test_commutativity(self, left, right):
+        context = make_context()
+        assert evaluate_condition(
+            ast.And(conditions=(left, right)), context
+        ) == evaluate_condition(
+            ast.And(conditions=(right, left)), context
+        )
+        assert evaluate_condition(
+            ast.Or(conditions=(left, right)), context
+        ) == evaluate_condition(
+            ast.Or(conditions=(right, left)), context
+        )
+
+    @given(condition=conditions)
+    @settings(max_examples=60, deadline=None)
+    def test_excluded_middle(self, condition):
+        context = make_context()
+        assert evaluate_condition(
+            ast.Or(
+                conditions=(condition, ast.Not(condition=condition))
+            ),
+            context,
+        )
+
+    @given(condition=conditions)
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_is_pure(self, condition):
+        context = make_context()
+        first = evaluate_condition(condition, context)
+        second = evaluate_condition(condition, context)
+        assert first == second

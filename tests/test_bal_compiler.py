@@ -1,0 +1,149 @@
+"""Unit tests for BAL compilation (vocabulary resolution, static checks)."""
+
+import pytest
+
+from repro.brms.bal.compiler import BalCompiler
+from repro.errors import BalCompileError
+
+VALID = """
+definitions
+  set 'req' to a Job Requisition ;
+if
+  the position type of 'req' is "new"
+then
+  the internal control is satisfied
+"""
+
+
+@pytest.fixture
+def compiler(hiring_vocabulary):
+    return BalCompiler(hiring_vocabulary)
+
+
+class TestCompile:
+    def test_valid_rule_compiles(self, compiler):
+        compiled = compiler.compile("new-position", VALID)
+        assert compiled.name == "new-position"
+        assert compiled.concepts == ("Job Requisition",)
+        assert compiled.phrases == ("position type",)
+        assert compiled.variables == ("req",)
+        assert compiled.parameters == ()
+
+    def test_anchor_variable_is_first_instance_binding(self, compiler):
+        compiled = compiler.compile("c", VALID)
+        assert compiled.anchor_variable == "req"
+
+    def test_no_anchor_when_no_instance_binding(self, compiler):
+        compiled = compiler.compile(
+            "c", "if 1 is 1 then the control is satisfied"
+        )
+        assert compiled.anchor_variable is None
+
+    def test_source_retained(self, compiler):
+        compiled = compiler.compile("c", VALID)
+        assert compiled.source == VALID
+
+    def test_parameters_exposed(self, compiler):
+        compiled = compiler.compile(
+            "c",
+            "definitions set 'req' to a Job Requisition where "
+            "the requisition ID of this is <ID> ; "
+            "if 'req' is not null then the control is satisfied",
+        )
+        assert compiled.parameters == ("ID",)
+
+
+class TestStaticErrors:
+    def test_unknown_concept(self, compiler):
+        with pytest.raises(BalCompileError) as excinfo:
+            compiler.compile(
+                "c",
+                "definitions set 'x' to an Invoice ; "
+                "if 'x' is not null then the control is satisfied",
+            )
+        assert "Invoice" in str(excinfo.value)
+
+    def test_unknown_phrase(self, compiler):
+        with pytest.raises(BalCompileError) as excinfo:
+            compiler.compile(
+                "c",
+                "definitions set 'req' to a Job Requisition ; "
+                "if the salary band of 'req' is \"A\" "
+                "then the control is satisfied",
+            )
+        assert "salary band" in str(excinfo.value)
+
+    def test_variable_used_before_definition(self, compiler):
+        with pytest.raises(BalCompileError):
+            compiler.compile(
+                "c",
+                "definitions set 'a' to the position type of 'b' ; "
+                "set 'b' to a Job Requisition ; "
+                "if 'a' is \"new\" then the control is satisfied",
+            )
+
+    def test_undefined_variable_in_condition(self, compiler):
+        with pytest.raises(BalCompileError):
+            compiler.compile(
+                "c", "if 'ghost' is null then the control is satisfied"
+            )
+
+    def test_undefined_variable_in_action(self, compiler):
+        with pytest.raises(BalCompileError):
+            compiler.compile(
+                "c",
+                "if 1 is 1 then set 'x' to 'ghost' + 1",
+            )
+
+    def test_assign_introduces_variable_for_later_actions(self, compiler):
+        compiled = compiler.compile(
+            "c",
+            "if 1 is 1 then set 'x' to 1 ; set 'y' to 'x' + 1",
+        )
+        assert compiled is not None
+
+    def test_this_outside_where_rejected(self, compiler):
+        with pytest.raises(BalCompileError):
+            compiler.compile(
+                "c",
+                "if the position type of this is \"new\" "
+                "then the control is satisfied",
+            )
+
+    def test_this_inside_exists_where_allowed(self, compiler):
+        compiled = compiler.compile(
+            "c",
+            'if there is an approval status where the status of this is '
+            '"approved" then the control is satisfied',
+        )
+        assert compiled.concepts == ("Approval Status",)
+
+
+class TestDidYouMean:
+    def test_misspelled_concept_suggests(self, compiler):
+        with pytest.raises(BalCompileError) as excinfo:
+            compiler.compile(
+                "c",
+                "definitions set 'x' to a Job Requisitio ; "
+                "if 'x' is not null then the internal control is satisfied",
+            )
+        assert "did you mean 'Job Requisition'" in str(excinfo.value)
+
+    def test_misspelled_phrase_suggests(self, compiler):
+        with pytest.raises(BalCompileError) as excinfo:
+            compiler.compile(
+                "c",
+                "definitions set 'req' to a Job Requisition ; "
+                "if the position typ of 'req' is \"new\" "
+                "then the internal control is satisfied",
+            )
+        assert "did you mean 'position type'" in str(excinfo.value)
+
+    def test_totally_unknown_concept_lists_vocabulary(self, compiler):
+        with pytest.raises(BalCompileError) as excinfo:
+            compiler.compile(
+                "c",
+                "definitions set 'x' to a Zorblax ; "
+                "if 'x' is null then the internal control is satisfied",
+            )
+        assert "vocabulary knows" in str(excinfo.value)

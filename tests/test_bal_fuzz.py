@@ -1,0 +1,82 @@
+"""Fuzzing the BAL front end: garbage must fail cleanly, never crash.
+
+An authoring tool feeds arbitrary keystrokes into the lexer and parser;
+the only acceptable failure mode is :class:`BalSyntaxError` (or a clean
+parse).  Anything else — recursion blowups, IndexError, hangs — would
+surface as editor crashes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.brms.bal.parser import parse_rule
+from repro.brms.bal.tokens import tokenize
+from repro.errors import BalSyntaxError
+
+# Raw character soup, biased toward BAL's own alphabet.
+bal_chars = st.sampled_from(
+    list("abcdefghij \n\"'<>()+-*/;:,.0123456789_")
+    + ["if", " then ", " else ", " is ", " not ", " null ", " the ",
+       " of ", " set ", " to ", " where ", " all ", " any ", " there "]
+)
+soup = st.lists(bal_chars, max_size=60).map("".join)
+
+# Token-level soup: syntactically valid tokens in random order.
+token_texts = st.sampled_from(
+    ["if", "then", "else", "definitions", "set", "to", "a", "where",
+     "the", "of", "is", "not", "null", "and", "or", "all", "any",
+     "there", "are", "at", "least", "control", "internal", "satisfied",
+     "alert", "this", "'x'", "'y'", "<p>", '"s"', "1", "2.5", ";", ":",
+     ",", "-", "(", ")", "+", "*", "/"]
+)
+token_soup = st.lists(token_texts, max_size=30).map(" ".join)
+
+
+class TestLexerTotality:
+    @given(text=soup)
+    @settings(max_examples=300, deadline=None)
+    def test_lexer_raises_only_bal_errors(self, text):
+        try:
+            tokens = tokenize(text)
+        except BalSyntaxError:
+            return
+        assert tokens[-1].value == ""  # EOF present on success
+
+
+class TestParserTotality:
+    @given(text=soup)
+    @settings(max_examples=300, deadline=None)
+    def test_parser_raises_only_bal_errors(self, text):
+        try:
+            parse_rule(text)
+        except BalSyntaxError:
+            pass
+
+    @given(text=token_soup)
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_raises_only_bal_errors(self, text):
+        try:
+            rule = parse_rule(text)
+        except BalSyntaxError:
+            return
+        # A clean parse must render and re-parse.
+        reparsed = parse_rule(rule.render())
+        assert reparsed.render() == parse_rule(reparsed.render()).render()
+
+    @given(
+        prefix=st.sampled_from(
+            ["if 1 is 1 then the control is satisfied"]
+        ),
+        junk=token_soup,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_valid_rule_with_trailing_junk_rejected(self, prefix, junk):
+        if not junk.strip():
+            return
+        try:
+            rule = parse_rule(f"{prefix} {junk}")
+        except BalSyntaxError:
+            return
+        # Junk that happens to extend the action list legally is fine —
+        # but it must still render/reparse cleanly.
+        assert parse_rule(rule.render()) is not None

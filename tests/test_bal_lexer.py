@@ -1,0 +1,135 @@
+"""Unit tests for the BAL lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.brms.bal.tokens import Token, TokenType, tokenize
+from repro.errors import BalSyntaxError
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_words(self):
+        assert kinds("if then else") == [TokenType.WORD] * 3
+
+    def test_string(self):
+        tokens = tokenize('"new position"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "new position"
+
+    def test_variable(self):
+        tokens = tokenize("'the current job request'")
+        assert tokens[0].type is TokenType.VARIABLE
+        assert tokens[0].value == "the current job request"
+
+    def test_parameter(self):
+        tokens = tokenize("<string ID>")
+        assert tokens[0].type is TokenType.PARAMETER
+        assert tokens[0].value == "string ID"
+
+    def test_numbers(self):
+        assert values("42 3.5") == ["42", "3.5"]
+        assert kinds("42 3.5") == [TokenType.NUMBER] * 2
+
+    def test_number_trailing_dot_not_consumed(self):
+        # "42." keeps the integer intact; the stray '.' itself is not a
+        # BAL character and is rejected.
+        with pytest.raises(BalSyntaxError):
+            tokenize("42.")
+        assert values("42.5") == ["42.5"]
+
+    def test_punctuation(self):
+        assert kinds("; : , - ( ) + * /") == [TokenType.PUNCT] * 9
+
+    def test_mixed_statement(self):
+        text = "set 'x' to a job requisition where the type of this is \"new\" ;"
+        tokens = tokenize(text)
+        assert tokens[0].is_word("set")
+        assert tokens[1].type is TokenType.VARIABLE
+        assert tokens[-2].is_punct(";")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("if\n  then")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_column_after_string(self):
+        tokens = tokenize('"ab" x')
+        assert tokens[1].column == 6
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(BalSyntaxError):
+            tokenize('"never closed')
+
+    def test_unterminated_variable(self):
+        with pytest.raises(BalSyntaxError):
+            tokenize("'never closed")
+
+    def test_unterminated_parameter(self):
+        with pytest.raises(BalSyntaxError):
+            tokenize("<never closed")
+
+    def test_empty_variable(self):
+        with pytest.raises(BalSyntaxError):
+            tokenize("''")
+
+    def test_empty_parameter(self):
+        with pytest.raises(BalSyntaxError):
+            tokenize("<>")
+
+    def test_unexpected_character(self):
+        with pytest.raises(BalSyntaxError) as excinfo:
+            tokenize("x @ y")
+        assert excinfo.value.column == 3
+
+    def test_error_carries_location(self):
+        with pytest.raises(BalSyntaxError) as excinfo:
+            tokenize("line one\n  @")
+        assert excinfo.value.line == 2
+
+
+class TestTokenHelpers:
+    def test_is_word_case_insensitive(self):
+        token = Token(TokenType.WORD, "If", 1, 1)
+        assert token.is_word("if")
+        assert token.is_word("then", "if")
+        assert not token.is_word("then")
+
+    def test_is_punct(self):
+        token = Token(TokenType.PUNCT, ";", 1, 1)
+        assert token.is_punct(";")
+        assert token.is_punct(",", ";")
+        assert not token.is_punct(",")
+
+
+@given(
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_alnum_text_always_tokenizes(text):
+    if text[0].isdigit():
+        text = "x" + text
+    tokens = tokenize(text)
+    assert tokens[-1].type is TokenType.EOF

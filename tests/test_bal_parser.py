@@ -1,0 +1,306 @@
+"""Unit tests for the BAL parser (AST shapes and render round-trips)."""
+
+import pytest
+
+from repro.brms.bal import ast
+from repro.brms.bal.parser import parse_rule
+from repro.errors import BalSyntaxError
+
+PAPER_RULE = """
+definitions
+  set 'the current job request' to a Job Requisition
+      where the requisition ID of this Job Requisition is <string ID> ;
+  set 'the hiring manager of the request' to
+      the submitter of 'the current job request' ;
+  set 'the general manager of the request' to
+      the general manager of 'the current job request' ;
+if
+  all of the following conditions are true :
+    - the position type of 'the current job request' is "new" ,
+    - the approval of 'the current job request' is not null
+then
+  the internal control is satisfied
+else
+  the internal control is not satisfied
+"""
+
+
+@pytest.fixture
+def paper_rule(hiring_vocabulary):
+    return parse_rule(PAPER_RULE, hiring_vocabulary)
+
+
+class TestPaperRule:
+    def test_three_definitions(self, paper_rule):
+        assert len(paper_rule.definitions) == 3
+        assert paper_rule.definitions[0].var == "the current job request"
+
+    def test_first_definition_is_instance_binding(self, paper_rule):
+        binder = paper_rule.definitions[0].binder
+        assert isinstance(binder, ast.InstanceBinding)
+        assert binder.concept == "Job Requisition"
+        assert isinstance(binder.where, ast.Comparison)
+
+    def test_where_clause_uses_this(self, paper_rule):
+        where = paper_rule.definitions[0].binder.where
+        assert isinstance(where.left, ast.Navigation)
+        assert where.left.phrase == "requisition ID"
+        assert isinstance(where.left.target, ast.ThisRef)
+        assert where.left.target.concept == "Job Requisition"
+        assert isinstance(where.right, ast.ParamRef)
+        assert where.right.name == "string ID"
+
+    def test_navigation_definitions(self, paper_rule):
+        binder = paper_rule.definitions[1].binder
+        assert isinstance(binder, ast.Navigation)
+        assert binder.phrase == "submitter"
+        assert isinstance(binder.target, ast.VarRef)
+
+    def test_condition_is_all_block(self, paper_rule):
+        condition = paper_rule.condition
+        assert isinstance(condition, ast.And)
+        assert condition.block
+        assert len(condition.conditions) == 2
+        assert condition.conditions[1].op == "not_null"
+
+    def test_actions(self, paper_rule):
+        assert paper_rule.then_actions == (ast.SetStatus(satisfied=True),)
+        assert paper_rule.else_actions == (ast.SetStatus(satisfied=False),)
+
+    def test_parameters_collected(self, paper_rule):
+        assert paper_rule.parameters() == ["string ID"]
+
+    def test_concepts_collected(self, paper_rule):
+        assert paper_rule.concepts() == ["Job Requisition"]
+
+    def test_phrases_collected(self, paper_rule):
+        assert set(paper_rule.phrases()) == {
+            "requisition ID",
+            "submitter",
+            "general manager",
+            "position type",
+            "approval",
+        }
+
+    def test_render_reparses_to_same_ast(self, paper_rule, hiring_vocabulary):
+        rendered = paper_rule.render()
+        reparsed = parse_rule(rendered, hiring_vocabulary)
+        assert reparsed == paper_rule
+
+
+class TestConditionForms:
+    def test_minimal_rule(self):
+        rule = parse_rule('if 1 is 1 then the control is satisfied')
+        assert isinstance(rule.condition, ast.Comparison)
+        assert rule.definitions == ()
+
+    def test_and_or_precedence(self):
+        rule = parse_rule(
+            'if 1 is 1 and 2 is 2 or 3 is 3 then the control is satisfied'
+        )
+        assert isinstance(rule.condition, ast.Or)
+        assert isinstance(rule.condition.conditions[0], ast.And)
+
+    def test_not(self):
+        rule = parse_rule('if not 1 is 2 then the control is satisfied')
+        assert isinstance(rule.condition, ast.Not)
+
+    def test_not_with_parens(self):
+        rule = parse_rule(
+            'if not ( 1 is 2 or 2 is 1 ) then the control is satisfied'
+        )
+        assert isinstance(rule.condition, ast.Not)
+        assert isinstance(rule.condition.condition, ast.Or)
+
+    def test_any_block(self):
+        rule = parse_rule(
+            "if any of the following conditions are true : "
+            '- 1 is 1 , - 2 is 3 then the control is satisfied'
+        )
+        assert isinstance(rule.condition, ast.Or)
+        assert rule.condition.block
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(BalSyntaxError):
+            parse_rule(
+                "if all of the following conditions are true : "
+                "then the control is satisfied"
+            )
+
+    def test_exists(self, hiring_vocabulary):
+        rule = parse_rule(
+            "if there is an approval status where the status of this is "
+            '"approved" then the control is satisfied',
+            hiring_vocabulary,
+        )
+        assert isinstance(rule.condition, ast.Exists)
+        assert rule.condition.concept == "Approval Status"
+        assert not rule.condition.negated
+
+    def test_there_is_no(self, hiring_vocabulary):
+        rule = parse_rule(
+            "if there is no candidate list then the control is not satisfied "
+            "else the control is satisfied",
+            hiring_vocabulary,
+        )
+        assert rule.condition.negated
+
+    def test_comparison_operators(self):
+        cases = {
+            "is at least 5": "ge",
+            "is at most 5": "le",
+            "is more than 5": "gt",
+            "is less than 5": "lt",
+            "is not 5": "ne",
+            "equals 5": "eq",
+            "is after 5": "gt",
+            "is before 5": "lt",
+            "is equal to 5": "eq",
+        }
+        for tail, op in cases.items():
+            rule = parse_rule(f"if 3 {tail} then the control is satisfied")
+            assert rule.condition.op == op, tail
+
+    def test_is_one_of(self):
+        rule = parse_rule(
+            'if "a" is one of ("a", "b", "c") then the control is satisfied'
+        )
+        assert rule.condition.op == "one_of"
+        assert len(rule.condition.right) == 3
+
+    def test_truthy_bare_expression(self):
+        rule = parse_rule("if 'flag' then the control is satisfied")
+        assert rule.condition.op == "truthy"
+
+
+class TestExpressions:
+    def cond(self, text, vocabulary=None):
+        rule = parse_rule(
+            f"if {text} is 0 then the control is satisfied", vocabulary
+        )
+        return rule.condition.left
+
+    def test_arithmetic_precedence(self):
+        expr = self.cond("1 + 2 * 3")
+        assert isinstance(expr, ast.Arith)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized(self):
+        expr = self.cond("( 1 + 2 ) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_count_of(self, hiring_vocabulary):
+        expr = self.cond("the number of 'candidates'", hiring_vocabulary)
+        assert isinstance(expr, ast.CountOf)
+
+    def test_navigation_chain(self, hiring_vocabulary):
+        expr = self.cond(
+            "the general manager of the submitter of 'x'", hiring_vocabulary
+        )
+        assert isinstance(expr, ast.Navigation)
+        assert expr.phrase == "general manager"
+        assert isinstance(expr.target, ast.Navigation)
+        assert expr.target.phrase == "submitter"
+
+    def test_phrase_without_vocabulary_splits_at_of(self):
+        expr = self.cond("the position type of 'x'")
+        assert expr.phrase == "position type"
+
+    def test_literals(self):
+        assert self.cond("true").value is True
+        assert self.cond("false").value is False
+        assert self.cond("null").value is None
+        assert self.cond('"text"').value == "text"
+        assert self.cond("2.5").value == 2.5
+
+
+class TestActions:
+    def test_alert(self):
+        rule = parse_rule(
+            'if 1 is 1 then alert "missing approval"'
+        )
+        assert rule.then_actions == (ast.Alert(message="missing approval"),)
+
+    def test_multiple_actions(self):
+        rule = parse_rule(
+            "if 1 is 1 then the control is not satisfied ; "
+            'alert "check this" ; set \'count\' to 2 + 2'
+        )
+        assert len(rule.then_actions) == 3
+        assert isinstance(rule.then_actions[2], ast.Assign)
+
+    def test_paper_typo_in_not_satisfied(self):
+        # The paper writes "Internal control in not satisfied".
+        rule = parse_rule(
+            "if 1 is 2 then the control is satisfied "
+            "else internal control in not satisfied"
+        )
+        assert rule.else_actions == (ast.SetStatus(satisfied=False),)
+
+    def test_alert_requires_string(self):
+        with pytest.raises(BalSyntaxError):
+            parse_rule("if 1 is 1 then alert 42")
+
+
+class TestParserErrors:
+    def test_missing_if(self):
+        with pytest.raises(BalSyntaxError):
+            parse_rule("definitions set 'x' to 1 ;")
+
+    def test_missing_then(self):
+        with pytest.raises(BalSyntaxError):
+            parse_rule("if 1 is 1 the control is satisfied")
+
+    def test_unquoted_definition_variable(self):
+        with pytest.raises(BalSyntaxError):
+            parse_rule("definitions set x to 1 ; if 1 is 1 then "
+                       "the control is satisfied")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(BalSyntaxError):
+            parse_rule("if 1 is 1 then the control is satisfied ; ) junk (")
+
+    def test_error_location_reported(self):
+        with pytest.raises(BalSyntaxError) as excinfo:
+            parse_rule("if 1 is 1\nthen control wrong")
+        assert excinfo.value.line == 2
+
+
+class TestNestedBlocks:
+    """Nested condition blocks need parentheses; the renderer adds them."""
+
+    def test_unparenthesized_inner_block_swallows_bullets(self):
+        # Documented footgun: without parens the inner block is greedy.
+        rule = parse_rule(
+            "if all of the following conditions are true : "
+            "- any of the following conditions are true : "
+            "- 2 is 2 , - 3 is 4 , - 1 is 1 "
+            "then the internal control is satisfied"
+        )
+        assert len(rule.condition.conditions) == 1  # everything went inner
+        inner = rule.condition.conditions[0]
+        assert len(inner.conditions) == 3
+
+    def test_parenthesized_inner_block_scopes_correctly(self):
+        rule = parse_rule(
+            "if all of the following conditions are true : "
+            "- ( any of the following conditions are true : "
+            "- 2 is 2 , - 3 is 4 ) , - 1 is 1 "
+            "then the internal control is satisfied"
+        )
+        assert len(rule.condition.conditions) == 2
+        inner = rule.condition.conditions[0]
+        assert isinstance(inner, ast.Or)
+        assert len(inner.conditions) == 2
+
+    def test_nested_block_render_roundtrips_semantically(self):
+        rule = parse_rule(
+            "if all of the following conditions are true : "
+            "- ( any of the following conditions are true : "
+            "- 2 is 2 , - 3 is 4 ) , - 1 is 1 "
+            "then the internal control is satisfied"
+        )
+        reparsed = parse_rule(rule.render())
+        assert reparsed == rule

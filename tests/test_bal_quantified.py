@@ -1,0 +1,168 @@
+"""Tests for quantified existence: ``there are at least N <Concept> …``."""
+
+import pytest
+
+from repro.brms.bal import ast
+from repro.brms.bal.compiler import BalCompiler
+from repro.brms.bal.parser import parse_rule
+from repro.brms.engine import RuleEngine, RuleVerdict
+from repro.errors import BalCompileError, BalSyntaxError
+from repro.model.records import DataRecord
+from tests.conftest import build_hiring_trace
+
+
+class TestParsing:
+    def test_at_least(self, hiring_vocabulary):
+        rule = parse_rule(
+            "if there are at least 2 approval status "
+            "then the internal control is satisfied",
+            hiring_vocabulary,
+        )
+        condition = rule.condition
+        assert isinstance(condition, ast.Quantified)
+        assert condition.op == "ge"
+        assert condition.count == 2
+        assert condition.concept == "Approval Status"
+
+    def test_at_most_and_exactly(self, hiring_vocabulary):
+        for text, op in (("at most 3", "le"), ("exactly 1", "eq")):
+            rule = parse_rule(
+                f"if there are {text} candidate list "
+                "then the internal control is satisfied",
+                hiring_vocabulary,
+            )
+            assert rule.condition.op == op
+
+    def test_with_where_clause(self, hiring_vocabulary):
+        rule = parse_rule(
+            "if there are at least 1 approval status "
+            'where the status of this is "approved" '
+            "then the internal control is satisfied",
+            hiring_vocabulary,
+        )
+        assert rule.condition.where is not None
+
+    def test_render_roundtrip(self, hiring_vocabulary):
+        text = (
+            "if there are at least 2 approval status "
+            'where the status of this is "approved" '
+            "then the internal control is satisfied"
+        )
+        rule = parse_rule(text, hiring_vocabulary)
+        assert parse_rule(rule.render(), hiring_vocabulary) == rule
+
+    def test_missing_count_rejected(self, hiring_vocabulary):
+        with pytest.raises(BalSyntaxError):
+            parse_rule(
+                "if there are at least approval status "
+                "then the internal control is satisfied",
+                hiring_vocabulary,
+            )
+
+    def test_concepts_collected_for_compile_check(self, hiring_vocabulary):
+        compiled = BalCompiler(hiring_vocabulary).compile(
+            "q",
+            "if there are at least 1 candidate list "
+            "then the internal control is satisfied",
+        )
+        assert compiled.concepts == ("Candidate List",)
+
+    def test_unknown_concept_in_quantifier_rejected(self, hiring_vocabulary):
+        with pytest.raises(BalCompileError):
+            BalCompiler(hiring_vocabulary).compile(
+                "q",
+                "if there are at least 1 invoice "
+                "then the internal control is satisfied",
+            )
+
+
+class TestEvaluation:
+    @pytest.fixture
+    def engine(self, hiring_xom, hiring_vocabulary):
+        return RuleEngine(hiring_xom, hiring_vocabulary)
+
+    def run(self, vocabulary, engine, text, trace):
+        compiled = BalCompiler(vocabulary).compile("q", text)
+        return engine.evaluate(compiled, trace).verdict
+
+    def test_at_least_satisfied(self, hiring_vocabulary, engine):
+        trace = build_hiring_trace("App01")
+        verdict = self.run(
+            hiring_vocabulary,
+            engine,
+            "if there are at least 1 approval status "
+            "then the internal control is satisfied",
+            trace,
+        )
+        assert verdict is RuleVerdict.SATISFIED
+
+    def test_at_least_not_met(self, hiring_vocabulary, engine):
+        trace = build_hiring_trace("App02", with_approval=False)
+        verdict = self.run(
+            hiring_vocabulary,
+            engine,
+            "if there are at least 1 approval status "
+            "then the internal control is satisfied",
+            trace,
+        )
+        assert verdict is RuleVerdict.NOT_SATISFIED
+
+    def test_at_most_counts_matches_only(self, hiring_vocabulary, engine):
+        trace = build_hiring_trace("App03")
+        trace.add_node_record(
+            DataRecord.create(
+                "App03-D9",
+                "App03",
+                "approvalstatus",
+                attributes={"reqid": "Req-App03", "status": "rejected"},
+            )
+        )
+        verdict = self.run(
+            hiring_vocabulary,
+            engine,
+            "if there are at most 1 approval status "
+            'where the status of this is "approved" '
+            "then the internal control is satisfied",
+            trace,
+        )
+        assert verdict is RuleVerdict.SATISFIED
+
+    def test_exactly(self, hiring_vocabulary, engine):
+        trace = build_hiring_trace("App04")
+        verdict = self.run(
+            hiring_vocabulary,
+            engine,
+            "if there are exactly 1 candidate list "
+            "then the internal control is satisfied",
+            trace,
+        )
+        assert verdict is RuleVerdict.SATISFIED
+
+    def test_quantifier_evidence_is_touched(
+        self, hiring_vocabulary, hiring_xom
+    ):
+        engine = RuleEngine(hiring_xom, hiring_vocabulary)
+        trace = build_hiring_trace("App05")
+        compiled = BalCompiler(hiring_vocabulary).compile(
+            "q",
+            "if there are at least 1 approval status "
+            "then the internal control is satisfied",
+        )
+        outcome = engine.evaluate(compiled, trace)
+        assert "App05-D2" in outcome.touched_nodes
+
+    def test_dual_approval_control_scenario(self, hiring_vocabulary, engine):
+        # A realistic use: high-stakes requisitions need TWO approvals.
+        trace = build_hiring_trace("App06")
+        verdict = self.run(
+            hiring_vocabulary,
+            engine,
+            "definitions set 'req' to a Job Requisition ; "
+            "if there are at least 2 approval status "
+            "where the requisition ID of this is "
+            "the requisition ID of 'req' "
+            "then the internal control is satisfied "
+            "else the internal control is not satisfied",
+            trace,
+        )
+        assert verdict is RuleVerdict.NOT_SATISFIED  # only one approval

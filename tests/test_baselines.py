@@ -1,0 +1,172 @@
+"""Tests for the baselines: hardcoded controls, replay, store queries.
+
+The load-bearing claim (paper + E4): hardcoded IT controls and
+vocabulary-authored BAL controls produce IDENTICAL verdicts on the same
+store, at any visibility level.
+"""
+
+import pytest
+
+from repro.baselines.hardcoded import (
+    expenses_hardcoded_controls,
+    incidents_hardcoded_controls,
+    hiring_hardcoded_controls,
+    procurement_hardcoded_controls,
+)
+from repro.baselines.replay import hiring_replay_checker, normative_sequences
+from repro.baselines.storequery import hiring_gm_approval_query_control
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.controls.status import ComplianceStatus
+from repro.metrics.detection import verdict_agreement
+from repro.processes import expenses, hiring, incidents, procurement
+from repro.processes.violations import ViolationPlan
+from repro.processes.visibility import VisibilityPolicy
+
+HARDCODED = {
+    "hiring": (hiring, hiring_hardcoded_controls),
+    "procurement": (procurement, procurement_hardcoded_controls),
+    "expenses": (expenses, expenses_hardcoded_controls),
+    "incidents": (incidents, incidents_hardcoded_controls),
+}
+
+
+def simulate(module, cases=30, seed=17, rate=0.3, visibility=None):
+    workload = module.workload()
+    plan = ViolationPlan.uniform(list(module.VIOLATION_KINDS), rate)
+    return workload.simulate(
+        cases=cases, seed=seed, violations=plan, visibility=visibility
+    )
+
+
+class TestHardcodedEquivalence:
+    @pytest.fixture(params=sorted(HARDCODED), ids=sorted(HARDCODED))
+    def setup(self, request):
+        return HARDCODED[request.param]
+
+    def test_identical_verdicts_full_visibility(self, setup):
+        module, build_controls = setup
+        sim = simulate(module)
+        evaluator = ComplianceEvaluator(sim.store, sim.xom, sim.vocabulary)
+        bal_results = evaluator.run(sim.controls)
+        hard_results = []
+        for control in build_controls():
+            hard_results.extend(control.evaluate_all(sim.store))
+        agreements, comparisons, disagreements = verdict_agreement(
+            bal_results, hard_results
+        )
+        assert comparisons == len(bal_results)
+        assert disagreements == []
+        assert agreements == comparisons
+
+    def test_identical_verdicts_partial_visibility(self, setup):
+        module, build_controls = setup
+        sim = simulate(
+            module, visibility=VisibilityPolicy.uniform(0.5, seed=23)
+        )
+        evaluator = ComplianceEvaluator(sim.store, sim.xom, sim.vocabulary)
+        bal_results = evaluator.run(sim.controls)
+        hard_results = []
+        for control in build_controls():
+            hard_results.extend(control.evaluate_all(sim.store))
+        __, comparisons, disagreements = verdict_agreement(
+            bal_results, hard_results
+        )
+        assert comparisons > 0
+        assert disagreements == []
+
+
+class TestReplayBaseline:
+    def test_normative_sequences_exclude_violation_branches(self):
+        sequences = normative_sequences(
+            hiring.build_spec(),
+            exclude_branches={"skip_approval", "skip"},
+        )
+        assert (
+            "submit_requisition",
+            "approve_reject",
+            "find_candidates",
+            "notify",
+        ) in sequences
+        # No normative path skips the candidate search.
+        assert all("find_candidates" in seq for seq in sequences)
+
+    def test_clean_traces_replay(self):
+        sim = simulate(hiring, rate=0.0)
+        checker = hiring_replay_checker()
+        results = checker.evaluate_all(sim.store)
+        assert all(
+            r.status is ComplianceStatus.SATISFIED for r in results
+        )
+
+    def test_detects_control_flow_skip(self):
+        workload = hiring.workload()
+        plan = ViolationPlan.uniform(["no_candidates"], 1.0)
+        sim = workload.simulate(cases=10, seed=3, violations=plan)
+        checker = hiring_replay_checker()
+        results = checker.evaluate_all(sim.store)
+        assert all(
+            r.status is ComplianceStatus.VIOLATED for r in results
+        )
+
+    def test_misses_data_level_violation(self):
+        # A self-approval replays perfectly: control flow is unchanged.
+        workload = hiring.workload()
+        plan = ViolationPlan.uniform(["self_approval"], 1.0)
+        sim = workload.simulate(cases=10, seed=3, violations=plan)
+        checker = hiring_replay_checker()
+        results = checker.evaluate_all(sim.store)
+        assert all(
+            r.status is ComplianceStatus.SATISFIED for r in results
+        )
+
+    def test_misses_skip_approval_disguised_as_existing_path(self):
+        # Without business data, skipping approval on a NEW position looks
+        # exactly like the legitimate existing-position path.
+        workload = hiring.workload()
+        plan = ViolationPlan.uniform(["skip_approval"], 1.0)
+        sim = workload.simulate(cases=10, seed=3, violations=plan)
+        checker = hiring_replay_checker()
+        results = checker.evaluate_all(sim.store)
+        assert all(
+            r.status is ComplianceStatus.SATISFIED for r in results
+        )
+
+    def test_false_alarms_under_partial_visibility(self):
+        sim = simulate(
+            hiring, rate=0.0, visibility=VisibilityPolicy.uniform(0.5, seed=2)
+        )
+        checker = hiring_replay_checker()
+        results = checker.evaluate_all(sim.store)
+        violated = [
+            r for r in results if r.status is ComplianceStatus.VIOLATED
+        ]
+        assert violated, "dropped task events should break replay"
+
+    def test_prefix_mode(self):
+        from repro.baselines.replay import ReplayChecker
+
+        checker = ReplayChecker(
+            name="t", sequences={("a", "b", "c")}, prefix_ok=True
+        )
+        assert checker.conforms(("a", "b"))
+        assert checker.conforms(("a", "b", "c"))
+        assert not checker.conforms(("b",))
+
+
+class TestStoreQueryBaseline:
+    def test_agrees_with_bal_control(self):
+        sim = simulate(hiring)
+        evaluator = ComplianceEvaluator(sim.store, sim.xom, sim.vocabulary)
+        bal_results = [
+            r
+            for r in evaluator.run(sim.controls)
+            if r.control_name == "gm-approval"
+        ]
+        query_results = hiring_gm_approval_query_control().evaluate_all(
+            sim.store
+        )
+        __, comparisons, disagreements = verdict_agreement(
+            bal_results, query_results
+        )
+        assert comparisons == len(bal_results)
+        assert disagreements == []

@@ -1,0 +1,213 @@
+"""Unit tests for BOM construction, verbalization, and vocabulary."""
+
+import pytest
+
+from repro.brms.bom import BomMember, MemberKind
+from repro.brms.vocabulary import Vocabulary
+from repro.errors import BomError, VocabularyError
+from tests.conftest import build_hiring_trace
+
+
+class TestVerbalization:
+    def test_concept_labels_come_from_model(self, hiring_bom):
+        labels = {c.concept for c in hiring_bom.classes()}
+        assert "Job Requisition" in labels
+        assert "Approval Status" in labels
+        assert "Person" in labels
+
+    def test_attribute_navigation_phrases(self, hiring_bom):
+        requisition = hiring_bom.concept("Job Requisition")
+        member = requisition.member_by_phrase("general manager")
+        assert member is not None
+        assert member.kind is MemberKind.ATTRIBUTE
+        assert member.attribute == "managergen"
+
+    def test_custom_verbalized_attribute(self, hiring_bom):
+        requisition = hiring_bom.concept("Job Requisition")
+        assert requisition.member_by_phrase("requisition ID") is not None
+        assert requisition.member_by_phrase("position type") is not None
+
+    def test_relation_phrases_on_target_concept(self, hiring_bom):
+        requisition = hiring_bom.concept("Job Requisition")
+        submitter = requisition.member_by_phrase("submitter")
+        assert submitter is not None
+        assert submitter.kind is MemberKind.RELATION
+        assert submitter.relation_type == "submitterOf"
+        assert submitter.direction == "in"
+        assert submitter.result_concept == "Person"
+
+    def test_paper_bom_entry_lines(self, hiring_bom):
+        entries = hiring_bom.dump_entries()
+        assert (
+            "mycompany.jobrequisition#concept.label = Job Requisition"
+            in entries
+        )
+        assert (
+            "mycompany.jobrequisition.managergen#phrase.navigation = "
+            "{general manager} of {this}" in entries
+        )
+
+    def test_case_insensitive_concept_lookup(self, hiring_bom):
+        assert hiring_bom.concept("job requisition").node_type == (
+            "jobrequisition"
+        )
+
+    def test_unknown_concept_raises(self, hiring_bom):
+        with pytest.raises(BomError):
+            hiring_bom.concept("Invoice")
+
+    def test_duplicate_phrase_on_concept_rejected(self, hiring_bom):
+        requisition = hiring_bom.concept("Job Requisition")
+        with pytest.raises(BomError):
+            requisition.add_member(
+                BomMember(
+                    name="dup",
+                    phrase="general manager",
+                    kind=MemberKind.ATTRIBUTE,
+                    attribute="x",
+                )
+            )
+
+
+class TestMemberExecution:
+    @pytest.fixture
+    def requisition_object(self, hiring_xom):
+        trace = build_hiring_trace()
+        return hiring_xom.wrap(trace.node("App01-D1"), trace)
+
+    def test_attribute_member(self, hiring_bom, requisition_object):
+        member = hiring_bom.concept("Job Requisition").member_by_phrase(
+            "general manager"
+        )
+        assert member.execute(requisition_object) == "Jane Smith"
+
+    def test_relation_member(self, hiring_bom, requisition_object):
+        member = hiring_bom.concept("Job Requisition").member_by_phrase(
+            "submitter"
+        )
+        result = member.execute(requisition_object)
+        assert result is not None
+        assert result.get("name") == "Joe Doe"
+
+    def test_relation_member_absent_yields_none(self, hiring_bom, hiring_xom):
+        trace = build_hiring_trace(with_approval=False)
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        member = hiring_bom.concept("Job Requisition").member_by_phrase(
+            "approval"
+        )
+        assert member.execute(requisition) is None
+
+    def test_virtual_member_hashtable_pattern(
+        self, hiring_bom, requisition_object
+    ):
+        # The paper's getManagergen example: general manager looked up from
+        # a department hashtable instead of a record attribute.
+        managers = {"Dept501": "Jane Smith", "Dept502": "Bob Roy"}
+        hiring_bom.register_virtual(
+            "Job Requisition",
+            name="getManagergen",
+            phrase="general manager by department",
+            getter=lambda obj: managers.get(obj.get("dept")),
+        )
+        member = hiring_bom.concept("Job Requisition").member_by_phrase(
+            "general manager by department"
+        )
+        assert member.phrase_kind == "action"
+        assert member.execute(requisition_object) == "Jane Smith"
+
+    def test_virtual_member_entry_is_action_phrase(self, hiring_bom):
+        hiring_bom.register_virtual(
+            "Job Requisition",
+            name="getFoo",
+            phrase="foo",
+            getter=lambda obj: 1,
+        )
+        entries = hiring_bom.dump_entries()
+        assert (
+            "mycompany.jobrequisition.getFoo#phrase.action = {foo} of {this}"
+            in entries
+        )
+
+
+class TestVocabulary:
+    def test_member_lookup(self, hiring_vocabulary):
+        member = hiring_vocabulary.member("Job Requisition", "general manager")
+        assert member.attribute == "managergen"
+
+    def test_member_lookup_unknown_phrase_raises(self, hiring_vocabulary):
+        with pytest.raises(VocabularyError):
+            hiring_vocabulary.member("Job Requisition", "salary band")
+
+    def test_unknown_concept_raises(self, hiring_vocabulary):
+        with pytest.raises(VocabularyError):
+            hiring_vocabulary.concept("Invoice")
+
+    def test_concepts_with_phrase(self, hiring_vocabulary):
+        owners = hiring_vocabulary.concepts_with_phrase("requisition ID")
+        assert set(owners) >= {
+            "Job Requisition",
+            "Approval Status",
+            "Candidate List",
+        }
+
+    def test_match_concept_prefix_longest_wins(self, hiring_vocabulary):
+        match = hiring_vocabulary.match_concept_prefix(
+            ["job", "requisition", "where"]
+        )
+        assert match == ("Job Requisition", 2)
+
+    def test_match_concept_prefix_none(self, hiring_vocabulary):
+        assert hiring_vocabulary.match_concept_prefix(["invoice"]) is None
+
+    def test_match_phrase_prefix(self, hiring_vocabulary):
+        match = hiring_vocabulary.match_phrase_prefix(
+            ["general", "manager", "of"]
+        )
+        assert match == ("general manager", 2)
+
+    def test_cache_hit_counting(self, hiring_vocabulary):
+        hiring_vocabulary.find_member("Job Requisition", "general manager")
+        hiring_vocabulary.find_member("Job Requisition", "general manager")
+        assert hiring_vocabulary.lookups == 2
+        assert hiring_vocabulary.cache_hits == 1
+
+    def test_cache_disabled(self, hiring_bom):
+        vocabulary = Vocabulary(hiring_bom, cache=False)
+        vocabulary.find_member("Job Requisition", "general manager")
+        vocabulary.find_member("Job Requisition", "general manager")
+        assert vocabulary.cache_hits == 0
+
+    def test_invalidate_cache(self, hiring_vocabulary):
+        hiring_vocabulary.find_member("Job Requisition", "general manager")
+        hiring_vocabulary.invalidate_cache()
+        hiring_vocabulary.find_member("Job Requisition", "general manager")
+        assert hiring_vocabulary.cache_hits == 0
+
+    def test_dropdown_entries_rendered(self, hiring_vocabulary):
+        entries = hiring_vocabulary.dropdown_entries()
+        assert (
+            "the general manager of the job requisition"
+            in entries["Job Requisition"]
+        )
+
+
+class TestAutocomplete:
+    def test_prefix_completion(self, hiring_vocabulary):
+        suggestions = hiring_vocabulary.complete("gen")
+        assert "the general manager of" in suggestions
+
+    def test_completion_case_insensitive(self, hiring_vocabulary):
+        assert hiring_vocabulary.complete("GENERAL") == (
+            hiring_vocabulary.complete("general")
+        )
+
+    def test_completion_deduplicates_across_concepts(self, hiring_vocabulary):
+        # "requisition ID" is verbalized on several concepts; one entry.
+        suggestions = hiring_vocabulary.complete("requisition")
+        assert suggestions.count("the requisition ID of") == 1
+
+    def test_completion_limit(self, hiring_vocabulary):
+        assert len(hiring_vocabulary.complete("", limit=3)) == 3
+
+    def test_no_match_empty(self, hiring_vocabulary):
+        assert hiring_vocabulary.complete("zzz") == []

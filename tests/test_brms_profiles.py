@@ -1,0 +1,125 @@
+"""Tests for verbalization profiles (different vocabularies, same model)."""
+
+import pytest
+
+from repro.brms.bal.compiler import BalCompiler
+from repro.brms.engine import RuleEngine, RuleVerdict
+from repro.brms.profiles import (
+    DEFAULT_PROFILE,
+    VerbalizationProfile,
+    profile_from_translations,
+    verbalize_with_profile,
+)
+from repro.errors import VocabularyError
+from tests.conftest import build_hiring_trace
+
+GERMAN = profile_from_translations(
+    "de",
+    concepts={
+        "jobrequisition": "Stellenausschreibung",
+        "approvalstatus": "Genehmigung",
+        "candidatelist": "Kandidatenliste",
+        "person": "Mitarbeiter",
+    },
+    jobrequisition={
+        "type": "Stellenart",
+        "reqid": "Vorgangsnummer",
+        "managergen": "Bereichsleiter",
+        "approvalOf": "Genehmigung",
+        "candidatesFor": "Kandidatenliste",
+        "submitterOf": "Antragsteller",
+    },
+)
+
+
+class TestProfileConstruction:
+    def test_default_profile_is_identity(self, hiring_xom):
+        default = verbalize_with_profile(hiring_xom, DEFAULT_PROFILE)
+        assert default.has_concept("Job Requisition")
+        member = default.member("Job Requisition", "general manager")
+        assert member.attribute == "managergen"
+
+    def test_translated_concepts_and_phrases(self, hiring_xom):
+        vocabulary = verbalize_with_profile(hiring_xom, GERMAN)
+        assert vocabulary.has_concept("Stellenausschreibung")
+        assert not vocabulary.has_concept("Job Requisition")
+        member = vocabulary.member("Stellenausschreibung", "Bereichsleiter")
+        assert member.attribute == "managergen"
+
+    def test_untranslated_members_keep_default_phrase(self, hiring_xom):
+        vocabulary = verbalize_with_profile(hiring_xom, GERMAN)
+        member = vocabulary.member("Stellenausschreibung",
+                                   "offered position")
+        assert member.attribute == "position"
+
+    def test_colliding_phrases_rejected(self, hiring_xom):
+        bad = VerbalizationProfile(
+            name="bad",
+            phrases={
+                ("jobrequisition", "reqid"): "thing",
+                ("jobrequisition", "type"): "thing",
+            },
+        )
+        with pytest.raises(VocabularyError):
+            verbalize_with_profile(hiring_xom, bad)
+
+    def test_profile_from_translations_lookup(self):
+        profile = profile_from_translations(
+            "x", jobrequisition={"managergen": "chef"}
+        )
+        assert profile.phrase("jobrequisition", "managergen", "gm") == "chef"
+        assert profile.phrase("jobrequisition", "other", "gm") == "gm"
+        assert profile.concept_label("jobrequisition", "Default") == "Default"
+
+
+class TestCrossVocabularyEquivalence:
+    """The same control authored in two vocabularies gives one verdict."""
+
+    ENGLISH_RULE = """
+    definitions
+      set 'req' to a Job Requisition
+          where the position type of this Job Requisition is "new" ;
+    if
+      the approval of 'req' is not null
+    then
+      the internal control is satisfied
+    """
+
+    GERMAN_RULE = """
+    definitions
+      set 'req' to a Stellenausschreibung
+          where the Stellenart of this Stellenausschreibung is "new" ;
+    if
+      the Genehmigung of 'req' is not null
+    then
+      the internal control is satisfied
+    """
+
+    @pytest.mark.parametrize("with_approval", [True, False])
+    def test_identical_verdicts(self, hiring_xom, with_approval):
+        trace = build_hiring_trace("App01", with_approval=with_approval)
+        english = verbalize_with_profile(hiring_xom, DEFAULT_PROFILE)
+        german = verbalize_with_profile(hiring_xom, GERMAN)
+
+        english_rule = BalCompiler(english).compile("c", self.ENGLISH_RULE)
+        german_rule = BalCompiler(german).compile("c", self.GERMAN_RULE)
+
+        english_outcome = RuleEngine(hiring_xom, english).evaluate(
+            english_rule, trace
+        )
+        german_outcome = RuleEngine(hiring_xom, german).evaluate(
+            german_rule, trace
+        )
+        assert english_outcome.verdict is german_outcome.verdict
+        expected = (
+            RuleVerdict.SATISFIED if with_approval
+            else RuleVerdict.NOT_SATISFIED
+        )
+        assert english_outcome.verdict is expected
+
+    def test_english_rule_fails_against_german_vocabulary(self, hiring_xom):
+        from repro.errors import BalCompileError
+
+        german = verbalize_with_profile(hiring_xom, GERMAN)
+        with pytest.raises(BalCompileError):
+            BalCompiler(german).compile("c", self.ENGLISH_RULE)

@@ -1,0 +1,104 @@
+"""Unit tests for XOM generation and runtime objects."""
+
+import pytest
+
+from repro.brms.xom import ExecutableObjectModel
+from repro.errors import XomError
+from tests.conftest import build_hiring_trace
+
+
+class TestXomGeneration:
+    def test_class_per_node_type(self, hiring_xom):
+        names = {c.node_type.name for c in hiring_xom.classes()}
+        assert "jobrequisition" in names
+        assert "person" in names
+        assert "submission" in names
+
+    def test_qualified_names_use_package(self, hiring_xom):
+        xom_class = hiring_xom.xom_class("jobrequisition")
+        assert xom_class.qualified_name == "mycompany.jobrequisition"
+        assert xom_class.simple_name == "jobrequisition"
+
+    def test_getters_generated_per_attribute(self, hiring_xom):
+        xom_class = hiring_xom.xom_class("jobrequisition")
+        assert xom_class.getters["managergen"] == "getManagergen"
+        assert xom_class.getters["reqid"] == "getReqid"
+
+    def test_relation_accessors_generated(self, hiring_xom):
+        xom_class = hiring_xom.xom_class("jobrequisition")
+        types = {a.relation_type for a in xom_class.relations}
+        # Data records can be targets of submitterOf/approvalOf/... edges.
+        assert "submitterOf" in types
+        assert "approvalOf" in types
+
+    def test_unknown_type_raises(self, hiring_xom):
+        with pytest.raises(XomError):
+            hiring_xom.xom_class("widget")
+
+    def test_render_class_source_matches_paper_listing(self, hiring_xom):
+        source = hiring_xom.render_class_source("jobrequisition")
+        assert source.startswith("package mycompany;")
+        assert "public class jobrequisition {" in source
+        assert 'public String class = "data";' in source
+        assert "getManagergen" in source
+
+
+class TestXomObjects:
+    @pytest.fixture
+    def trace(self):
+        return build_hiring_trace()
+
+    def test_wrap_and_get(self, hiring_xom, trace):
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        assert requisition.get("reqid") == "Req-App01"
+        assert requisition.get("missing") is None
+
+    def test_instances(self, hiring_xom, trace):
+        people = hiring_xom.instances(trace, "person")
+        assert len(people) == 1
+        assert people[0].record.record_id == "App01-R1"
+
+    def test_follow_in(self, hiring_xom, trace):
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        submitters = requisition.follow("submitterOf", "in")
+        assert [o.record.record_id for o in submitters] == ["App01-R1"]
+
+    def test_follow_out(self, hiring_xom, trace):
+        person = hiring_xom.wrap(trace.node("App01-R1"), trace)
+        submitted = person.follow("submitterOf", "out")
+        assert [o.record.record_id for o in submitted] == ["App01-D1"]
+
+    def test_follow_one(self, hiring_xom, trace):
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        submitter = requisition.follow_one("submitterOf", "in")
+        assert submitter is not None
+        assert submitter.get("name") == "Joe Doe"
+
+    def test_follow_one_absent_is_none(self, hiring_xom):
+        trace = build_hiring_trace(with_approval=False)
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        assert requisition.follow_one("approvalOf", "in") is None
+
+    def test_follow_bad_direction(self, hiring_xom, trace):
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        with pytest.raises(XomError):
+            requisition.follow("submitterOf", "sideways")
+
+    def test_equality_by_record_id(self, hiring_xom, trace):
+        a = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        b = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        c = hiring_xom.wrap(trace.node("App01-R1"), trace)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_wrap_custom_record_without_declared_type(
+        self, hiring_xom, trace
+    ):
+        from repro.model.records import CustomRecord
+
+        control = CustomRecord.create("App01-C1", "App01", "controlpoint")
+        trace.add_node_record(control)
+        wrapped = hiring_xom.wrap(control, trace)
+        assert wrapped.xom_class.simple_name == "controlpoint"
+        assert wrapped.get("anything") is None

@@ -1,0 +1,329 @@
+"""Unit tests for correlation and enrichment analytics."""
+
+import pytest
+
+from repro.capture.correlation import (
+    CorrelationAnalytics,
+    CorrelationRule,
+    attribute_join,
+    co_trace,
+)
+from repro.errors import CaptureError
+from repro.model.builder import ModelBuilder
+from repro.model.records import (
+    DataRecord,
+    RecordClass,
+    RelationRecord,
+    ResourceRecord,
+    TaskRecord,
+)
+from repro.store.query import RecordQuery
+from repro.store.store import ProvenanceStore
+
+
+@pytest.fixture
+def model():
+    return (
+        ModelBuilder("hiring")
+        .data("jobrequisition", "Job Requisition", reqid=str)
+        .data("approval", "Approval", reqid=str, status=str)
+        .resource("person", "Person", email=str)
+        .task("submission", "Submission", actor_email=str)
+        .relation("actor", RecordClass.RESOURCE, RecordClass.TASK)
+        .relation("approvalOf", RecordClass.DATA, RecordClass.DATA)
+        .relation("relatedTo", RecordClass.DATA, RecordClass.DATA)
+        .build()
+    )
+
+
+@pytest.fixture
+def store(model):
+    store = ProvenanceStore(model=model)
+    store.append(
+        ResourceRecord.create(
+            "R1", "App01", "person", attributes={"email": "jdoe@acme.com"}
+        )
+    )
+    store.append(
+        TaskRecord.create(
+            "T1",
+            "App01",
+            "submission",
+            attributes={"actor_email": "jdoe@acme.com"},
+        )
+    )
+    store.append(
+        DataRecord.create(
+            "D1", "App01", "jobrequisition", attributes={"reqid": "Req001"}
+        )
+    )
+    store.append(
+        DataRecord.create(
+            "D2",
+            "App01",
+            "approval",
+            attributes={"reqid": "Req001", "status": "approved"},
+        )
+    )
+    # A second trace whose records must not cross-link with App01.
+    store.append(
+        DataRecord.create(
+            "D3", "App02", "jobrequisition", attributes={"reqid": "Req002"}
+        )
+    )
+    store.append(
+        DataRecord.create(
+            "D4",
+            "App02",
+            "approval",
+            attributes={"reqid": "Req002", "status": "rejected"},
+        )
+    )
+    return store
+
+
+class TestAttributeJoin:
+    def test_links_on_equal_attributes(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            attribute_join(
+                "actor-by-email",
+                "actor",
+                RecordQuery(entity_type="person"),
+                RecordQuery(entity_type="submission"),
+                "email",
+                "actor_email",
+            )
+        )
+        created = analytics.run()
+        assert len(created) == 1
+        edge = created[0]
+        assert edge.entity_type == "actor"
+        assert edge.source_id == "R1"
+        assert edge.target_id == "T1"
+        assert edge.get("rule") == "actor-by-email"
+
+    def test_missing_attribute_never_joins(self, store, model):
+        store.append(
+            TaskRecord.create("T2", "App01", "submission")
+        )
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            attribute_join(
+                "actor-by-email",
+                "actor",
+                RecordQuery(entity_type="person"),
+                RecordQuery(entity_type="submission"),
+                "email",
+                "actor_email",
+            )
+        )
+        created = analytics.run()
+        assert all(edge.target_id != "T2" for edge in created)
+
+
+class TestCoTrace:
+    def test_links_within_trace_only(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            co_trace(
+                "approval-of-requisition",
+                "approvalOf",
+                RecordQuery(entity_type="approval"),
+                RecordQuery(entity_type="jobrequisition"),
+            )
+        )
+        created = analytics.run()
+        pairs = {(e.source_id, e.target_id) for e in created}
+        assert pairs == {("D2", "D1"), ("D4", "D3")}
+
+    def test_run_scoped_to_one_trace(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            co_trace(
+                "approval-of-requisition",
+                "approvalOf",
+                RecordQuery(entity_type="approval"),
+                RecordQuery(entity_type="jobrequisition"),
+            )
+        )
+        created = analytics.run(app_ids=["App02"])
+        assert {(e.source_id, e.target_id) for e in created} == {("D4", "D3")}
+
+
+class TestAnalytics:
+    def test_rerun_is_idempotent(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            co_trace(
+                "approval-of-requisition",
+                "approvalOf",
+                RecordQuery(entity_type="approval"),
+                RecordQuery(entity_type="jobrequisition"),
+            )
+        )
+        first = analytics.run()
+        second = analytics.run()
+        assert len(first) == 2
+        assert second == []
+
+    def test_fresh_analytics_on_populated_store_is_idempotent(
+        self, store, model
+    ):
+        rule = co_trace(
+            "approval-of-requisition",
+            "approvalOf",
+            RecordQuery(entity_type="approval"),
+            RecordQuery(entity_type="jobrequisition"),
+        )
+        CorrelationAnalytics(store, model).add_rule(rule).run()
+        created = CorrelationAnalytics(store, model).add_rule(rule).run()
+        assert created == []
+
+    def test_fresh_analytics_avoids_id_collision(self, store, model):
+        rule_a = co_trace(
+            "approval-of-requisition",
+            "approvalOf",
+            RecordQuery(entity_type="approval"),
+            RecordQuery(entity_type="jobrequisition"),
+        )
+        CorrelationAnalytics(store, model).add_rule(rule_a).run()
+        rule_b = co_trace(
+            "related",
+            "relatedTo",
+            RecordQuery(entity_type="jobrequisition"),
+            RecordQuery(entity_type="approval"),
+        )
+        created = CorrelationAnalytics(store, model).add_rule(rule_b).run()
+        assert len(created) == 2  # would raise DuplicateRecordId on collision
+
+    def test_undeclared_relation_type_rejected(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        with pytest.raises(CaptureError):
+            analytics.add_rule(
+                co_trace(
+                    "bad",
+                    "nonexistentRelation",
+                    RecordQuery(entity_type="approval"),
+                    RecordQuery(entity_type="jobrequisition"),
+                )
+            )
+
+    def test_self_loops_never_emitted(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            co_trace(
+                "self",
+                "relatedTo",
+                RecordQuery(entity_type="jobrequisition"),
+                RecordQuery(entity_type="jobrequisition"),
+            )
+        )
+        created = analytics.run()
+        assert all(e.source_id != e.target_id for e in created)
+
+    def test_relations_are_stored(self, store, model):
+        analytics = CorrelationAnalytics(store, model)
+        analytics.add_rule(
+            co_trace(
+                "approval-of-requisition",
+                "approvalOf",
+                RecordQuery(entity_type="approval"),
+                RecordQuery(entity_type="jobrequisition"),
+            )
+        )
+        before = len(store)
+        created = analytics.run()
+        assert len(store) == before + len(created)
+        assert all(isinstance(store.get(e.record_id), RelationRecord)
+                   for e in created)
+
+
+class TestSequenceRule:
+    @pytest.fixture
+    def task_store(self, model):
+        store = ProvenanceStore(model=model)
+        for index, ts in enumerate((30, 10, 20)):
+            store.append(
+                TaskRecord.create(
+                    f"T{index}", "App01", "submission", timestamp=ts
+                )
+            )
+        store.append(
+            TaskRecord.create("TX", "App02", "submission", timestamp=5)
+        )
+        return store
+
+    def add_next_task(self, model):
+        from repro.model.records import RecordClass as RC
+        from repro.model.schema import RelationTypeSpec
+
+        if not model.has_relation_type("nextTask"):
+            model.add_relation_type(
+                RelationTypeSpec(
+                    name="nextTask",
+                    source_class=RC.TASK,
+                    target_class=RC.TASK,
+                    label="the previous task of",
+                )
+            )
+
+    def test_links_immediate_successors_in_time_order(self, task_store,
+                                                      model):
+        from repro.capture.correlation import SequenceRule
+
+        self.add_next_task(model)
+        analytics = CorrelationAnalytics(task_store, model)
+        analytics.add_rule(
+            SequenceRule(
+                name="next-task",
+                relation_type="nextTask",
+                query=RecordQuery(entity_type="submission"),
+            )
+        )
+        created = analytics.run(app_ids=["App01"])
+        pairs = [(e.source_id, e.target_id) for e in created]
+        # Time order is T1(10) -> T2(20) -> T0(30).
+        assert pairs == [("T1", "T2"), ("T2", "T0")]
+
+    def test_single_record_produces_no_edges(self, task_store, model):
+        from repro.capture.correlation import SequenceRule
+
+        self.add_next_task(model)
+        analytics = CorrelationAnalytics(task_store, model)
+        analytics.add_rule(
+            SequenceRule(
+                name="next-task",
+                relation_type="nextTask",
+                query=RecordQuery(entity_type="submission"),
+            )
+        )
+        assert analytics.run(app_ids=["App02"]) == []
+
+    def test_sequence_rerun_is_idempotent(self, task_store, model):
+        from repro.capture.correlation import SequenceRule
+
+        self.add_next_task(model)
+        rule = SequenceRule(
+            name="next-task",
+            relation_type="nextTask",
+            query=RecordQuery(entity_type="submission"),
+        )
+        analytics = CorrelationAnalytics(task_store, model)
+        analytics.add_rule(rule)
+        first = analytics.run()
+        assert analytics.run() == []
+        assert len(first) == 2
+
+    def test_undeclared_relation_rejected(self, task_store, model):
+        from repro.capture.correlation import SequenceRule
+
+        analytics = CorrelationAnalytics(task_store, model)
+        with pytest.raises(CaptureError):
+            analytics.add_rule(
+                SequenceRule(
+                    name="bad",
+                    relation_type="notDeclared",
+                    query=RecordQuery(entity_type="submission"),
+                )
+            )

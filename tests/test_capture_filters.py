@@ -1,0 +1,94 @@
+"""Unit tests for relevance filtering and sensitive-data scrubbing."""
+
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.capture.filters import (
+    AttributeAllowList,
+    RelevanceFilter,
+    SensitiveDataScrubber,
+)
+
+
+def event(kind="task.completed", **payload):
+    return ApplicationEvent(
+        event_id="E1",
+        source=EventSource.WORKFLOW,
+        kind=kind,
+        timestamp=10,
+        app_id="App01",
+        payload=payload,
+    )
+
+
+class TestRelevanceFilter:
+    def test_empty_kinds_admits_all(self):
+        admitted, __ = RelevanceFilter().admit(event())
+        assert admitted
+
+    def test_relevant_kind_admitted(self):
+        flt = RelevanceFilter(["task.completed"])
+        admitted, __ = flt.admit(event())
+        assert admitted
+
+    def test_irrelevant_kind_dropped_with_reason(self):
+        flt = RelevanceFilter(["mail.sent"])
+        admitted, reason = flt.admit(event())
+        assert not admitted
+        assert "task.completed" in reason
+
+    def test_predicate_narrows(self):
+        flt = RelevanceFilter(
+            ["task.completed"],
+            predicate=lambda e: e.get("dept") == "Dept501",
+        )
+        admitted, __ = flt.admit(event(dept="Dept501"))
+        assert admitted
+        admitted, reason = flt.admit(event(dept="Dept999"))
+        assert not admitted
+        assert "predicate" in reason
+
+
+class TestAttributeAllowList:
+    def test_build_translates_double_underscore(self):
+        allow = AttributeAllowList.build(task__completed=("actor",))
+        assert allow.fields_for("task.completed") == frozenset({"actor"})
+
+    def test_unknown_kind_unrestricted(self):
+        allow = AttributeAllowList.build(task__completed=("actor",))
+        assert allow.fields_for("mail.sent") is None
+
+
+class TestSensitiveDataScrubber:
+    def test_sensitive_fields_always_removed(self):
+        scrubber = SensitiveDataScrubber(sensitive_fields=["salary"])
+        scrubbed, removed = scrubber.scrub(
+            event(actor="joe", salary="100k")
+        )
+        assert removed == 1
+        assert "salary" not in scrubbed.payload
+        assert scrubbed.get("actor") == "joe"
+
+    def test_allow_list_keeps_only_declared(self):
+        scrubber = SensitiveDataScrubber(
+            allow_list=AttributeAllowList.build(
+                task__completed=("actor",)
+            )
+        )
+        scrubbed, removed = scrubber.scrub(
+            event(actor="joe", internal_note="x", debug="y")
+        )
+        assert removed == 2
+        assert set(scrubbed.payload) == {"actor"}
+
+    def test_no_removal_returns_same_event(self):
+        scrubber = SensitiveDataScrubber()
+        original = event(actor="joe")
+        scrubbed, removed = scrubber.scrub(original)
+        assert removed == 0
+        assert scrubbed is original
+
+    def test_scrub_preserves_identity_fields(self):
+        scrubber = SensitiveDataScrubber(sensitive_fields=["ssn"])
+        scrubbed, __ = scrubber.scrub(event(ssn="123"))
+        assert scrubbed.event_id == "E1"
+        assert scrubbed.app_id == "App01"
+        assert scrubbed.timestamp == 10

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSimulate:
+    def test_simulate_prints_capture_summary_and_rows(self):
+        code, text = run_cli("simulate", "hiring", "--cases", "5")
+        assert code == 0
+        assert "5 cases" in text
+        assert "Provenance rows of trace App01" in text
+        assert "jobrequisition" in text
+
+    def test_visibility_flag_drops_events(self):
+        __, full = run_cli("simulate", "expenses", "--cases", "10")
+        __, partial = run_cli(
+            "simulate", "expenses", "--cases", "10",
+            "--visibility", "0.5",
+        )
+        assert "0 dropped" in full
+        assert "0 dropped" not in partial
+
+
+class TestCheck:
+    def test_clean_run_exits_zero(self):
+        code, text = run_cli("check", "hiring", "--cases", "10")
+        assert code == 0
+        assert "COMPLIANCE DASHBOARD" in text
+        assert "gm-approval" in text
+
+    def test_violations_exit_nonzero(self):
+        code, text = run_cli(
+            "check", "hiring", "--cases", "30",
+            "--violation-rate", "0.5",
+        )
+        assert code == 1
+        assert "EXCEPTIONS" in text
+
+    def test_exceptions_only(self):
+        code, text = run_cli(
+            "check", "procurement", "--cases", "30",
+            "--violation-rate", "0.5", "--exceptions-only",
+        )
+        assert code == 1
+        assert "COMPLIANCE DASHBOARD" not in text
+        assert "violated" in text
+
+    def test_exceptions_only_clean(self):
+        code, text = run_cli(
+            "check", "procurement", "--cases", "5", "--exceptions-only"
+        )
+        assert code == 0
+        assert "no violations" in text
+
+
+class TestVocabulary:
+    def test_vocabulary_lists_menus(self):
+        code, text = run_cli("vocabulary", "hiring")
+        assert code == 0
+        assert "Job Requisition" in text
+        assert "the general manager of the job requisition" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("vocabulary", "banking")
+
+
+class TestReport:
+    def test_report_command(self):
+        code, text = run_cli(
+            "report", "incidents", "--cases", "15",
+            "--violation-rate", "0.3",
+        )
+        assert code == 0
+        assert "INTERNAL CONTROLS AUDIT REPORT" in text
+        assert "p1-escalation" in text
+        assert "EXCEPTIONS" in text

@@ -1,0 +1,172 @@
+"""Unit tests for control artifacts, statuses, and the authoring tool."""
+
+import pytest
+
+from repro.brms.bal.compiler import BalCompiler
+from repro.brms.engine import RuleOutcome, RuleVerdict
+from repro.controls.authoring import ControlAuthoringTool
+from repro.controls.control import ControlSeverity, InternalControl
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.errors import ControlError
+
+
+RULE = (
+    "definitions set 'req' to a Job Requisition where "
+    "the requisition ID of this is <ID> ; "
+    "if the approval of 'req' is not null "
+    "then the internal control is satisfied"
+)
+
+
+@pytest.fixture
+def compiled(hiring_vocabulary):
+    return BalCompiler(hiring_vocabulary).compile("gm-approval", RULE)
+
+
+class TestComplianceStatus:
+    def test_verdict_mapping(self):
+        assert (
+            ComplianceStatus.from_verdict(RuleVerdict.SATISFIED)
+            is ComplianceStatus.SATISFIED
+        )
+        assert (
+            ComplianceStatus.from_verdict(RuleVerdict.NOT_SATISFIED)
+            is ComplianceStatus.VIOLATED
+        )
+        assert (
+            ComplianceStatus.from_verdict(RuleVerdict.NOT_APPLICABLE)
+            is ComplianceStatus.NOT_APPLICABLE
+        )
+        assert (
+            ComplianceStatus.from_verdict(RuleVerdict.UNDETERMINED)
+            is ComplianceStatus.UNDETERMINED
+        )
+
+    def test_conclusive(self):
+        assert ComplianceStatus.SATISFIED.is_conclusive
+        assert ComplianceStatus.VIOLATED.is_conclusive
+        assert not ComplianceStatus.NOT_APPLICABLE.is_conclusive
+        assert not ComplianceStatus.UNDETERMINED.is_conclusive
+
+    def test_from_outcome(self):
+        outcome = RuleOutcome(
+            rule_name="r",
+            trace_id="App01",
+            verdict=RuleVerdict.NOT_SATISFIED,
+            alerts=["missing approval"],
+            bindings={"req": "D1"},
+        )
+        result = ComplianceResult.from_outcome(outcome, checked_at=5)
+        assert result.status is ComplianceStatus.VIOLATED
+        assert result.checked_at == 5
+        assert result.bound_nodes == {"req": "D1"}
+        assert "missing approval" in result.describe()
+
+
+class TestInternalControl:
+    def test_nameless_rejected(self, compiled):
+        with pytest.raises(ControlError):
+            InternalControl(name="", compiled=compiled)
+
+    def test_unknown_default_parameter_rejected(self, compiled):
+        with pytest.raises(ControlError):
+            InternalControl(
+                name="c", compiled=compiled,
+                parameter_defaults={"nope": 1},
+            )
+
+    def test_unbound_parameters(self, compiled):
+        control = InternalControl(name="c", compiled=compiled)
+        assert control.unbound_parameters() == ["ID"]
+        assert control.unbound_parameters({"ID": "Req1"}) == []
+
+    def test_resolve_parameters_merges_defaults(self, compiled):
+        control = InternalControl(
+            name="c", compiled=compiled, parameter_defaults={"ID": "X"}
+        )
+        assert control.resolve_parameters() == {"ID": "X"}
+        assert control.resolve_parameters({"ID": "Y"}) == {"ID": "Y"}
+
+    def test_resolve_missing_raises(self, compiled):
+        control = InternalControl(name="c", compiled=compiled)
+        with pytest.raises(ControlError):
+            control.resolve_parameters()
+
+    def test_specialized(self, compiled):
+        control = InternalControl(name="c", compiled=compiled)
+        special = control.specialized("Req9", ID="Req9")
+        assert special.name == "c[Req9]"
+        assert special.parameter_defaults == {"ID": "Req9"}
+        assert special.compiled is control.compiled
+        assert control.parameter_defaults == {}
+
+    def test_source_exposed(self, compiled):
+        control = InternalControl(name="c", compiled=compiled)
+        assert control.source == RULE
+
+
+class TestAuthoringTool:
+    @pytest.fixture
+    def tool(self, hiring_vocabulary):
+        return ControlAuthoringTool(hiring_vocabulary)
+
+    def test_vocabulary_menus(self, tool):
+        menus = tool.vocabulary_menus()
+        assert (
+            "the general manager of the job requisition"
+            in menus["Job Requisition"]
+        )
+
+    def test_validate_ok(self, tool):
+        assert tool.validate(
+            "if 1 is 1 then the internal control is satisfied"
+        ) == []
+
+    def test_validate_syntax_issue(self, tool):
+        issues = tool.validate("if 1 is then")
+        assert len(issues) == 1
+        assert issues[0].kind == "syntax"
+        assert issues[0].line >= 1
+
+    def test_validate_vocabulary_issue(self, tool):
+        issues = tool.validate(
+            "definitions set 'x' to an Invoice ; "
+            "if 'x' is null then the internal control is satisfied"
+        )
+        assert len(issues) == 1
+        assert issues[0].kind == "vocabulary"
+        assert "Invoice" in issues[0].message
+
+    def test_author_and_deploy(self, tool):
+        control = tool.author(
+            "gm-approval",
+            RULE,
+            description="GM must approve new positions",
+            severity=ControlSeverity.HIGH,
+            owner="compliance team",
+            parameter_defaults={"ID": "Req-1"},
+        )
+        assert control.severity is ControlSeverity.HIGH
+        assert tool.deployed_controls() == []
+        tool.deploy("gm-approval")
+        assert tool.deployed_controls() == [control]
+
+    def test_reauthor_creates_new_version(self, tool):
+        tool.author("c", "if 1 is 1 then the internal control is satisfied")
+        tool.author("c", "if 2 is 2 then the internal control is satisfied")
+        assert len(tool.repository.history("c")) == 2
+        assert "2 is 2" in tool.control("c").source
+
+    def test_deploy_unknown_raises(self, tool):
+        with pytest.raises(ControlError):
+            tool.deploy("ghost")
+
+    def test_control_lookup_unknown_raises(self, tool):
+        with pytest.raises(ControlError):
+            tool.control("ghost")
+
+    def test_retire(self, tool):
+        tool.author("c", "if 1 is 1 then the internal control is satisfied")
+        tool.deploy("c")
+        tool.retire("c")
+        assert tool.deployed_controls() == []

@@ -1,0 +1,106 @@
+"""Tests for structural (subgraph-pattern) control verification."""
+
+import pytest
+
+from repro.brms.bal.compiler import BalCompiler
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.controls.patterns import (
+    PatternVerifier,
+    pattern_from_rule,
+)
+from repro.controls.status import ComplianceStatus
+from repro.errors import PatternError
+from repro.metrics.detection import verdict_agreement
+from repro.processes import hiring
+from repro.processes.violations import ViolationPlan
+
+PAPER_CONTROL = hiring.GM_APPROVAL_CONTROL
+
+
+@pytest.fixture
+def sim():
+    workload = hiring.workload()
+    plan = ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), 0.3)
+    return workload.simulate(cases=40, seed=21, violations=plan)
+
+
+@pytest.fixture
+def structural(sim):
+    compiled = BalCompiler(sim.vocabulary).compile(
+        "gm-approval", PAPER_CONTROL
+    )
+    return pattern_from_rule(compiled, sim.vocabulary)
+
+
+class TestPatternCompilation:
+    def test_anchor_constrained_by_where_clause(self, structural):
+        anchor = structural.anchor_pattern.nodes[0]
+        assert anchor.entity_type == "jobrequisition"
+        assert len(anchor.predicates) == 1
+        assert anchor.predicates[0].name == "type"
+        assert anchor.predicates[0].value == "new"
+
+    def test_required_relations_extracted(self, structural):
+        relations = {rel for __, rel in structural.required_relations}
+        assert relations == {"approvalOf", "candidatesFor"}
+
+    def test_full_pattern_shape(self, structural):
+        assert len(structural.full_pattern.nodes) == 3  # anchor + 2 evidence
+        assert len(structural.full_pattern.edges) == 2
+        assert all(
+            edge.target_var == "anchor"
+            for edge in structural.full_pattern.edges
+        )
+
+    def test_rule_without_anchor_rejected(self, sim):
+        compiled = BalCompiler(sim.vocabulary).compile(
+            "computational", "if 1 is 1 then the internal control is satisfied"
+        )
+        with pytest.raises(PatternError):
+            pattern_from_rule(compiled, sim.vocabulary)
+
+    def test_value_comparisons_are_ignored_not_misread(self, sim):
+        # SOD compares two emails; the structural skeleton must not invent
+        # constraints from it.
+        compiled = BalCompiler(sim.vocabulary).compile(
+            "sod", hiring.SOD_CONTROL
+        )
+        structural = pattern_from_rule(compiled, sim.vocabulary)
+        assert structural.required_relations == ()
+
+
+class TestPatternVerification:
+    def test_agrees_with_rule_engine_on_edge_existence_control(
+        self, sim, structural
+    ):
+        # The paper's worked control is purely edge-existential, so the
+        # structural verifier and the full rule engine must agree on every
+        # trace.
+        engine_results = [
+            r
+            for r in ComplianceEvaluator(
+                sim.store, sim.xom, sim.vocabulary
+            ).run(sim.controls)
+            if r.control_name == "gm-approval"
+        ]
+        pattern_results = PatternVerifier(sim.store).check_all_traces(
+            structural
+        )
+        __, comparisons, disagreements = verdict_agreement(
+            engine_results, pattern_results
+        )
+        assert comparisons == len(engine_results) == 40
+        assert disagreements == []
+
+    def test_statuses_present(self, sim, structural):
+        results = PatternVerifier(sim.store).check_all_traces(structural)
+        statuses = {r.status for r in results}
+        assert ComplianceStatus.SATISFIED in statuses
+        assert ComplianceStatus.VIOLATED in statuses
+        assert ComplianceStatus.NOT_APPLICABLE in statuses
+
+    def test_single_trace_check(self, sim, structural):
+        trace_id = sim.store.app_ids()[0]
+        result = PatternVerifier(sim.store).check_trace(structural, trace_id)
+        assert result.trace_id == trace_id
+        assert result.control_name == "gm-approval"

@@ -1,0 +1,126 @@
+"""Edge-case tests across modules: XML escaping, degenerate inputs."""
+
+import pytest
+
+from repro.errors import BindingError, XomError
+from repro.model.records import DataRecord, RelationRecord
+from repro.store.xmlcodec import decode_row, encode_row
+from tests.conftest import build_hiring_trace
+
+
+class TestXmlSpecialCharacters:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "a < b & c > d",
+            'quoted "value" here',
+            "apostrophe's",
+            "ampersand && <tag> </tag>",
+            "unicode: ü ß € 漢字",
+            "  leading and trailing stripped is fine  ".strip(),
+        ],
+    )
+    def test_attribute_values_roundtrip(self, value):
+        record = DataRecord.create(
+            "D1", "App01", "jobrequisition", attributes={"note": value}
+        )
+        back = decode_row(encode_row(record))
+        assert back.get("note") == value
+
+    def test_xml_injection_cannot_forge_elements(self):
+        # A malicious attribute value must stay a value, never become an
+        # element that changes the record's shape.
+        payload = "</ps:note><ps:status>approved</ps:status>"
+        record = DataRecord.create(
+            "D1", "App01", "jobrequisition", attributes={"note": payload}
+        )
+        back = decode_row(encode_row(record))
+        assert back.get("note") == payload
+        assert back.get("status") is None
+
+    def test_empty_attribute_value(self):
+        record = DataRecord.create(
+            "D1", "App01", "jobrequisition", attributes={"note": ""}
+        )
+        back = decode_row(encode_row(record))
+        assert back.get("note") == ""
+
+
+class TestXomEdgeCases:
+    def test_follow_one_with_multiple_edges_raises(self, hiring_xom):
+        trace = build_hiring_trace("App01")
+        trace.add_node_record(
+            DataRecord.create(
+                "App01-D9", "App01", "approvalstatus",
+                attributes={"reqid": "Req-App01", "status": "approved"},
+            )
+        )
+        trace.add_relation_record(
+            RelationRecord.create(
+                "App01-E9", "App01", "approvalOf",
+                source_id="App01-D9", target_id="App01-D1",
+            )
+        )
+        requisition = hiring_xom.wrap(trace.node("App01-D1"), trace)
+        with pytest.raises(XomError):
+            requisition.follow_one("approvalOf", "in")
+        # follow() (plural) still works.
+        assert len(requisition.follow("approvalOf", "in")) == 2
+
+
+class TestBinderEdgeCases:
+    def test_bind_unknown_node_raises(self, hiring_model):
+        from repro.controls.binding import ControlBinder
+        from repro.controls.status import ComplianceResult, ComplianceStatus
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore(model=hiring_model)
+        result = ComplianceResult(
+            control_name="c",
+            trace_id="App01",
+            status=ComplianceStatus.SATISFIED,
+            bound_nodes={"x": "GHOST-NODE"},
+        )
+        with pytest.raises(BindingError):
+            ControlBinder(store).bind(result)
+
+
+class TestTableRendering:
+    def test_rows_wider_than_headers(self):
+        from repro.reporting.tables import render_table
+
+        text = render_table(("a",), [("x", "extra", "cells")])
+        lines = text.splitlines()
+        assert "extra" in lines[-1]
+        assert "cells" in lines[-1]
+
+    def test_empty_rows(self):
+        from repro.reporting.tables import render_table
+
+        text = render_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2  # header + rule
+
+
+class TestRecorderEmptyStream:
+    def test_process_all_empty(self, hiring_model):
+        from repro.capture.recorder import RecorderClient
+        from repro.processes.hiring import build_mapping
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore(model=hiring_model)
+        recorder = RecorderClient(store, build_mapping(hiring_model))
+        assert recorder.process_all([]) == []
+        assert recorder.stats.seen == 0
+
+
+class TestSimulatorZeroCases:
+    def test_run_zero(self):
+        from repro.processes import hiring
+        from repro.processes.engine import ProcessSimulator
+        from repro.processes.violations import ViolationPlan
+
+        simulator = ProcessSimulator(
+            hiring.build_spec(),
+            hiring.case_factory(ViolationPlan.none()),
+        )
+        assert simulator.run(0) == []

@@ -1,0 +1,105 @@
+"""Tests for ids, clock, and the error hierarchy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.clock import SimulatedClock, format_timestamp
+from repro.ids import IdFactory, trace_app_id
+
+
+class TestIdFactory:
+    def test_per_prefix_counters(self):
+        ids = IdFactory()
+        assert ids.next("PE") == "PE1"
+        assert ids.next("PE") == "PE2"
+        assert ids.next("REL") == "REL1"
+        assert ids.next("PE") == "PE3"
+
+    def test_width_padding(self):
+        ids = IdFactory()
+        assert ids.next("App", width=2) == "App01"
+        assert ids.next("App", width=2) == "App02"
+
+    def test_reset(self):
+        ids = IdFactory()
+        ids.next("X")
+        ids.reset()
+        assert ids.next("X") == "X1"
+
+    def test_trace_app_id_convention(self):
+        assert trace_app_id(1) == "App01"
+        assert trace_app_id(42) == "App42"
+        assert trace_app_id(123) == "App123"
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_ids_unique_within_prefix(self, count):
+        ids = IdFactory()
+        produced = [ids.next("N") for __ in range(count)]
+        assert len(set(produced)) == count
+
+
+class TestSimulatedClock:
+    def test_advance(self):
+        clock = SimulatedClock(10)
+        assert clock.now() == 10
+        assert clock.advance(5) == 15
+        assert clock.now() == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1)
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_at_least_only_moves_forward(self):
+        clock = SimulatedClock(100)
+        assert clock.at_least(50) == 100
+        assert clock.at_least(150) == 150
+
+    def test_format_timestamp(self):
+        assert format_timestamp(0) == "0.00:00:00"
+        assert format_timestamp(86400 + 3661) == "1.01:01:01"
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_format_parses_back(self, seconds):
+        text = format_timestamp(seconds)
+        days, clock_part = text.split(".", 1)
+        hours, minutes, secs = clock_part.split(":")
+        reconstructed = (
+            int(days) * 86400
+            + int(hours) * 3600
+            + int(minutes) * 60
+            + int(secs)
+        )
+        assert reconstructed == seconds
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or (
+                    obj is errors.ReproError
+                ), name
+
+    def test_subsystem_branches(self):
+        assert issubclass(errors.SchemaViolation, errors.ModelError)
+        assert issubclass(errors.DuplicateRecordId, errors.StoreError)
+        assert issubclass(errors.BalSyntaxError, errors.BalError)
+        assert issubclass(errors.BalCompileError, errors.BalError)
+        assert issubclass(errors.BalError, errors.BrmsError)
+        assert issubclass(errors.BindingError, errors.ControlError)
+
+    def test_bal_syntax_error_location(self):
+        error = errors.BalSyntaxError("bad token", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+
+    def test_bal_syntax_error_without_location(self):
+        error = errors.BalSyntaxError("bad token")
+        assert "line" not in str(error)

@@ -1,0 +1,220 @@
+"""Unit tests for detection/authoring/timing metrics and table rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.metrics.authoring import bal_cost, python_cost, query_cost
+from repro.metrics.detection import (
+    ConfusionCounts,
+    detection_report,
+    trace_level_detection,
+    verdict_agreement,
+)
+from repro.metrics.timing import Stopwatch
+from repro.reporting.tables import render_provenance_table, render_table
+
+
+def result(control, trace, status):
+    return ComplianceResult(
+        control_name=control, trace_id=trace, status=status
+    )
+
+
+S = ComplianceStatus.SATISFIED
+V = ComplianceStatus.VIOLATED
+NA = ComplianceStatus.NOT_APPLICABLE
+U = ComplianceStatus.UNDETERMINED
+
+
+class TestConfusionCounts:
+    def test_perfect(self):
+        counts = ConfusionCounts()
+        counts.add(True, True)
+        counts.add(False, False)
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+
+    def test_false_positive(self):
+        counts = ConfusionCounts()
+        counts.add(False, True)
+        counts.add(True, True)
+        assert counts.precision == 0.5
+        assert counts.recall == 1.0
+
+    def test_false_negative(self):
+        counts = ConfusionCounts()
+        counts.add(True, False)
+        counts.add(True, True)
+        assert counts.recall == 0.5
+
+    def test_empty_degenerate(self):
+        counts = ConfusionCounts()
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+        assert counts.total == 0
+
+    def test_zero_f1(self):
+        counts = ConfusionCounts()
+        counts.add(True, False)
+        assert counts.f1 == 0.0
+
+    @given(
+        st.lists(st.tuples(st.booleans(), st.booleans()), max_size=60)
+    )
+    def test_counts_always_sum(self, pairs):
+        counts = ConfusionCounts()
+        for actual, predicted in pairs:
+            counts.add(actual, predicted)
+        assert counts.total == len(pairs)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.f1 <= 1.0
+
+
+class TestDetectionReport:
+    TRUTH = {
+        "App01": {"c1": V, "c2": S},
+        "App02": {"c1": S, "c2": S},
+        "App03": {"c1": NA, "c2": V},
+    }
+
+    def test_perfect_detection(self):
+        results = [
+            result("c1", "App01", V),
+            result("c2", "App01", S),
+            result("c1", "App02", S),
+            result("c2", "App02", S),
+            result("c1", "App03", NA),
+            result("c2", "App03", V),
+        ]
+        report = detection_report(results, self.TRUTH)
+        assert report.overall.f1 == 1.0
+        assert report.per_control["c1"].true_positive == 1
+
+    def test_undetermined_counts_as_missed(self):
+        results = [result("c1", "App01", U)]
+        report = detection_report(results, self.TRUTH)
+        assert report.overall.false_negative == 1
+
+    def test_pairs_missing_from_truth_skipped(self):
+        results = [result("cX", "App01", V)]
+        report = detection_report(results, self.TRUTH)
+        assert report.overall.total == 0
+
+    def test_trace_level(self):
+        results = [
+            result("c1", "App01", V),
+            result("c2", "App01", S),
+            result("c1", "App02", V),  # false alarm at trace level
+            result("c1", "App03", S),
+            result("c2", "App03", S),  # missed trace
+        ]
+        counts = trace_level_detection(results, self.TRUTH)
+        assert counts.true_positive == 1
+        assert counts.false_positive == 1
+        assert counts.false_negative == 1
+
+
+class TestVerdictAgreement:
+    def test_agreement_and_disagreement(self):
+        a = [result("c", "App01", V), result("c", "App02", S)]
+        b = [result("c", "App01", V), result("c", "App02", V)]
+        agreements, comparisons, disagreements = verdict_agreement(a, b)
+        assert (agreements, comparisons) == (1, 2)
+        assert disagreements == [("c", "App02")]
+
+    def test_unmatched_pairs_ignored(self):
+        a = [result("c", "App01", V)]
+        b = [result("other", "App01", V)]
+        __, comparisons, __ = verdict_agreement(a, b)
+        assert comparisons == 0
+
+
+class TestAuthoringCosts:
+    def test_bal_cost(self):
+        cost = bal_cost("c", "if 1 is 1\nthen the control is satisfied")
+        assert cost.language == "bal"
+        assert cost.lines == 2
+        assert cost.tokens > 5
+        assert not cost.requires_it
+
+    def test_python_cost(self):
+        from repro.baselines.hardcoded import _hiring_gm_approval
+
+        cost = python_cost("gm-approval", _hiring_gm_approval)
+        assert cost.language == "python"
+        assert cost.requires_it
+        assert cost.lines > 5
+        assert cost.tokens > 30
+
+    def test_query_cost(self):
+        from repro.baselines.storequery import (
+            hiring_gm_approval_query_control,
+        )
+
+        control = hiring_gm_approval_query_control()
+        cost = query_cost("gm-approval", list(control.probes),
+                          control.verdict)
+        assert cost.language == "xquery"
+        assert cost.requires_it
+
+    def test_bal_cheaper_than_python(self):
+        from repro.baselines.hardcoded import _hiring_gm_approval
+        from repro.processes.hiring import GM_APPROVAL_CONTROL
+
+        bal = bal_cost("gm", GM_APPROVAL_CONTROL)
+        python = python_cost("gm", _hiring_gm_approval)
+        assert bal.tokens < python.tokens
+
+
+class TestStopwatch:
+    def test_spans_accumulate(self):
+        watch = Stopwatch()
+        with watch.span("a"):
+            pass
+        with watch.span("a"):
+            pass
+        with watch.span("b"):
+            pass
+        assert watch.seconds("a") >= 0
+        assert len(watch.rows()) == 2
+        assert watch.total >= watch.seconds("a")
+
+    def test_render(self):
+        watch = Stopwatch()
+        with watch.span("phase-one"):
+            pass
+        assert "phase-one" in watch.render()
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ("name", "value"), [("a", 1), ("longer", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_render_provenance_table(self):
+        from repro.model.records import DataRecord
+        from repro.store.xmlcodec import encode_row
+
+        row = encode_row(
+            DataRecord.create(
+                "PE3", "App01", "jobrequisition",
+                attributes={"reqid": "Req001"},
+            )
+        )
+        text = render_provenance_table([row], title="TABLE I")
+        assert "TABLE I" in text
+        assert "PE3" in text
+        assert "Data" in text
+        assert "App01" in text
+        assert "…" in text or "reqid" in text

@@ -1,0 +1,98 @@
+"""Unit tests for attribute typing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaViolation
+from repro.model.attributes import AttributeSpec, AttributeType
+
+
+class TestAttributeType:
+    def test_string_roundtrip(self):
+        assert AttributeType.STRING.from_wire("hello") == "hello"
+        assert AttributeType.STRING.to_wire("hello") == "hello"
+
+    def test_integer_roundtrip(self):
+        assert AttributeType.INTEGER.from_wire("42") == 42
+        assert AttributeType.INTEGER.to_wire(42) == "42"
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(SchemaViolation):
+            AttributeType.INTEGER.from_wire("forty-two")
+
+    def test_float_roundtrip(self):
+        assert AttributeType.FLOAT.from_wire("3.5") == 3.5
+
+    def test_float_rejects_garbage(self):
+        with pytest.raises(SchemaViolation):
+            AttributeType.FLOAT.from_wire("pi")
+
+    def test_boolean_accepts_variants(self):
+        for text in ("true", "True", "1", "yes"):
+            assert AttributeType.BOOLEAN.from_wire(text) is True
+        for text in ("false", "FALSE", "0", "no"):
+            assert AttributeType.BOOLEAN.from_wire(text) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(SchemaViolation):
+            AttributeType.BOOLEAN.from_wire("maybe")
+
+    def test_boolean_to_wire(self):
+        assert AttributeType.BOOLEAN.to_wire(True) == "true"
+        assert AttributeType.BOOLEAN.to_wire(False) == "false"
+
+    def test_timestamp_is_integer_seconds(self):
+        assert AttributeType.TIMESTAMP.from_wire("86400") == 86400
+
+    def test_accepts_distinguishes_bool_from_int(self):
+        assert AttributeType.INTEGER.accepts(5)
+        assert not AttributeType.INTEGER.accepts(True)
+        assert AttributeType.BOOLEAN.accepts(True)
+        assert not AttributeType.BOOLEAN.accepts(1)
+
+    def test_float_accepts_int(self):
+        assert AttributeType.FLOAT.accepts(3)
+        assert AttributeType.FLOAT.accepts(3.5)
+
+    @given(st.integers())
+    def test_integer_wire_roundtrip_property(self, value):
+        wire = AttributeType.INTEGER.to_wire(value)
+        assert AttributeType.INTEGER.from_wire(wire) == value
+
+    @given(st.booleans())
+    def test_boolean_wire_roundtrip_property(self, value):
+        wire = AttributeType.BOOLEAN.to_wire(value)
+        assert AttributeType.BOOLEAN.from_wire(wire) is value
+
+    @given(st.text(min_size=0, max_size=50))
+    def test_string_wire_roundtrip_property(self, value):
+        wire = AttributeType.STRING.to_wire(value)
+        assert AttributeType.STRING.from_wire(wire) == value
+
+
+class TestAttributeSpec:
+    def test_default_verbalization_expands_underscores(self):
+        spec = AttributeSpec(name="manager_gen")
+        assert spec.verbalized == "manager gen"
+
+    def test_explicit_verbalization_kept(self):
+        spec = AttributeSpec(name="managergen", verbalized="general manager")
+        assert spec.verbalized == "general manager"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaViolation):
+            AttributeSpec(name="bad name!")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaViolation):
+            AttributeSpec(name="")
+
+    def test_validate_accepts_matching_type(self):
+        spec = AttributeSpec(name="count", type=AttributeType.INTEGER)
+        spec.validate(5)
+
+    def test_validate_rejects_wrong_type(self):
+        spec = AttributeSpec(name="count", type=AttributeType.INTEGER)
+        with pytest.raises(SchemaViolation):
+            spec.validate("five")

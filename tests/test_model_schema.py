@@ -1,0 +1,183 @@
+"""Unit tests for the provenance data model (schema + builder)."""
+
+import pytest
+
+from repro.errors import ModelError, SchemaViolation
+from repro.model.attributes import AttributeSpec, AttributeType
+from repro.model.builder import ModelBuilder
+from repro.model.records import (
+    DataRecord,
+    CustomRecord,
+    RecordClass,
+    RelationRecord,
+    ResourceRecord,
+)
+from repro.model.schema import NodeTypeSpec, RelationTypeSpec
+
+
+@pytest.fixture
+def model():
+    return (
+        ModelBuilder("hiring")
+        .data(
+            "jobrequisition",
+            "Job Requisition",
+            reqid=AttributeSpec("reqid", required=True),
+            type=str,
+            position=str,
+            dept=str,
+        )
+        .resource("person", "Person", name=str, email=str, manager=str)
+        .task("submission", "Submission", start=int, end=int)
+        .relation(
+            "submitterOf",
+            RecordClass.RESOURCE,
+            RecordClass.DATA,
+            label="the submitter of",
+        )
+        .build()
+    )
+
+
+class TestNodeTypeSpec:
+    def test_label_defaults_to_capitalized_name(self):
+        spec = NodeTypeSpec(name="person", record_class=RecordClass.RESOURCE)
+        assert spec.label == "Person"
+
+    def test_relation_class_rejected(self):
+        with pytest.raises(ModelError):
+            NodeTypeSpec(name="x", record_class=RecordClass.RELATION)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ModelError):
+            NodeTypeSpec(
+                name="x",
+                record_class=RecordClass.DATA,
+                attributes=(AttributeSpec("a"), AttributeSpec("a")),
+            )
+
+    def test_validate_record_class_mismatch(self, model):
+        spec = model.node_type("jobrequisition")
+        wrong = ResourceRecord.create("R1", "App01", "jobrequisition")
+        with pytest.raises(SchemaViolation):
+            spec.validate_record(wrong)
+
+    def test_validate_missing_required(self, model):
+        spec = model.node_type("jobrequisition")
+        record = DataRecord.create("D1", "App01", "jobrequisition")
+        with pytest.raises(SchemaViolation):
+            spec.validate_record(record)
+
+    def test_validate_ok(self, model):
+        spec = model.node_type("jobrequisition")
+        record = DataRecord.create(
+            "D1", "App01", "jobrequisition", attributes={"reqid": "R1"}
+        )
+        spec.validate_record(record)
+
+
+class TestRelationTypeSpec:
+    def test_relation_cannot_link_relations(self):
+        with pytest.raises(ModelError):
+            RelationTypeSpec(
+                name="x",
+                source_class=RecordClass.RELATION,
+                target_class=RecordClass.DATA,
+            )
+
+
+class TestProvenanceDataModel:
+    def test_duplicate_node_type_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_node_type(
+                NodeTypeSpec(name="person", record_class=RecordClass.RESOURCE)
+            )
+
+    def test_duplicate_relation_type_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_relation_type(
+                RelationTypeSpec(
+                    name="submitterOf",
+                    source_class=RecordClass.RESOURCE,
+                    target_class=RecordClass.DATA,
+                )
+            )
+
+    def test_unknown_node_type_raises(self, model):
+        with pytest.raises(ModelError):
+            model.node_type("widget")
+
+    def test_node_types_filter_by_class(self, model):
+        names = [s.name for s in model.node_types(RecordClass.DATA)]
+        assert names == ["jobrequisition"]
+
+    def test_node_type_by_label(self, model):
+        spec = model.node_type_by_label("job requisition")
+        assert spec is not None and spec.name == "jobrequisition"
+        assert model.node_type_by_label("nothing") is None
+
+    def test_validate_undeclared_data_type_rejected(self, model):
+        record = DataRecord.create("D1", "App01", "invoice")
+        with pytest.raises(SchemaViolation):
+            model.validate(record)
+
+    def test_validate_custom_extension_point_allowed(self, model):
+        record = CustomRecord.create("C1", "App01", "controlpoint")
+        model.validate(record)  # must not raise
+
+    def test_validate_undeclared_relation_rejected(self, model):
+        relation = RelationRecord.create(
+            "E1", "App01", "owns", source_id="A", target_id="B"
+        )
+        with pytest.raises(SchemaViolation):
+            model.validate(relation)
+
+    def test_validate_relation_endpoints(self, model):
+        relation = RelationRecord.create(
+            "E1", "App01", "submitterOf", source_id="R1", target_id="D1"
+        )
+        person = ResourceRecord.create("R1", "App01", "person")
+        requisition = DataRecord.create(
+            "D1", "App01", "jobrequisition", attributes={"reqid": "R1"}
+        )
+        model.validate_relation_endpoints(relation, person, requisition)
+        with pytest.raises(SchemaViolation):
+            model.validate_relation_endpoints(relation, requisition, person)
+
+    def test_coerce_attributes_typed(self, model):
+        typed = model.coerce_attributes("submission", {"start": "10"})
+        assert typed == {"start": 10}
+
+    def test_coerce_attributes_undeclared_passthrough(self, model):
+        typed = model.coerce_attributes("submission", {"extra": "x"})
+        assert typed == {"extra": "x"}
+
+    def test_coerce_attributes_unknown_type_passthrough(self, model):
+        typed = model.coerce_attributes("unknown_type", {"a": "1"})
+        assert typed == {"a": "1"}
+
+    def test_describe_mentions_types(self, model):
+        text = model.describe()
+        assert "jobrequisition" in text
+        assert "submitterOf" in text
+
+
+class TestModelBuilder:
+    def test_builder_rejects_mismatched_spec_name(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("m").data("d", "D", a=AttributeSpec("b"))
+
+    def test_builder_rejects_unknown_decl(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("m").data("d", "D", a=object())
+
+    def test_builder_accepts_attribute_type(self):
+        model = (
+            ModelBuilder("m").data("d", "D", ts=AttributeType.TIMESTAMP).build()
+        )
+        spec = model.node_type("d").attribute("ts")
+        assert spec.type is AttributeType.TIMESTAMP
+
+    def test_empty_model_name_rejected(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("")

@@ -1,0 +1,260 @@
+"""Unit tests for process specs, the simulator, visibility, violations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capture.events import ApplicationEvent, EventSource
+from repro.errors import ProcessError
+from repro.processes.engine import ProcessSimulator, all_events
+from repro.processes.spec import (
+    ActivityStep,
+    ChoiceStep,
+    EndStep,
+    ProcessSpec,
+)
+from repro.processes.violations import ViolationPlan, has_violation
+from repro.processes.visibility import ManagementProfile, VisibilityPolicy
+
+
+def emit_one(kind):
+    def emitter(case, start, end, make_id):
+        return [
+            ApplicationEvent(
+                event_id=make_id(),
+                source=EventSource.WORKFLOW,
+                kind=kind,
+                timestamp=end,
+                app_id=case["app_id"],
+            )
+        ]
+
+    return emitter
+
+
+def linear_spec():
+    spec = ProcessSpec("linear", start="a")
+    spec.add(ActivityStep("a", "r1", emit_one("w.a"), (10, 10), "b"))
+    spec.add(ActivityStep("b", "r2", emit_one("w.b"), (10, 10), "end"))
+    spec.add(EndStep())
+    return spec
+
+
+def branching_spec():
+    spec = ProcessSpec("branching", start="a")
+    spec.add(ActivityStep("a", "r", emit_one("w.a"), (10, 10), "gate"))
+    spec.add(
+        ChoiceStep(
+            "gate",
+            decider=lambda case: case["branch"],
+            branches={"left": "b", "right": None},
+        )
+    )
+    spec.add(ActivityStep("b", "r", emit_one("w.b"), (10, 10), "end"))
+    spec.add(EndStep())
+    return spec
+
+
+class TestProcessSpec:
+    def test_duplicate_step_rejected(self):
+        spec = ProcessSpec("p", start="a")
+        spec.add(EndStep("a"))
+        with pytest.raises(ProcessError):
+            spec.add(EndStep("a"))
+
+    def test_unknown_step_lookup(self):
+        spec = ProcessSpec("p", start="a")
+        with pytest.raises(ProcessError):
+            spec.step("missing")
+
+    def test_validate_missing_start(self):
+        spec = ProcessSpec("p", start="ghost")
+        with pytest.raises(ProcessError):
+            spec.validate()
+
+    def test_validate_dangling_reference(self):
+        spec = ProcessSpec("p", start="a")
+        spec.add(ActivityStep("a", "r", emit_one("w.a"), (1, 1), "ghost"))
+        with pytest.raises(ProcessError):
+            spec.validate()
+
+    def test_gateway_unknown_branch(self):
+        step = ChoiceStep(
+            "g", decider=lambda case: "nope", branches={"yes": None}
+        )
+        with pytest.raises(ProcessError):
+            step.route({})
+
+    def test_describe_lists_steps(self):
+        lines = branching_spec().describe()
+        assert any("[activity] a" in line for line in lines)
+        assert any("[choice]" in line and "gate" in line for line in lines)
+
+    def test_activity_names(self):
+        assert branching_spec().activity_names() == ["a", "b"]
+
+
+class TestSimulator:
+    def factory(self, branch="left"):
+        def build(index, rng):
+            return {"branch": branch, "index": index}
+
+        return build
+
+    def test_linear_run(self):
+        simulator = ProcessSimulator(linear_spec(), self.factory(), seed=1)
+        run = simulator.run_case()
+        assert run.app_id == "App01"
+        assert run.path == ["a", "b"]
+        assert [e.kind for e in run.events] == ["w.a", "w.b"]
+        assert run.finished_at > run.started_at
+
+    def test_branching(self):
+        left = ProcessSimulator(
+            branching_spec(), self.factory("left"), seed=1
+        ).run_case()
+        right = ProcessSimulator(
+            branching_spec(), self.factory("right"), seed=1
+        ).run_case()
+        assert left.path == ["a", "b"]
+        assert right.path == ["a"]
+
+    def test_deterministic_per_seed(self):
+        runs_a = ProcessSimulator(
+            linear_spec(), self.factory(), seed=42
+        ).run(5)
+        runs_b = ProcessSimulator(
+            linear_spec(), self.factory(), seed=42
+        ).run(5)
+        assert [r.events for r in runs_a] == [r.events for r in runs_b]
+
+    def test_app_ids_sequential(self):
+        runs = ProcessSimulator(linear_spec(), self.factory(), seed=1).run(3)
+        assert [r.app_id for r in runs] == ["App01", "App02", "App03"]
+
+    def test_all_events_ordered(self):
+        runs = ProcessSimulator(linear_spec(), self.factory(), seed=1).run(2)
+        events = all_events(runs)
+        assert len(events) == 4
+        timestamps = [e.timestamp for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_runaway_loop_guard(self):
+        spec = ProcessSpec("loop", start="a")
+        spec.add(ActivityStep("a", "r", emit_one("w.a"), (1, 1), "a"))
+        simulator = ProcessSimulator(spec, self.factory(), seed=1)
+        with pytest.raises(ProcessError):
+            simulator.run_case()
+
+
+class TestViolationPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ViolationPlan(rates={"x": 1.5})
+
+    def test_none_plan(self):
+        case = ViolationPlan.none().apply_to_case({}, random.Random(1))
+        assert case["violations"] == set()
+
+    def test_uniform_plan_rate_one(self):
+        plan = ViolationPlan.uniform(["a", "b"], 1.0)
+        assert plan.draw(random.Random(1)) == {"a", "b"}
+
+    def test_uniform_plan_rate_zero(self):
+        plan = ViolationPlan.uniform(["a", "b"], 0.0)
+        assert plan.draw(random.Random(1)) == set()
+
+    def test_has_violation(self):
+        assert has_violation({"violations": {"a"}}, "a")
+        assert not has_violation({"violations": set()}, "a")
+        assert not has_violation({}, "a")
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=25)
+    def test_draw_deterministic_per_seed(self, seed):
+        plan = ViolationPlan.uniform(["a", "b", "c"], 0.5)
+        assert plan.draw(random.Random(seed)) == plan.draw(
+            random.Random(seed)
+        )
+
+
+class TestVisibilityPolicy:
+    def events(self, count=200):
+        sources = list(EventSource)
+        return [
+            ApplicationEvent(
+                event_id=f"E{i}",
+                source=sources[i % len(sources)],
+                kind=f"{sources[i % len(sources)].value}.thing",
+                timestamp=i,
+            )
+            for i in range(count)
+        ]
+
+    def test_full_visibility_keeps_all(self):
+        visible, dropped = VisibilityPolicy.uniform(1.0).project(
+            self.events()
+        )
+        assert len(visible) == 200
+        assert dropped == []
+
+    def test_zero_visibility_drops_all(self):
+        visible, dropped = VisibilityPolicy.uniform(0.0).project(
+            self.events()
+        )
+        assert visible == []
+        assert len(dropped) == 200
+
+    def test_partial_visibility_splits(self):
+        visible, dropped = VisibilityPolicy.uniform(0.5, seed=3).project(
+            self.events()
+        )
+        assert len(visible) + len(dropped) == 200
+        assert 40 < len(visible) < 160  # loose band around half
+
+    def test_projection_deterministic(self):
+        policy = VisibilityPolicy.uniform(0.5, seed=9)
+        first = policy.project(self.events())
+        second = policy.project(self.events())
+        assert [e.event_id for e in first[0]] == [
+            e.event_id for e in second[0]
+        ]
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            VisibilityPolicy.uniform(1.5)
+
+    def test_profiles_ordered_by_visibility(self):
+        events = self.events(600)
+        kept = {}
+        for profile in ManagementProfile:
+            policy = VisibilityPolicy.from_profile(profile, seed=5)
+            kept[profile] = len(policy.project(events)[0])
+        assert (
+            kept[ManagementProfile.FULLY_MANAGED]
+            > kept[ManagementProfile.PARTIALLY_MANAGED]
+            > kept[ManagementProfile.UNMANAGED]
+        )
+
+    def test_observable_types_respects_zero_rate_sources(self):
+        from repro.processes import hiring
+
+        model = hiring.build_model()
+        mapping = hiring.build_mapping(model)
+        policy = VisibilityPolicy(
+            rates={EventSource.EMAIL: 0.0}, default_rate=1.0
+        )
+        observable = policy.observable_types(mapping)
+        assert "notification" not in observable
+        assert "jobrequisition" in observable
+
+    def test_observable_types_all_under_full_visibility(self):
+        from repro.processes import hiring
+
+        model = hiring.build_model()
+        mapping = hiring.build_mapping(model)
+        observable = VisibilityPolicy.uniform(1.0).observable_types(mapping)
+        assert "notification" in observable
+        assert "person" in observable

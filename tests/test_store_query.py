@@ -1,0 +1,203 @@
+"""Unit tests for query predicates and the xpath-lite language."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model.records import DataRecord, RecordClass
+from repro.store.query import AttributePredicate, RecordQuery, xpath_lite
+from repro.store.xmlcodec import StoredRow, encode_row
+
+
+def record(**attributes):
+    return DataRecord.create(
+        "PE3", "App01", "jobrequisition", timestamp=50, attributes=attributes
+    )
+
+
+class TestAttributePredicate:
+    def test_equality(self):
+        assert AttributePredicate("type", "==", "new").matches(
+            record(type="new")
+        )
+        assert not AttributePredicate("type", "==", "new").matches(
+            record(type="existing")
+        )
+
+    def test_inequality(self):
+        assert AttributePredicate("type", "!=", "new").matches(
+            record(type="existing")
+        )
+
+    def test_ordering(self):
+        assert AttributePredicate("amount", ">", 10).matches(record(amount=11))
+        assert not AttributePredicate("amount", ">", 10).matches(
+            record(amount=10)
+        )
+        assert AttributePredicate("amount", "<=", 10).matches(
+            record(amount=10)
+        )
+
+    def test_exists_absent(self):
+        assert AttributePredicate("type", "exists").matches(record(type="x"))
+        assert not AttributePredicate("type", "exists").matches(record())
+        assert AttributePredicate("type", "absent").matches(record())
+
+    def test_missing_attribute_never_matches_comparison(self):
+        assert not AttributePredicate("type", "==", "new").matches(record())
+
+    def test_cross_type_comparison_is_false_not_error(self):
+        assert not AttributePredicate("amount", ">", 10).matches(
+            record(amount="lots")
+        )
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            AttributePredicate("a", "~=", 1)
+
+
+class TestRecordQuery:
+    def test_where_chains_immutably(self):
+        base = RecordQuery(entity_type="jobrequisition")
+        refined = base.where("type", "==", "new")
+        assert len(base.predicates) == 0
+        assert len(refined.predicates) == 1
+
+    def test_all_facets_conjoin(self):
+        query = RecordQuery(
+            record_class=RecordClass.DATA,
+            app_id="App01",
+            entity_type="jobrequisition",
+            since=10,
+            until=100,
+        ).where("type", "==", "new")
+        assert query.matches(record(type="new"))
+        assert not query.matches(record(type="existing"))
+
+    def test_time_window(self):
+        assert not RecordQuery(since=51).matches(record())
+        assert RecordQuery(since=50, until=50).matches(record())
+        assert not RecordQuery(until=49).matches(record())
+
+
+class TestXpathLite:
+    @pytest.fixture
+    def row(self):
+        return encode_row(
+            record(reqid="Req001", type="new", position="Sales")
+        )
+
+    def test_child_path(self, row):
+        assert xpath_lite(row, "/jobrequisition/reqid") == ["Req001"]
+
+    def test_child_path_with_ps_prefix(self, row):
+        assert xpath_lite(row, "/ps:jobrequisition/ps:type") == ["new"]
+
+    def test_anywhere_path(self, row):
+        assert xpath_lite(row, "//position") == ["Sales"]
+
+    def test_root_attribute(self, row):
+        assert xpath_lite(row, "/jobrequisition/@ps:class") == ["data"]
+
+    def test_no_match_returns_empty(self, row):
+        assert xpath_lite(row, "/jobrequisition/salary") == []
+        assert xpath_lite(row, "/invoice/amount") == []
+
+    def test_timestamp_value_attribute(self, row):
+        assert xpath_lite(row, "/jobrequisition/timestamp/@value") == ["50"]
+
+    def test_malformed_path_rejected(self, row):
+        with pytest.raises(QueryError):
+            xpath_lite(row, "jobrequisition/reqid")
+        with pytest.raises(QueryError):
+            xpath_lite(row, "/")
+
+    def test_malformed_xml_rejected(self):
+        row = StoredRow("X", RecordClass.DATA, "App01", "<broken")
+        with pytest.raises(QueryError):
+            xpath_lite(row, "/a/b")
+
+
+class TestContinuousQuery:
+    def test_deploy_replays_history_and_streams(self):
+        from repro.store.continuous import CollectingSink, ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        store.append(record(reqid="before"))
+        query = ContinuousQuery(
+            RecordQuery(entity_type="jobrequisition")
+        ).deploy(store)
+        sink = CollectingSink()
+        query.subscribe(sink)
+        # History replay happened before subscribe in this flow; emitted
+        # counts it, the sink only sees live appends.
+        assert query.emitted == 1
+        store.append(
+            DataRecord.create(
+                "PE4", "App01", "jobrequisition", attributes={"reqid": "live"}
+            )
+        )
+        assert [r.get("reqid") for r in sink.records] == ["live"]
+        assert query.emitted == 2
+
+    def test_subscribe_before_deploy_sees_history(self):
+        from repro.store.continuous import CollectingSink, ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        store.append(record(reqid="before"))
+        query = ContinuousQuery(RecordQuery(entity_type="jobrequisition"))
+        sink = CollectingSink()
+        query.subscribe(sink)
+        query.deploy(store)
+        assert [r.get("reqid") for r in sink.records] == ["before"]
+
+    def test_no_replay_mode(self):
+        from repro.store.continuous import CollectingSink, ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        store.append(record())
+        query = ContinuousQuery(
+            RecordQuery(entity_type="jobrequisition"), replay=False
+        )
+        sink = CollectingSink()
+        query.subscribe(sink)
+        query.deploy(store)
+        assert len(sink) == 0
+
+    def test_cancel_subscription(self):
+        from repro.store.continuous import CollectingSink, ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        query = ContinuousQuery(RecordQuery()).deploy(store)
+        sink = CollectingSink()
+        handle = query.subscribe(sink)
+        store.append(record())
+        handle.cancel()
+        store.append(
+            DataRecord.create("PE9", "App01", "jobrequisition")
+        )
+        assert len(sink) == 1
+        assert not handle.active
+
+    def test_undeploy_stops_emission(self):
+        from repro.store.continuous import ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        query = ContinuousQuery(RecordQuery()).deploy(store)
+        query.undeploy()
+        store.append(record())
+        assert query.emitted == 0
+        assert not query.deployed
+
+    def test_double_deploy_rejected(self):
+        from repro.store.continuous import ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        query = ContinuousQuery(RecordQuery()).deploy(store)
+        with pytest.raises(RuntimeError):
+            query.deploy(store)

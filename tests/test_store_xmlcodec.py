@@ -1,0 +1,157 @@
+"""Unit and property tests for the Table-I XML codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.model.builder import ModelBuilder
+from repro.model.records import (
+    DataRecord,
+    RecordClass,
+    RelationRecord,
+    TaskRecord,
+)
+from repro.store.xmlcodec import (
+    StoredRow,
+    decode_row,
+    encode_record_xml,
+    encode_row,
+)
+
+
+def requisition():
+    return DataRecord.create(
+        record_id="PE3",
+        app_id="App01",
+        entity_type="jobrequisition",
+        timestamp=86400,
+        attributes={
+            "reqid": "Req001",
+            "type": "new",
+            "dept": "Dept501",
+            "position": "Sales",
+        },
+    )
+
+
+class TestEncode:
+    def test_row_columns(self):
+        row = encode_row(requisition())
+        assert row.record_id == "PE3"
+        assert row.record_class is RecordClass.DATA
+        assert row.app_id == "App01"
+
+    def test_xml_shape_matches_table1(self):
+        xml = encode_record_xml(requisition())
+        assert "jobrequisition" in xml
+        assert 'class="data"' in xml or "class=\"data\"" in xml
+        assert "Req001" in xml
+        assert "Dept501" in xml
+
+    def test_as_tuple_matches_paper_columns(self):
+        row = encode_row(requisition())
+        record_id, record_class, app_id, xml = row.as_tuple()
+        assert (record_id, record_class, app_id) == ("PE3", "Data", "App01")
+        assert xml.startswith("<ps:")
+
+    def test_relation_encodes_endpoints(self):
+        relation = RelationRecord.create(
+            "PE5", "App01", "submitterOf", source_id="PE1", target_id="PE3"
+        )
+        xml = encode_record_xml(relation)
+        assert "PE1" in xml and "PE3" in xml
+
+
+class TestRoundTrip:
+    def test_data_roundtrip_untyped(self):
+        record = requisition()
+        back = decode_row(encode_row(record))
+        assert back.record_id == record.record_id
+        assert back.app_id == record.app_id
+        assert back.entity_type == record.entity_type
+        assert back.timestamp == record.timestamp
+        assert back.get("reqid") == "Req001"
+
+    def test_data_roundtrip_typed_with_model(self):
+        model = (
+            ModelBuilder("m")
+            .task("submission", "Submission", start=int, end=int)
+            .build()
+        )
+        task = TaskRecord.create(
+            "PE2",
+            "App01",
+            "submission",
+            timestamp=10,
+            attributes={"start": 10, "end": 25},
+        )
+        back = decode_row(encode_row(task), model)
+        assert back.get("start") == 10
+        assert back.get("end") == 25
+
+    def test_relation_roundtrip(self):
+        relation = RelationRecord.create(
+            "PE5",
+            "App01",
+            "submitterOf",
+            source_id="PE1",
+            target_id="PE3",
+            timestamp=7,
+        )
+        back = decode_row(encode_row(relation))
+        assert isinstance(back, RelationRecord)
+        assert back.source_id == "PE1"
+        assert back.target_id == "PE3"
+        assert back.timestamp == 7
+
+    @given(
+        reqid=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x2FF
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        timestamp=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_roundtrip_property(self, reqid, timestamp):
+        record = DataRecord.create(
+            "PE1",
+            "App01",
+            "jobrequisition",
+            timestamp=timestamp,
+            attributes={"reqid": reqid},
+        )
+        back = decode_row(encode_row(record))
+        assert back.get("reqid") == reqid
+        assert back.timestamp == timestamp
+
+
+class TestCorruptionDetection:
+    def test_malformed_xml_raises(self):
+        row = StoredRow("X1", RecordClass.DATA, "App01", "<not-closed")
+        with pytest.raises(CodecError):
+            decode_row(row)
+
+    def test_id_mismatch_raises(self):
+        row = encode_row(requisition())
+        tampered = StoredRow("OTHER", row.record_class, row.app_id, row.xml)
+        with pytest.raises(CodecError):
+            decode_row(tampered)
+
+    def test_class_mismatch_raises(self):
+        row = encode_row(requisition())
+        tampered = StoredRow(
+            row.record_id, RecordClass.TASK, row.app_id, row.xml
+        )
+        with pytest.raises(CodecError):
+            decode_row(tampered)
+
+    def test_appid_mismatch_raises(self):
+        row = encode_row(requisition())
+        tampered = StoredRow(
+            row.record_id, row.record_class, "App99", row.xml
+        )
+        with pytest.raises(CodecError):
+            decode_row(tampered)
