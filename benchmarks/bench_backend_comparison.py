@@ -1,0 +1,166 @@
+"""Backend comparison — memory vs SQLite (in-memory and on-disk).
+
+The storage seam (``repro.store.backends``) trades memory-resident speed
+for durability; this bench prices that trade on the three hot paths:
+
+- **append** — the recorder-client capture pipeline (events → records →
+  rows), which exercises SQLite's batched-transaction write path,
+- **query** — indexed selects (per-trace, attribute-filtered) plus point
+  lookups, which exercise the lazy-decode LRU cache,
+- **deployed check** — batched continuous checking over a growing stream,
+  the E5 workload, which mixes appends, index hits and graph builds.
+
+Expected shape: memory wins on raw append (no serialization to disk);
+SQLite ``:memory:`` tracks file SQLite closely on queries (both pay decode
+on cache misses); the on-disk file pays WAL commit latency on appends but
+stays within a small factor thanks to batched transactions — and is the
+only column that survives a process restart.
+
+Benchmarked operation: the full capture+check pipeline on the on-disk
+SQLite backend.
+"""
+
+import time
+
+from repro.capture.correlation import CorrelationAnalytics
+from repro.capture.recorder import RecorderClient
+from repro.controls.deployment import ControlDeployment
+from repro.processes import hiring
+from repro.processes.engine import ProcessSimulator
+from repro.processes.violations import ViolationPlan
+from repro.reporting.tables import render_table
+from repro.store.backends import MemoryBackend, SQLiteBackend
+from repro.store.query import RecordQuery
+from repro.store.store import ProvenanceStore
+
+CASES = 120
+BATCHES = 4
+QUERY_ROUNDS = 3
+
+
+def _backend_factories(tmp_path):
+    return (
+        ("memory", lambda: MemoryBackend()),
+        ("sqlite :memory:", lambda: SQLiteBackend(":memory:")),
+        (
+            "sqlite file",
+            lambda: SQLiteBackend(
+                str(tmp_path / f"bench-{time.monotonic_ns()}.db")
+            ),
+        ),
+    )
+
+
+def _capture(workload, backend, cases):
+    """Run the capture pipeline into a fresh store; returns (store, secs)."""
+    model = workload.build_model()
+    store = ProvenanceStore(model=model, backend=backend)
+    recorder = RecorderClient(store, workload.build_mapping(model))
+    analytics = CorrelationAnalytics(store, model)
+    for rule in workload.correlation_rules():
+        analytics.add_rule(rule)
+    simulator = ProcessSimulator(
+        workload.build_spec(),
+        workload.case_factory(ViolationPlan.none()),
+        seed=5,
+    )
+    runs = simulator.run(cases)
+    start = time.perf_counter()
+    for run in runs:
+        recorder.process_all(run.events)
+    analytics.run()
+    store.flush()
+    return store, time.perf_counter() - start
+
+
+def _query(store):
+    """Indexed selects + point lookups over every trace; returns secs."""
+    start = time.perf_counter()
+    for __ in range(QUERY_ROUNDS):
+        for trace_id in store.app_ids():
+            records = store.select(RecordQuery(app_id=trace_id))
+            for record in records[:5]:
+                store.get(record.record_id)
+            store.find_data(trace_id, "jobrequisition", type="new")
+    return time.perf_counter() - start
+
+
+def _deployed(workload, stack, backend, cases):
+    """Batched continuous checking over a growing stream; returns secs."""
+    model = workload.build_model()
+    store = ProvenanceStore(model=model, backend=backend)
+    recorder = RecorderClient(store, workload.build_mapping(model))
+    analytics = CorrelationAnalytics(store, model)
+    for rule in workload.correlation_rules():
+        analytics.add_rule(rule)
+    deployment = ControlDeployment(
+        store, stack.xom, stack.vocabulary,
+        bind_results=False, immediate=False,
+    )
+    for control in stack.controls:
+        deployment.deploy(control)
+    simulator = ProcessSimulator(
+        workload.build_spec(),
+        workload.case_factory(ViolationPlan.none()),
+        seed=5,
+    )
+    start = time.perf_counter()
+    for __ in range(BATCHES):
+        for run in simulator.run(cases // BATCHES):
+            recorder.process_all(run.events)
+        analytics.run()
+        deployment.flush()
+    seconds = time.perf_counter() - start
+    store.close()
+    return seconds, deployment.rechecks
+
+
+def test_backend_comparison(benchmark, artifact, tmp_path):
+    workload = hiring.workload()
+    stack = workload.simulate(cases=0)  # vocabulary + controls only
+
+    rows = []
+    for label, factory in _backend_factories(tmp_path):
+        store, append_sec = _capture(workload, factory(), CASES)
+        stored = len(store)
+        query_sec = _query(store)
+        store.close()
+        check_sec, rechecks = _deployed(workload, stack, factory(), CASES)
+        rows.append(
+            (
+                label,
+                stored,
+                f"{stored / append_sec:,.0f} rows/s",
+                f"{query_sec:.3f}s",
+                f"{check_sec:.3f}s",
+                rechecks,
+            )
+        )
+
+    table = render_table(
+        (
+            "backend",
+            "rows",
+            "append throughput",
+            f"query ({QUERY_ROUNDS} sweeps)",
+            "deployed check",
+            "rechecks",
+        ),
+        rows,
+        title=(
+            f"Backend comparison — hiring, {CASES} cases, "
+            f"{BATCHES} check batches"
+        ),
+    )
+    artifact("Backend comparison", table)
+
+    # Identical recheck counts: the seam changes cost, never semantics.
+    assert len({row[5] for row in rows}) == 1
+
+    benchmark(
+        lambda: _deployed(
+            workload, stack, SQLiteBackend(
+                str(tmp_path / f"bm-{time.monotonic_ns()}.db")
+            ), 40,
+        )
+    )

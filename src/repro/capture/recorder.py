@@ -117,5 +117,12 @@ class RecorderClient:
     def process_all(
         self, events: Iterable[ApplicationEvent]
     ) -> List[EventEnvelope]:
-        """Process many events, in order; returns all envelopes."""
-        return [self.process(event) for event in events]
+        """Process many events, in order; returns all envelopes.
+
+        The whole stream runs inside one :meth:`ProvenanceStore.bulk`
+        section, so storage backends with write batching (SQLite) commit
+        the burst in wide transactions instead of one per record.  Filter,
+        scrub, duplicate and observer semantics are per-event regardless.
+        """
+        with self.store.bulk():
+            return [self.process(event) for event in events]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands wrap the common flows so the system is drivable without
+Four subcommands wrap the common flows so the system is drivable without
 writing Python::
 
     python -m repro simulate hiring --cases 50 --violation-rate 0.2
@@ -12,8 +12,18 @@ writing Python::
   Table-I rows of the first trace,
 - ``check`` runs the workload, evaluates its controls, and prints the
   compliance dashboard (optionally under a visibility projection),
+- ``report`` prints a full audit report,
 - ``vocabulary`` prints the rule editor's drop-down menus for a workload's
   generated business vocabulary.
+
+Every subcommand takes ``--backend {memory,sqlite}`` and ``--db PATH`` to
+pick where the provenance store keeps its physical Table-I rows.  With
+``--backend sqlite --db out.db`` the rows persist: a later ``check`` or
+``report`` against the same ``--db`` skips simulation entirely and audits
+the stored rows — the capture-once / audit-later split of §II.A::
+
+    python -m repro simulate hiring --backend sqlite --db out.db
+    python -m repro check hiring --backend sqlite --db out.db
 """
 
 from __future__ import annotations
@@ -23,11 +33,13 @@ import sys
 from typing import List, Optional
 
 from repro.controls.dashboard import ComplianceDashboard
+from repro.errors import BackendError
 from repro.controls.evaluator import ComplianceEvaluator
 from repro.processes import expenses, hiring, incidents, procurement
 from repro.processes.violations import ViolationPlan
 from repro.processes.visibility import VisibilityPolicy
 from repro.reporting.tables import render_provenance_table
+from repro.store.backends import SQLiteBackend, StorageBackend
 
 WORKLOADS = {
     "hiring": hiring,
@@ -47,6 +59,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", choices=("memory", "sqlite"), default="memory",
+            help="storage backend for the provenance store",
+        )
+        p.add_argument(
+            "--db", default=None, metavar="PATH",
+            help=(
+                "SQLite database path (implies persistence; a populated "
+                "database is reused instead of re-simulating)"
+            ),
+        )
+
     def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "workload", choices=sorted(WORKLOADS),
@@ -64,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "--visibility", type=float, default=None,
             help="uniform capture rate (0..1); omit for full visibility",
         )
+        add_backend_args(p)
 
     simulate = sub.add_parser(
         "simulate", help="simulate a workload and show what was captured"
@@ -88,108 +114,154 @@ def _build_parser() -> argparse.ArgumentParser:
         "vocabulary", help="print the generated business vocabulary"
     )
     vocabulary.add_argument("workload", choices=sorted(WORKLOADS))
+    add_backend_args(vocabulary)
     return parser
+
+
+def _backend_for(args) -> Optional[StorageBackend]:
+    """The storage backend the flags select; None means in-memory default."""
+    if args.backend == "sqlite":
+        return SQLiteBackend(args.db or ":memory:")
+    return None
 
 
 def _simulate(args):
     module = WORKLOADS[args.workload]
     workload = module.workload()
+    visibility = (
+        VisibilityPolicy.uniform(args.visibility)
+        if args.visibility is not None
+        else None
+    )
+    backend = _backend_for(args)
+    if backend is not None and backend.count() > 0:
+        # The --db already holds captured rows: audit them instead of
+        # re-simulating.  Verdicts match the run that wrote the rows.
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore(model=workload.build_model(), backend=backend)
+        return module, workload, workload.attach(store, visibility=visibility)
     plan = (
         ViolationPlan.uniform(list(module.VIOLATION_KINDS),
                               args.violation_rate)
         if args.violation_rate > 0
         else ViolationPlan.none()
     )
-    visibility = (
-        VisibilityPolicy.uniform(args.visibility)
-        if args.visibility is not None
-        else None
-    )
     sim = workload.simulate(
         cases=args.cases, seed=args.seed,
         violations=plan, visibility=visibility,
+        backend=backend,
     )
     return module, workload, sim
 
 
 def cmd_simulate(args, out) -> int:
     __, __, sim = _simulate(args)
-    print(
-        f"workload {sim.workload_name!r}: {len(sim.runs)} cases, "
-        f"{sim.visible_events} events captured, "
-        f"{sim.dropped_events} dropped, {len(sim.store)} provenance rows",
-        file=out,
-    )
-    if sim.store.app_ids():
-        trace_id = sim.store.app_ids()[0]
-        rows = [r for r in sim.store.rows() if r.app_id == trace_id]
-        print(file=out)
-        print(
-            render_provenance_table(
-                rows, title=f"Provenance rows of trace {trace_id}"
-            ),
-            file=out,
-        )
-    return 0
+    try:
+        if sim.runs:
+            print(
+                f"workload {sim.workload_name!r}: {len(sim.runs)} cases, "
+                f"{sim.visible_events} events captured, "
+                f"{sim.dropped_events} dropped, "
+                f"{len(sim.store)} provenance rows",
+                file=out,
+            )
+        else:
+            print(
+                f"workload {sim.workload_name!r}: reusing "
+                f"{len(sim.store)} provenance rows from {args.db!r}",
+                file=out,
+            )
+        if sim.store.app_ids():
+            trace_id = sim.store.app_ids()[0]
+            rows = [r for r in sim.store.rows() if r.app_id == trace_id]
+            print(file=out)
+            print(
+                render_provenance_table(
+                    rows, title=f"Provenance rows of trace {trace_id}"
+                ),
+                file=out,
+            )
+        return 0
+    finally:
+        sim.store.close()
 
 
 def cmd_check(args, out) -> int:
     module, workload, sim = _simulate(args)
-    evaluator = ComplianceEvaluator(
-        sim.store, sim.xom, sim.vocabulary,
-        observable_types=sim.observable_types,
-    )
-    results = evaluator.run(sim.controls)
-    dashboard = ComplianceDashboard()
-    for control in sim.controls:
-        dashboard.register_control(control)
-    dashboard.record_all(results)
-    if args.exceptions_only:
-        exceptions = dashboard.exceptions()
-        if not exceptions:
-            print("no violations", file=out)
-        for result in exceptions:
-            print(result.describe(), file=out)
-    else:
-        print(dashboard.render(), file=out)
-    return 1 if dashboard.exceptions() else 0
+    try:
+        evaluator = ComplianceEvaluator(
+            sim.store, sim.xom, sim.vocabulary,
+            observable_types=sim.observable_types,
+        )
+        results = evaluator.run(sim.controls)
+        dashboard = ComplianceDashboard()
+        for control in sim.controls:
+            dashboard.register_control(control)
+        dashboard.record_all(results)
+        if args.exceptions_only:
+            exceptions = dashboard.exceptions()
+            if not exceptions:
+                print("no violations", file=out)
+            for result in exceptions:
+                print(result.describe(), file=out)
+        else:
+            print(dashboard.render(), file=out)
+        return 1 if dashboard.exceptions() else 0
+    finally:
+        sim.store.close()
 
 
 def cmd_report(args, out) -> int:
     from repro.reporting.audit import AuditReportBuilder
 
     __, __, sim = _simulate(args)
-    evaluator = ComplianceEvaluator(
-        sim.store, sim.xom, sim.vocabulary,
-        observable_types=sim.observable_types,
-    )
-    results = evaluator.run(sim.controls)
-    builder = AuditReportBuilder(sim.store, sim.controls)
-    print(builder.build(results), file=out)
-    return 0
+    try:
+        evaluator = ComplianceEvaluator(
+            sim.store, sim.xom, sim.vocabulary,
+            observable_types=sim.observable_types,
+        )
+        results = evaluator.run(sim.controls)
+        builder = AuditReportBuilder(sim.store, sim.controls)
+        print(builder.build(results), file=out)
+        return 0
+    finally:
+        sim.store.close()
 
 
 def cmd_vocabulary(args, out) -> int:
+    # The vocabulary derives from the data model alone; --backend/--db are
+    # accepted for interface uniformity but the store is never written, so
+    # an existing --db is left untouched.
     module = WORKLOADS[args.workload]
     sim = module.workload().simulate(cases=0)
-    for concept, phrases in sim.vocabulary.dropdown_entries().items():
-        print(concept, file=out)
-        for phrase in phrases:
-            print(f"  - {phrase}", file=out)
-    return 0
+    try:
+        for concept, phrases in sim.vocabulary.dropdown_entries().items():
+            print(concept, file=out)
+            for phrase in phrases:
+                print(f"  - {phrase}", file=out)
+        return 0
+    finally:
+        sim.store.close()
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
-    args = _build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return cmd_simulate(args, out)
-    if args.command == "check":
-        return cmd_check(args, out)
-    if args.command == "report":
-        return cmd_report(args, out)
-    return cmd_vocabulary(args, out)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "db", None) and args.backend == "memory":
+        parser.error("--db requires --backend sqlite")
+    try:
+        if args.command == "simulate":
+            return cmd_simulate(args, out)
+        if args.command == "check":
+            return cmd_check(args, out)
+        if args.command == "report":
+            return cmd_report(args, out)
+        return cmd_vocabulary(args, out)
+    except BackendError as exc:
+        parser.error(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

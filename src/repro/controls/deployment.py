@@ -60,8 +60,11 @@ class ControlDeployment:
         self._relevant_types: Dict[str, Set[str]] = {}
         self._listeners: List[ResultListener] = []
         self._latest: Dict[Tuple[str, str], ComplianceResult] = {}
-        self._dirty: List[Tuple[str, str]] = []
-        self._dirty_set: Set[Tuple[str, str]] = set()
+        # Dirty (control, trace) pairs awaiting a flush.  A dict (insertion
+        # ordered, keys unique) gives both the dedup and the FIFO ordering
+        # that a parallel list+set pair provided, without the possibility of
+        # the two drifting apart.
+        self._dirty: Dict[Tuple[str, str], None] = {}
         self._attached = False
         self.rechecks = 0  # number of (control, trace) evaluations run
 
@@ -152,10 +155,7 @@ class ControlDeployment:
         return False
 
     def _mark(self, control_name: str, trace_id: str) -> None:
-        key = (control_name, trace_id)
-        if key not in self._dirty_set:
-            self._dirty_set.add(key)
-            self._dirty.append(key)
+        self._dirty.setdefault((control_name, trace_id))
 
     @property
     def dirty_count(self) -> int:
@@ -170,8 +170,7 @@ class ControlDeployment:
         makes it cheaper — a burst of records for one trace costs one
         evaluation, not one per record.
         """
-        pending, self._dirty = self._dirty, []
-        self._dirty_set.clear()
+        pending, self._dirty = list(self._dirty), {}
         results = []
         for control_name, trace_id in pending:
             control = self._controls.get(control_name)

@@ -16,7 +16,7 @@ from repro.brms.vocabulary import Vocabulary
 from repro.brms.xom import ExecutableObjectModel
 from repro.controls.control import InternalControl
 from repro.controls.status import ComplianceResult, ComplianceStatus
-from repro.graph.build import build_trace_graph
+from repro.graph.build import build_trace_graph, graph_from_records
 from repro.graph.graph import ProvenanceGraph
 from repro.store.store import ProvenanceStore
 
@@ -85,9 +85,28 @@ class ComplianceEvaluator:
         controls: Sequence[InternalControl],
         trace_ids: Optional[Iterable[str]] = None,
     ) -> List[ComplianceResult]:
-        """Check every control against every trace (graphs built once)."""
-        ids = list(trace_ids) if trace_ids is not None else self.store.app_ids()
+        """Check every control against every trace (graphs built once).
+
+        A full sweep groups one sequential storage-backend scan by trace
+        instead of issuing one store query per trace — on lazy backends
+        (SQLite) that is one pass over the table rather than thousands of
+        point lookups.  Restricting to *trace_ids* keeps the per-trace
+        query path, and so does an unindexed store: with the E8 ablation
+        knob off, every evaluation is *supposed* to pay a table scan.
+        """
         results: List[ComplianceResult] = []
+        if trace_ids is None and self.store.indexed:
+            grouped = self.store.records_by_trace()
+            for trace_id in self.store.app_ids():
+                graph = graph_from_records(
+                    grouped.get(trace_id, ()), name=trace_id
+                )
+                for control in controls:
+                    results.append(
+                        self.check_trace(control, trace_id, graph=graph)
+                    )
+            return results
+        ids = list(trace_ids) if trace_ids is not None else self.store.app_ids()
         for trace_id in ids:
             graph = build_trace_graph(self.store, trace_id)
             for control in controls:

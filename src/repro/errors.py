@@ -29,6 +29,10 @@ class StoreError(ReproError):
     """A provenance-store failure (codec, index, or query)."""
 
 
+class BackendError(StoreError):
+    """A storage backend failed or was misconfigured."""
+
+
 class DuplicateRecordId(StoreError):
     """Two records with the same id were appended to the same store."""
 

@@ -16,7 +16,7 @@ rest of the system needs:
 """
 
 from repro.graph.graph import ProvenanceGraph
-from repro.graph.build import build_graph, build_trace_graph
+from repro.graph.build import build_graph, build_trace_graph, graph_from_records
 from repro.graph.match import EdgePattern, GraphPattern, NodePattern, match_pattern
 from repro.graph.traversal import follow, neighbors, reachable
 from repro.graph.serialize import to_dot, to_json, trace_census
@@ -29,6 +29,7 @@ __all__ = [
     "build_graph",
     "build_trace_graph",
     "follow",
+    "graph_from_records",
     "match_pattern",
     "neighbors",
     "reachable",

@@ -9,7 +9,7 @@ feeds the visibility metrics of experiment E4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.graph.graph import ProvenanceGraph
 from repro.model.records import RelationRecord
@@ -28,6 +28,41 @@ class BuildReport:
     @property
     def dangling_count(self) -> int:
         return len(self.dangling_relations)
+
+
+def graph_from_records(
+    records: Iterable,
+    name: str = "provenance",
+    report: Optional[BuildReport] = None,
+) -> ProvenanceGraph:
+    """Project an already-selected record sequence into a graph.
+
+    The record-level twin of :func:`build_graph`: callers that hold a
+    trace's records — e.g. a sweep that grouped one storage-backend scan by
+    trace — skip the per-trace store query.  Records must be in append
+    order; dangling relations are skipped and counted exactly as in
+    :func:`build_graph`.
+    """
+    graph = ProvenanceGraph(name=name)
+    relations: List[RelationRecord] = []
+    for record in records:
+        if isinstance(record, RelationRecord):
+            relations.append(record)
+        else:
+            graph.add_node_record(record)
+
+    dangling: List[str] = []
+    for relation in relations:
+        if relation.source_id in graph and relation.target_id in graph:
+            graph.add_relation_record(relation)
+        else:
+            dangling.append(relation.record_id)
+
+    if report is not None:
+        report.nodes = graph.node_count
+        report.edges = graph.edge_count
+        report.dangling_relations = dangling
+    return graph
 
 
 def build_graph(
@@ -51,28 +86,8 @@ def build_graph(
     """
     if name is None:
         name = app_id or (store.model.name if store.model else "provenance")
-    graph = ProvenanceGraph(name=name)
-
     query = RecordQuery(app_id=app_id, until=as_of)
-    relations: List[RelationRecord] = []
-    for record in store.select(query):
-        if isinstance(record, RelationRecord):
-            relations.append(record)
-        else:
-            graph.add_node_record(record)
-
-    dangling: List[str] = []
-    for relation in relations:
-        if relation.source_id in graph and relation.target_id in graph:
-            graph.add_relation_record(relation)
-        else:
-            dangling.append(relation.record_id)
-
-    if report is not None:
-        report.nodes = graph.node_count
-        report.edges = graph.edge_count
-        report.dangling_relations = dangling
-    return graph
+    return graph_from_records(store.select(query), name=name, report=report)
 
 
 def build_trace_graph(

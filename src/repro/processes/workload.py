@@ -32,7 +32,7 @@ from repro.processes.engine import CaseRun, ProcessSimulator, all_events
 from repro.processes.spec import ProcessSpec
 from repro.processes.violations import ViolationPlan
 from repro.processes.visibility import VisibilityPolicy
-from repro.store.store import ProvenanceStore
+from repro.store.store import BackendSpec, ProvenanceStore
 
 # Oracle: (case, control_name) -> expected ComplianceStatus at full
 # visibility.
@@ -100,8 +100,17 @@ class Workload:
         visibility: Optional[VisibilityPolicy] = None,
         indexed: bool = True,
         cache_vocabulary: bool = True,
+        backend: "BackendSpec" = None,
     ) -> SimulationResult:
-        """Run the full pipeline; see module docstring."""
+        """Run the full pipeline; see module docstring.
+
+        Args:
+            backend: where the store keeps its physical rows — a
+                :class:`~repro.store.backends.base.StorageBackend`
+                instance, a registry name (``"memory"``, ``"sqlite"``), or
+                ``None`` for in-memory.  The pipeline and its verdicts are
+                backend-independent; only durability and cost change.
+        """
         plan = violations if violations is not None else ViolationPlan.none()
         model = self.build_model()
         spec = self.build_spec()
@@ -115,7 +124,7 @@ class Workload:
             dropped_count = len(dropped)
 
         mapping = self.build_mapping(model)
-        store = ProvenanceStore(model=model, indexed=indexed)
+        store = ProvenanceStore(model=model, indexed=indexed, backend=backend)
         recorder = RecorderClient(store, mapping)
         recorder.process_all(events)
 
@@ -123,23 +132,11 @@ class Workload:
         for rule in self.correlation_rules():
             analytics.add_rule(rule)
         analytics.run()
+        store.flush()
 
-        xom = ExecutableObjectModel(model)
-        bom = Verbalizer(xom).verbalize()
-        vocabulary = Vocabulary(bom, cache=cache_vocabulary)
-        tool = ControlAuthoringTool(vocabulary)
-        controls = []
-        for control_spec in self.control_specs:
-            controls.append(
-                tool.author(
-                    control_spec.name,
-                    control_spec.text,
-                    description=control_spec.description,
-                    severity=control_spec.severity,
-                )
-            )
-            tool.deploy(control_spec.name)
-
+        xom, vocabulary, tool, controls = self._author_stack(
+            model, cache_vocabulary
+        )
         observable = (
             visibility.observable_types(mapping)
             if visibility is not None
@@ -158,3 +155,65 @@ class Workload:
             visible_events=len(events),
             observable_types=observable,
         )
+
+    def attach(
+        self,
+        store: ProvenanceStore,
+        visibility: Optional[VisibilityPolicy] = None,
+        cache_vocabulary: bool = True,
+    ) -> SimulationResult:
+        """Build the vocabulary stack and controls over an *existing* store.
+
+        The re-audit path: the physical rows already exist (e.g. a SQLite
+        ``--db`` written by an earlier run, or a loaded dump), so
+        simulation, capture and correlation are skipped — the rows are the
+        single source of truth — and only the XOM → BOM → vocabulary →
+        controls stack is rebuilt.  Verdicts over the attached store are
+        identical to those of the run that produced the rows.
+
+        ``runs`` is empty in the returned result (no ground truth without a
+        simulation); *visibility* only recomputes ``observable_types`` so
+        that UNDETERMINED verdicts match a partially-visible capture.
+        """
+        model = store.model if store.model is not None else self.build_model()
+        xom, vocabulary, tool, controls = self._author_stack(
+            model, cache_vocabulary
+        )
+        observable = (
+            visibility.observable_types(self.build_mapping(model))
+            if visibility is not None
+            else None
+        )
+        return SimulationResult(
+            workload_name=self.name,
+            store=store,
+            runs=[],
+            model=model,
+            xom=xom,
+            vocabulary=vocabulary,
+            tool=tool,
+            controls=controls,
+            dropped_events=0,
+            visible_events=len(store),
+            observable_types=observable,
+        )
+
+    def _author_stack(self, model: ProvenanceDataModel, cache_vocabulary: bool):
+        """XOM → BOM → vocabulary → authored controls, shared by both the
+        simulate and attach paths."""
+        xom = ExecutableObjectModel(model)
+        bom = Verbalizer(xom).verbalize()
+        vocabulary = Vocabulary(bom, cache=cache_vocabulary)
+        tool = ControlAuthoringTool(vocabulary)
+        controls = []
+        for control_spec in self.control_specs:
+            controls.append(
+                tool.author(
+                    control_spec.name,
+                    control_spec.text,
+                    description=control_spec.description,
+                    severity=control_spec.severity,
+                )
+            )
+            tool.deploy(control_spec.name)
+        return xom, vocabulary, tool, controls

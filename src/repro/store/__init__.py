@@ -6,6 +6,10 @@ entity type and attributes as elements under a ``ps:`` namespace.  The store
 is append-only; correlation analytics and control deployment append new rows
 rather than mutating existing ones.
 
+The physical rows live behind a pluggable storage backend
+(:mod:`repro.store.backends`): in-memory by default, SQLite (WAL, batched
+transactions, lazy decoding) for durable stores that persist across runs.
+
 Querying comes in the two styles of §II.A:
 
 - :mod:`repro.store.query` — an on-demand query frontend (filter by class,
@@ -15,6 +19,12 @@ Querying comes in the two styles of §II.A:
 """
 
 from repro.store.xmlcodec import decode_row, encode_row, StoredRow
+from repro.store.backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.store.store import ProvenanceStore
 from repro.store.index import StoreIndex
 from repro.store.query import AttributePredicate, RecordQuery, xpath_lite
@@ -23,11 +33,15 @@ from repro.store.continuous import ContinuousQuery, Subscription
 __all__ = [
     "AttributePredicate",
     "ContinuousQuery",
+    "MemoryBackend",
     "ProvenanceStore",
     "RecordQuery",
+    "SQLiteBackend",
+    "StorageBackend",
     "StoreIndex",
     "StoredRow",
     "Subscription",
+    "create_backend",
     "decode_row",
     "encode_row",
     "xpath_lite",

@@ -1,0 +1,112 @@
+"""The storage-backend contract of the provenance store.
+
+Table I is literally a relational table — ``(ID, CLASS, APPID, XML)`` — so
+the physical home of those rows should be swappable: an in-memory list for
+tests and small runs, SQLite for durable single-node deployments, and, down
+the road, sharded or client/server stores.  :class:`StorageBackend` is that
+seam.  The :class:`~repro.store.store.ProvenanceStore` stays the
+coordination layer (validation, secondary indexes, observers, queries) and
+delegates row custody to a backend.
+
+A backend owns exactly two things:
+
+- the physical rows, in append order, byte-identical forever, and
+- the materialization of rows back into records (eagerly for the memory
+  backend, lazily with caching for SQLite).
+
+Everything else — duplicate-id policy, schema validation, indexing,
+continuous queries — is store policy and must NOT be reimplemented in a
+backend.  Backends may assume the store has already rejected duplicates
+before :meth:`StorageBackend.append_row` is called.
+
+Row→record decoding needs the store's data model (attribute typing), so the
+store injects a decoder via :meth:`StorageBackend.set_decoder` right after
+construction; backends that keep live record objects (memory) may ignore
+it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator, List, Optional
+
+from repro.model.records import ProvenanceRecord
+from repro.store.xmlcodec import StoredRow
+
+RowDecoder = Callable[[StoredRow], ProvenanceRecord]
+
+
+class StorageBackend(ABC):
+    """Abstract home of the physical Table I rows.
+
+    Subclasses implement :meth:`append_row`, :meth:`get`, :meth:`contains`,
+    :meth:`iter_rows`, :meth:`iter_records`, :meth:`count`, and
+    :meth:`close`; the bulk/flush/decoder hooks have no-op defaults.
+    """
+
+    #: short name used by :func:`repro.store.backends.create_backend` and
+    #: reported in diagnostics.
+    name: str = "abstract"
+
+    # -- wiring --------------------------------------------------------------
+
+    def set_decoder(self, decoder: RowDecoder) -> None:
+        """Install the row→record decoder (model-aware).  Default: ignore."""
+
+    # -- writes --------------------------------------------------------------
+
+    @abstractmethod
+    def append_row(
+        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+    ) -> None:
+        """Persist one physical row.
+
+        *record* is the already-materialized record when the caller has one
+        (the normal append path); backends may keep it to avoid a decode.
+        The store guarantees the row's id is not already present.
+        """
+
+    # -- reads ---------------------------------------------------------------
+
+    @abstractmethod
+    def get(self, record_id: str) -> ProvenanceRecord:
+        """Record by id; raises :class:`~repro.errors.RecordNotFound`."""
+
+    @abstractmethod
+    def contains(self, record_id: str) -> bool:
+        """Whether a row with *record_id* exists (flushed or pending)."""
+
+    @abstractmethod
+    def iter_rows(self) -> Iterator[StoredRow]:
+        """All physical rows, in append order."""
+
+    @abstractmethod
+    def iter_records(self) -> Iterator[ProvenanceRecord]:
+        """All records, in append order."""
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of rows stored."""
+
+    def app_ids(self) -> Optional[List[str]]:
+        """Distinct APPIDs in first-seen order, when the backend can compute
+        them faster than a row scan; ``None`` means "no fast path"."""
+        return None
+
+    # -- batching ------------------------------------------------------------
+
+    def begin_bulk(self) -> None:
+        """Enter a bulk-append section (nestable).  Backends with write
+        batching defer commits until the outermost :meth:`end_bulk`."""
+
+    def end_bulk(self) -> None:
+        """Leave a bulk-append section; flush at the outermost exit."""
+
+    def flush(self) -> None:
+        """Make pending writes durable/visible.  Default: nothing pending."""
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and release resources.  Idempotent."""
+        self.flush()

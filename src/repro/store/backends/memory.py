@@ -1,0 +1,66 @@
+"""In-memory storage backend — the seed behavior, now behind the seam.
+
+Rows live in a Python list, records in an id-keyed dict; :meth:`get` hands
+back the very record object that was appended (zero-copy), which is what
+the store always did before backends existed.  Everything is O(1) except
+the full scans, and nothing survives the process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import RecordNotFound
+from repro.model.records import ProvenanceRecord
+from repro.store.backends.base import StorageBackend
+from repro.store.xmlcodec import StoredRow
+
+
+class MemoryBackend(StorageBackend):
+    """Rows in a list, records in a dict; the default backend."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._rows: List[StoredRow] = []
+        self._records: Dict[str, ProvenanceRecord] = {}
+        self._order: List[str] = []
+        self._decoder = None
+
+    def set_decoder(self, decoder) -> None:
+        self._decoder = decoder
+
+    def append_row(
+        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+    ) -> None:
+        if record is None:
+            if self._decoder is None:
+                raise RecordNotFound(
+                    f"cannot materialize row {row.record_id!r}: no decoder"
+                )
+            record = self._decoder(row)
+        self._rows.append(row)
+        self._records[row.record_id] = record
+        self._order.append(row.record_id)
+
+    def get(self, record_id: str) -> ProvenanceRecord:
+        try:
+            return self._records[record_id]
+        except KeyError:
+            raise RecordNotFound(record_id) from None
+
+    def contains(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def iter_rows(self) -> Iterator[StoredRow]:
+        return iter(self._rows)
+
+    def iter_records(self) -> Iterator[ProvenanceRecord]:
+        for record_id in self._order:
+            yield self._records[record_id]
+
+    def count(self) -> int:
+        return len(self._order)
+
+    def close(self) -> None:
+        """Nothing to release; kept so stores can close any backend."""

@@ -14,7 +14,7 @@ speedup.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.model.attributes import AttributeValue
 from repro.model.records import ProvenanceRecord, RecordClass, RelationRecord
@@ -41,6 +41,27 @@ class StoreIndex:
         self._by_attribute: Dict[
             Tuple[str, str, AttributeValue], List[str]
         ] = defaultdict(list)
+
+    def rebuild(self, records: "Iterable[ProvenanceRecord]") -> int:
+        """Re-index from scratch over *records* (in append order).
+
+        Used when a store opens over a storage backend that already holds
+        rows — e.g. a SQLite file written by an earlier run — so that the
+        hydrated indexes are indistinguishable from freshly-built ones.
+        Returns the number of records indexed.
+        """
+        self._by_class.clear()
+        self._by_app.clear()
+        self._by_type.clear()
+        self._by_app_class.clear()
+        self._by_source.clear()
+        self._by_target.clear()
+        self._by_attribute.clear()
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count
 
     def add(self, record: ProvenanceRecord) -> None:
         """Index one appended record."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import operator
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.model.attributes import AttributeValue
@@ -206,11 +206,15 @@ def xpath_lite(row: StoredRow, path: str) -> List[str]:
 
 
 def scan(
-    records: List[ProvenanceRecord],
+    records: Iterable[ProvenanceRecord],
     query: RecordQuery,
     key: Optional[Callable[[ProvenanceRecord], object]] = None,
 ) -> List[ProvenanceRecord]:
-    """Filter *records* by *query*, optionally sorting by *key*."""
+    """Filter *records* by *query*, optionally sorting by *key*.
+
+    Accepts any iterable — lists, or a backend's lazy record iterator —
+    and always returns a materialized list.
+    """
     matched = [record for record in records if query.matches(record)]
     if key is not None:
         matched.sort(key=key)

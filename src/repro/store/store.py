@@ -2,27 +2,40 @@
 
 "The recorder client processes application events, transforms them into
 provenance events and records them in the provenance store" (§II.A).  The
-store owns:
+store is the *coordination layer* over a pluggable storage backend
+(:mod:`repro.store.backends`):
 
-- the physical rows (Table I layout), kept verbatim so the table can be
-  re-printed at any time,
-- the materialized records decoded from those rows,
-- secondary indexes (:mod:`repro.store.index`), optional,
-- registered continuous queries (:mod:`repro.store.continuous`), which are
-  notified on every append.
+- the physical rows (Table I layout) live in the backend — in-memory lists
+  by default, a SQLite table when durability or scale is needed — kept
+  verbatim so the table can be re-printed at any time,
+- the store enforces append policy (duplicate-id rejection, optional model
+  validation), maintains secondary indexes (:mod:`repro.store.index`), and
+  notifies registered continuous queries (:mod:`repro.store.continuous`)
+  on every append.
 
-Optionally the store validates each append against a provenance data model;
-recorder clients normally pre-validate, but direct appends in tests and
-examples benefit from the check.
+Opening a store over a backend that already holds rows (e.g. a SQLite file
+written by an earlier run) hydrates the secondary indexes from the existing
+rows, so queries and continuous checking behave exactly as if the records
+had just been appended.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Union,
+)
 
-from repro.errors import DuplicateRecordId, QueryError, RecordNotFound
+from repro.errors import DuplicateRecordId, QueryError
 from repro.model.attributes import AttributeValue
 from repro.model.records import (
     ProvenanceRecord,
@@ -30,9 +43,12 @@ from repro.model.records import (
     RelationRecord,
 )
 from repro.model.schema import ProvenanceDataModel
+from repro.store.backends import StorageBackend, create_backend
 from repro.store.index import StoreIndex
 from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow, decode_row, encode_row
+
+BackendSpec = Union[None, str, StorageBackend]
 
 
 class ProvenanceStore:
@@ -42,6 +58,10 @@ class ProvenanceStore:
         model: optional data model; when given, appends are validated.
         indexed: whether to maintain secondary indexes (E8 ablation knob).
         indexed_attributes: attribute names to value-index (e.g. ``reqid``).
+        backend: where the physical rows live — a
+            :class:`~repro.store.backends.base.StorageBackend` instance, a
+            registry name (``"memory"``, ``"sqlite"``), or ``None`` for the
+            in-memory default.
     """
 
     def __init__(
@@ -49,15 +69,34 @@ class ProvenanceStore:
         model: Optional[ProvenanceDataModel] = None,
         indexed: bool = True,
         indexed_attributes: Optional[Set[str]] = None,
+        backend: BackendSpec = None,
     ) -> None:
         self.model = model
-        self._rows: List[StoredRow] = []
-        self._records: Dict[str, ProvenanceRecord] = {}
-        self._order: List[str] = []
+        if backend is None:
+            backend = create_backend("memory")
+        elif isinstance(backend, str):
+            backend = create_backend(backend)
+        self._backend: StorageBackend = backend
+        self._backend.set_decoder(self._decode)
         self._index: Optional[StoreIndex] = (
             StoreIndex(indexed_attributes) if indexed else None
         )
         self._observers: List[Callable[[ProvenanceRecord], None]] = []
+        if self._index is not None and self._backend.count():
+            self._index.rebuild(self._backend.iter_records())
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend holding the physical rows."""
+        return self._backend
+
+    @property
+    def indexed(self) -> bool:
+        """Whether secondary indexes are maintained (E8 ablation knob)."""
+        return self._index is not None
+
+    def _decode(self, row: StoredRow) -> ProvenanceRecord:
+        return decode_row(row, self.model)
 
     # -- append ------------------------------------------------------------
 
@@ -68,27 +107,44 @@ class ProvenanceStore:
         attached, :class:`~repro.errors.SchemaViolation` on nonconforming
         records.  Observers (continuous queries) run after the row commits.
         """
-        if record.record_id in self._records:
+        if self._backend.contains(record.record_id):
             raise DuplicateRecordId(record.record_id)
         if self.model is not None:
             self.model.validate(record)
         row = encode_row(record)
-        self._rows.append(row)
-        self._records[record.record_id] = record
-        self._order.append(record.record_id)
+        self._commit(row, record)
+        return row
+
+    def _commit(self, row: StoredRow, record: ProvenanceRecord) -> None:
+        """Persist an already-validated (row, record) pair and fan out."""
+        self._backend.append_row(row, record)
         if self._index is not None:
             self._index.add(record)
         for observer in self._observers:
             observer(record)
-        return row
 
     def extend(self, records: Iterable[ProvenanceRecord]) -> int:
         """Append many records; returns the count appended."""
         count = 0
-        for record in records:
-            self.append(record)
-            count += 1
+        with self.bulk():
+            for record in records:
+                self.append(record)
+                count += 1
         return count
+
+    @contextmanager
+    def bulk(self):
+        """Batch backend commits across a run of appends.
+
+        Semantics are unchanged — duplicate checks, indexes and observers
+        still fire per append — only the backend's transaction boundaries
+        widen, which is what makes SQLite appends stream-fast.  Nestable.
+        """
+        self._backend.begin_bulk()
+        try:
+            yield self
+        finally:
+            self._backend.end_bulk()
 
     def subscribe(self, observer: Callable[[ProvenanceRecord], None]) -> None:
         """Register a callback invoked after every append."""
@@ -100,38 +156,50 @@ class ProvenanceStore:
     # -- direct access -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._order)
+        return self._backend.count()
 
     def __contains__(self, record_id: str) -> bool:
-        return record_id in self._records
+        return self._backend.contains(record_id)
 
     def get(self, record_id: str) -> ProvenanceRecord:
         """Record by id; raises :class:`RecordNotFound` when absent."""
-        try:
-            return self._records[record_id]
-        except KeyError:
-            raise RecordNotFound(record_id) from None
+        return self._backend.get(record_id)
 
     def records(self) -> Iterator[ProvenanceRecord]:
         """All records in append order."""
-        for record_id in self._order:
-            yield self._records[record_id]
+        return self._backend.iter_records()
 
     def rows(self) -> List[StoredRow]:
         """The physical rows in append order (Table I regeneration)."""
-        return list(self._rows)
+        return list(self._backend.iter_rows())
 
     def app_ids(self) -> List[str]:
         """Distinct application ids in first-seen order."""
         if self._index is not None:
             return self._index.app_ids()
+        fast = self._backend.app_ids()
+        if fast is not None:
+            return fast
         seen: List[str] = []
         known = set()
-        for record in self.records():
-            if record.app_id not in known:
-                known.add(record.app_id)
-                seen.append(record.app_id)
+        for row in self._backend.iter_rows():
+            if row.app_id not in known:
+                known.add(row.app_id)
+                seen.append(row.app_id)
         return seen
+
+    def records_by_trace(self) -> Dict[str, List[ProvenanceRecord]]:
+        """trace id → its records in append order, from one backend scan.
+
+        This is the sweep-friendly access path: evaluating every control
+        over every trace costs one sequential pass instead of one indexed
+        point-lookup chain per trace (which on lazy backends would decode
+        row by row).
+        """
+        grouped: Dict[str, List[ProvenanceRecord]] = {}
+        for record in self._backend.iter_records():
+            grouped.setdefault(record.app_id, []).append(record)
+        return grouped
 
     # -- querying ----------------------------------------------------------
 
@@ -165,7 +233,7 @@ class ProvenanceStore:
             yield from self.records()
             return
         for record_id in ids:
-            yield self._records[record_id]
+            yield self._backend.get(record_id)
 
     def select(self, query: RecordQuery) -> List[ProvenanceRecord]:
         """All records matching *query*, in append order."""
@@ -198,7 +266,7 @@ class ProvenanceStore:
         """All relation records whose source is *source_id*."""
         if self._index is not None:
             ids = self._index.relations_from(source_id)
-            return [self._records[i] for i in ids]  # type: ignore[list-item]
+            return [self._backend.get(i) for i in ids]  # type: ignore[misc]
         return [
             record
             for record in self.records()
@@ -210,7 +278,7 @@ class ProvenanceStore:
         """All relation records whose target is *target_id*."""
         if self._index is not None:
             ids = self._index.relations_to(target_id)
-            return [self._records[i] for i in ids]  # type: ignore[list-item]
+            return [self._backend.get(i) for i in ids]  # type: ignore[misc]
         return [
             record
             for record in self.records()
@@ -220,10 +288,25 @@ class ProvenanceStore:
 
     # -- persistence -------------------------------------------------------
 
+    def flush(self) -> None:
+        """Make pending backend writes durable (no-op for memory)."""
+        self._backend.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources.  Idempotent."""
+        self._backend.close()
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def dump(self, path: str) -> int:
         """Write the physical rows to *path* as JSON lines; returns count."""
+        count = 0
         with open(path, "w", encoding="utf-8") as handle:
-            for row in self._rows:
+            for row in self._backend.iter_rows():
                 handle.write(
                     json.dumps(
                         {
@@ -235,7 +318,8 @@ class ProvenanceStore:
                     )
                 )
                 handle.write("\n")
-        return len(self._rows)
+                count += 1
+        return count
 
     @classmethod
     def load(
@@ -244,14 +328,23 @@ class ProvenanceStore:
         model: Optional[ProvenanceDataModel] = None,
         indexed: bool = True,
         indexed_attributes: Optional[Set[str]] = None,
+        backend: BackendSpec = None,
     ) -> "ProvenanceStore":
-        """Rebuild a store from a file written by :meth:`dump`."""
+        """Rebuild a store from a file written by :meth:`dump`.
+
+        The dumped rows are committed *verbatim* into the target backend —
+        byte-identical regardless of which backend wrote the dump — while
+        still passing duplicate and model validation.
+        """
         if not os.path.exists(path):
             raise QueryError(f"no store file at {path!r}")
         store = cls(
-            model=model, indexed=indexed, indexed_attributes=indexed_attributes
+            model=model,
+            indexed=indexed,
+            indexed_attributes=indexed_attributes,
+            backend=backend,
         )
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle, store.bulk():
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -263,5 +356,20 @@ class ProvenanceStore:
                     app_id=payload["appid"],
                     xml=payload["xml"],
                 )
-                store.append(decode_row(row, model))
+                store.append_row(row)
         return store
+
+    def append_row(self, row: StoredRow) -> ProvenanceRecord:
+        """Append a physical row verbatim (replication/load path).
+
+        The row is decoded for validation, indexing and observers, but the
+        stored bytes are *row*'s exactly — not a re-encoding — so replicas
+        and reloaded dumps stay byte-identical to their source.
+        """
+        if self._backend.contains(row.record_id):
+            raise DuplicateRecordId(row.record_id)
+        record = self._decode(row)
+        if self.model is not None:
+            self.model.validate(record)
+        self._commit(row, record)
+        return record
