@@ -137,22 +137,31 @@ def test_backend_comparison(benchmark, artifact, tmp_path):
             )
         )
 
+    columns = (
+        "backend",
+        "rows",
+        "append throughput",
+        f"query ({QUERY_ROUNDS} sweeps)",
+        "deployed check",
+        "rechecks",
+    )
     table = render_table(
-        (
-            "backend",
-            "rows",
-            "append throughput",
-            f"query ({QUERY_ROUNDS} sweeps)",
-            "deployed check",
-            "rechecks",
-        ),
+        columns,
         rows,
         title=(
             f"Backend comparison — hiring, {CASES} cases, "
             f"{BATCHES} check batches"
         ),
     )
-    artifact("Backend comparison", table)
+    artifact(
+        "Backend comparison",
+        table,
+        data={
+            "cases": CASES,
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     # Identical recheck counts: the seam changes cost, never semantics.
     assert len({row[5] for row in rows}) == 1

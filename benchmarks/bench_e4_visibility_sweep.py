@@ -90,23 +90,33 @@ def test_e4_visibility_sweep(benchmark, artifact):
     last_row = rows[-1]
     assert float(last_row[5]) < float(last_row[4])
 
+    columns = (
+        "capture",
+        "BAL prec",
+        "BAL rec",
+        "BAL F1 (pairs)",
+        "BAL F1 (trace)",
+        "replay F1 (trace)",
+        "BAL==hardcoded",
+    )
     table = render_table(
-        (
-            "capture",
-            "BAL prec",
-            "BAL rec",
-            "BAL F1 (pairs)",
-            "BAL F1 (trace)",
-            "replay F1 (trace)",
-            "BAL==hardcoded",
-        ),
+        columns,
         rows,
         title=(
             f"E4: detection vs visibility — hiring, {CASES} cases, "
             f"{RATE:.0%} violation rate per kind"
         ),
     )
-    artifact("E4 — detection quality vs process visibility", table)
+    artifact(
+        "E4 — detection quality vs process visibility",
+        table,
+        data={
+            "cases": CASES,
+            "violation_rate": RATE,
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     # Benchmark: one full-visibility compliance pass.
     sim, __ = _simulate(None)

@@ -114,24 +114,34 @@ def test_e5_throughput(benchmark, artifact):
         # Immediate pays for per-event freshness.
         assert imm_evals > batched_evals
 
+    columns = (
+        "traces",
+        "deployed evals",
+        "deployed time",
+        "on-demand evals",
+        "on-demand time",
+        "immediate evals",
+        "immediate time",
+        "on-demand/deployed",
+    )
     table = render_table(
-        (
-            "traces",
-            "deployed evals",
-            "deployed time",
-            "on-demand evals",
-            "on-demand time",
-            "immediate evals",
-            "immediate time",
-            "on-demand/deployed",
-        ),
+        columns,
         rows,
         title=(
             f"E5: checking cost per freshness mode — hiring, "
             f"{BATCHES} batches, {len(stack.controls)} controls"
         ),
     )
-    artifact("E5 — deployed vs on-demand checking throughput", table)
+    artifact(
+        "E5 — deployed vs on-demand checking throughput",
+        table,
+        data={
+            "batches": BATCHES,
+            "controls": len(stack.controls),
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     benchmark(
         lambda: _run_deployed(workload, stack, 50, immediate=False)

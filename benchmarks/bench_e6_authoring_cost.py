@@ -68,17 +68,18 @@ def test_e6_authoring_cost(benchmark, artifact):
     assert all(ratio > 1.0 for ratio in ratios)
     assert sum(ratios) / len(ratios) > 1.5
 
+    columns = (
+        "workload",
+        "control",
+        "BAL lines",
+        "BAL tokens",
+        "py lines",
+        "py tokens",
+        "py/BAL",
+        "IT needed (BAL)",
+    )
     table = render_table(
-        (
-            "workload",
-            "control",
-            "BAL lines",
-            "BAL tokens",
-            "py lines",
-            "py tokens",
-            "py/BAL",
-            "IT needed (BAL)",
-        ),
+        columns,
         rows,
         title="E6: per-control artifact cost, BAL vs hardcoded Python",
     )
@@ -92,7 +93,15 @@ def test_e6_authoring_cost(benchmark, artifact):
         "0 BAL controls change unless their phrases do, while every "
         "hardcoded control reading the attribute is a code change."
     )
-    artifact("E6 — authoring & change cost", table)
+    artifact(
+        "E6 — authoring & change cost",
+        table,
+        data={
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+            "mean_python_over_bal_tokens": sum(ratios) / len(ratios),
+        },
+    )
 
     # Benchmark: compile all twelve controls against their vocabularies.
     stacks = [

@@ -80,22 +80,31 @@ def test_e7_pipeline_scaling(benchmark, artifact):
     # scale-up (a quadratic pipeline would blow this bound up).
     assert max(per_trace_totals) / min(per_trace_totals) < 5.0
 
+    columns = (
+        "traces",
+        "rows",
+        "checks",
+        "simulate",
+        "record",
+        "correlate",
+        "evaluate",
+        "total",
+        "per trace",
+    )
     table = render_table(
-        (
-            "traces",
-            "rows",
-            "checks",
-            "simulate",
-            "record",
-            "correlate",
-            "evaluate",
-            "total",
-            "per trace",
-        ),
+        columns,
         rows,
         title="E7: pipeline phase times vs trace count (hiring workload)",
     )
-    artifact("E7 — provenance pipeline scaling", table)
+    artifact(
+        "E7 — provenance pipeline scaling",
+        table,
+        data={
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+            "per_trace_seconds": per_trace_totals,
+        },
+    )
 
     def record_and_correlate():
         simulator = ProcessSimulator(

@@ -95,6 +95,17 @@ def test_e9_structural_verification(benchmark, artifact):
         "sod-approval compiles to an empty edge set (value comparison — "
         "needs the rule engine)."
     )
-    artifact("E9 — structural vs rule-engine verification", table)
+    artifact(
+        "E9 — structural vs rule-engine verification",
+        table,
+        data={
+            "columns": [
+                "verification style", "traces", "time", "expressiveness"
+            ],
+            "rows": [list(row) for row in rows],
+            "agreement": comparisons - len(disagreements),
+            "comparisons": comparisons,
+        },
+    )
 
     benchmark(lambda: verifier.check_all_traces(structural))

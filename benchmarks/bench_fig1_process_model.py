@@ -43,4 +43,11 @@ def test_fig1_process_model(benchmark, artifact):
     lines.append("normative end-to-end paths:")
     for path in sorted(paths):
         lines.append("  " + " -> ".join(path))
-    artifact("FIGURE 1 — New Position Open process model", "\n".join(lines))
+    artifact(
+        "FIGURE 1 — New Position Open process model",
+        "\n".join(lines),
+        data={
+            "activities": activities,
+            "paths": [list(path) for path in sorted(paths)],
+        },
+    )

@@ -68,4 +68,9 @@ def test_fig2_trace_graph(benchmark, artifact):
     artifact(
         "FIGURE 2 — trace graph with the deployed internal control point",
         text,
+        data={
+            "census": census,
+            "control_id": control_id,
+            "checked_types": sorted(checked),
+        },
     )

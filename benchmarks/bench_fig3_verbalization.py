@@ -76,4 +76,9 @@ def test_fig3_verbalization(benchmark, artifact):
     artifact(
         "FIGURE 3 — XOM -> BOM -> vocabulary -> internal control",
         "\n".join(parts),
+        data={
+            "concepts": list(compiled.concepts),
+            "dropdown": menus["Job Requisition"],
+            "rendered_rule": compiled.rule.render(),
+        },
     )

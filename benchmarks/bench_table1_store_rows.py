@@ -72,4 +72,8 @@ def test_table1_rows(benchmark, artifact):
         + f"\n\n({len(rows)} rows; classes present: "
         + ", ".join(sorted(c.value for c in classes))
         + ")",
+        data={
+            "row_count": len(rows),
+            "classes": sorted(c.value for c in classes),
+        },
     )

@@ -4,22 +4,38 @@ Each bench regenerates one paper artifact (table/figure) or one derived
 experiment's rows.  The regenerated text is:
 
 - recorded via the ``artifact`` fixture,
-- written to ``benchmarks/out/<slug>.txt``,
+- written to ``benchmarks/out/<slug>.txt`` (human-readable) and
+  ``benchmarks/out/<slug>.json`` (machine-readable: the same title/text
+  plus whatever structured ``data`` payload the bench passes),
 - printed in the pytest terminal summary (so
   ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
   the rows alongside pytest-benchmark's timing table).
+
+The headline experiments additionally snapshot to the repo root
+(``BENCH_e5.json``, ``BENCH_e7.json``) so a checkout carries its latest
+measured numbers without digging into ``benchmarks/out/``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
-from typing import List, Tuple
+from typing import Any, List, Optional, Tuple
 
 import pytest
 
 _ARTIFACTS: List[Tuple[str, str]] = []
 _OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Root snapshot file → slug prefixes collected into it.  Snapshots merge
+# (keyed by slug), so partial benchmark runs update their own entry
+# without clobbering the others'.
+_ROOT_SNAPSHOTS = {
+    "BENCH_e5.json": ("e5-", "bal-execution-modes"),
+    "BENCH_e7.json": ("e7-",),
+}
 
 
 def _slug(title: str) -> str:
@@ -28,14 +44,43 @@ def _slug(title: str) -> str:
 
 @pytest.fixture
 def artifact():
-    """Record one regenerated artifact: ``artifact(title, text)``."""
+    """Record one regenerated artifact: ``artifact(title, text, data=...)``.
 
-    def record(title: str, text: str) -> None:
+    ``data`` is an optional JSON-serializable payload (typically
+    ``{"columns": [...], "rows": [...]}``) mirroring the rendered table so
+    downstream tooling can diff numbers without re-parsing text.
+    """
+
+    def record(title: str, text: str, data: Optional[Any] = None) -> None:
         _ARTIFACTS.append((title, text))
         os.makedirs(_OUT_DIR, exist_ok=True)
-        path = os.path.join(_OUT_DIR, f"{_slug(title)}.txt")
+        slug = _slug(title)
+        path = os.path.join(_OUT_DIR, f"{slug}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(f"{title}\n\n{text}\n")
+        payload = {"title": title, "slug": slug, "data": data, "text": text}
+        with open(
+            os.path.join(_OUT_DIR, f"{slug}.json"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(json.dumps(payload, indent=2, default=str) + "\n")
+        for snapshot, prefixes in _ROOT_SNAPSHOTS.items():
+            if not slug.startswith(tuple(prefixes)):
+                continue
+            snapshot_path = os.path.join(_REPO_ROOT, snapshot)
+            merged = {}
+            try:
+                with open(snapshot_path, encoding="utf-8") as handle:
+                    merged = json.loads(handle.read()).get("artifacts", {})
+            except (OSError, ValueError):
+                pass
+            merged[slug] = payload
+            with open(snapshot_path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {"artifacts": merged}, indent=2, default=str
+                    )
+                    + "\n"
+                )
 
     return record
 

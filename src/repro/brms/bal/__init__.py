@@ -45,14 +45,18 @@ Grammar summary (case-insensitive keywords):
 from repro.brms.bal.tokens import Token, TokenType, tokenize
 from repro.brms.bal.parser import parse_rule
 from repro.brms.bal.compiler import BalCompiler, CompiledRule
+from repro.brms.bal.codegen import ClosureProgram, CodegenGap, compile_rule
 from repro.brms.bal import ast
 
 __all__ = [
     "BalCompiler",
+    "ClosureProgram",
+    "CodegenGap",
     "CompiledRule",
     "Token",
     "TokenType",
     "ast",
+    "compile_rule",
     "parse_rule",
     "tokenize",
 ]

@@ -1,0 +1,461 @@
+"""BAL closure compilation: the compiled execution back end.
+
+The tree-walking interpreter (:mod:`repro.brms.bal.evaluate`) re-dispatches
+on AST node classes every time a rule runs — thousands of ``isinstance``
+chains per sweep for the *same* rule.  This module lowers a
+:class:`~repro.brms.bal.compiler.CompiledRule` **once** into a nest of
+plain Python closures — one closure per AST node, specialized on the node's
+operator and operands at compile time — packaged as a
+:class:`ClosureProgram`.  Thereafter a rule evaluation is direct function
+calls: no AST walks, no operator-string comparisons, and navigation
+phrases resolve against the vocabulary once per runtime node type (the
+resolution is memoized inside the navigation closure, the JRules-style
+"rule compiled against the object model" move).
+
+Semantics are *defined* by the interpreter; the closures must match it
+outcome-for-outcome — same values, same null propagation, same touched-node
+sets, same :class:`~repro.errors.RuleEngineError` messages.  The
+differential fuzz suite (``tests/test_bal_fuzz.py``) holds the two back
+ends to that contract.
+
+An AST shape this compiler does not cover raises :class:`CodegenGap` at
+compile time; the engine catches it and falls back to the interpreter for
+that rule, so new AST nodes degrade to interpreted speed instead of
+breaking evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.brms.bal import ast
+from repro.brms.bal.compiler import CompiledRule
+from repro.brms.bal.evaluate import EvalContext, _equals, _is_null, _ordered
+from repro.brms.xom import XomObject
+from repro.errors import RuleEngineError
+
+ExprFn = Callable[[EvalContext], object]
+CondFn = Callable[[EvalContext], bool]
+# Actions additionally mutate the engine's RuleOutcome (typed as object to
+# keep this module import-free of the engine).
+ActionFn = Callable[[EvalContext, object], None]
+
+_MISSING = object()  # sentinel: "no cached member yet" vs "cached None"
+
+_CONDITION_NODES = (
+    ast.Comparison,
+    ast.And,
+    ast.Or,
+    ast.Not,
+    ast.Exists,
+    ast.Quantified,
+)
+
+
+class CodegenGap(Exception):
+    """An AST shape the closure compiler does not cover.
+
+    Raised at compile time only; the engine falls back to the interpreter
+    for the whole rule, so evaluation semantics never depend on codegen
+    coverage.
+    """
+
+
+@dataclass(frozen=True)
+class ClosureProgram:
+    """A rule lowered to closures, ready for direct-call evaluation.
+
+    Attributes:
+        name: the rule name (diagnostics).
+        anchor: the anchor variable (NOT_APPLICABLE detection), mirroring
+            :attr:`CompiledRule.anchor_variable`.
+        definitions: ``(variable, closure)`` pairs in source order; the
+            driver stores each closure's value into ``context.env``.
+        condition: the if-part closure.
+        then_actions / else_actions: action closures taking
+            ``(context, outcome)``.
+    """
+
+    name: str
+    anchor: Optional[str]
+    definitions: Tuple[Tuple[str, ExprFn], ...]
+    condition: CondFn
+    then_actions: Tuple[ActionFn, ...]
+    else_actions: Tuple[ActionFn, ...]
+
+
+# -- expressions --------------------------------------------------------------
+
+
+def compile_expression(node: ast.Node) -> ExprFn:
+    """Lower an expression node to a closure ``context -> value``."""
+    if isinstance(node, ast.Literal):
+        value = node.value
+        return lambda context: value
+
+    if isinstance(node, ast.VarRef):
+        name = node.name
+
+        def var_ref(context: EvalContext) -> object:
+            try:
+                return context.env[name]
+            except KeyError:
+                raise RuleEngineError(
+                    f"undefined variable '{name}'"
+                ) from None
+
+        return var_ref
+
+    if isinstance(node, ast.ParamRef):
+        name = node.name
+
+        def param_ref(context: EvalContext) -> object:
+            try:
+                return context.parameters[name]
+            except KeyError:
+                raise RuleEngineError(
+                    f"unbound parameter <{name}>"
+                ) from None
+
+        return param_ref
+
+    if isinstance(node, ast.ThisRef):
+
+        def this_ref(context: EvalContext) -> object:
+            if not context.this_stack:
+                raise RuleEngineError("'this' used outside a where-clause")
+            return context.this_stack[-1]
+
+        return this_ref
+
+    if isinstance(node, ast.Navigation):
+        return _compile_navigation(node)
+
+    if isinstance(node, ast.CountOf):
+        target_fn = compile_expression(node.target)
+
+        def count_of(context: EvalContext) -> object:
+            value = target_fn(context)
+            if value is None:
+                return 0
+            if isinstance(value, (list, tuple)):
+                return len(value)
+            return 1
+
+        return count_of
+
+    if isinstance(node, ast.Arith):
+        return _compile_arith(node)
+
+    if isinstance(node, _CONDITION_NODES):
+        # Conditions are valid boolean-valued expressions.
+        return compile_condition(node)
+
+    raise CodegenGap(f"cannot compile node {type(node).__name__}")
+
+
+def _compile_navigation(node: ast.Navigation) -> ExprFn:
+    target_fn = compile_expression(node.target)
+    phrase = node.phrase
+    # phrase → member, memoized per runtime node type.  The cache lives in
+    # the closure: valid because the engine caches one program per
+    # (engine, rule) and an engine's vocabulary is fixed.
+    members: Dict[str, object] = {}
+
+    def navigation(context: EvalContext) -> object:
+        target = target_fn(context)
+        if target is None:
+            return None
+        if isinstance(target, (list, tuple)):
+            raise RuleEngineError(
+                f"cannot navigate {phrase!r} over a collection; "
+                f"bind a single object first"
+            )
+        if not isinstance(target, XomObject):
+            raise RuleEngineError(
+                f"cannot navigate {phrase!r} over scalar {target!r}"
+            )
+        node_type = target.record.entity_type
+        member = members.get(node_type, _MISSING)
+        if member is _MISSING:
+            member = context.vocabulary.find_member_for_type(
+                node_type, phrase
+            )
+            members[node_type] = member
+        if member is None:
+            concept = target.xom_class.node_type.label
+            raise RuleEngineError(
+                f"concept {concept!r} has no phrase {phrase!r}"
+            )
+        return context.touch(member.execute(target))
+
+    return navigation
+
+
+def _compile_arith(node: ast.Arith) -> ExprFn:
+    left_fn = compile_expression(node.left)
+    right_fn = compile_expression(node.right)
+    op = node.op
+    if op not in ("+", "-", "*", "/"):
+        raise CodegenGap(f"unknown arithmetic operator {op!r}")
+
+    def arith(context: EvalContext) -> object:
+        left = left_fn(context)
+        right = right_fn(context)
+        if left is None or right is None:
+            return None
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        if not isinstance(left, (int, float)) or not isinstance(
+            right, (int, float)
+        ):
+            raise RuleEngineError(
+                f"arithmetic {op!r} needs numbers, got "
+                f"{type(left).__name__} and {type(right).__name__}"
+            )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise RuleEngineError("division by zero in rule")
+        return left / right
+
+    return arith
+
+
+# -- conditions ---------------------------------------------------------------
+
+
+def compile_condition(node: ast.Node) -> CondFn:
+    """Lower a condition node to a closure ``context -> bool``."""
+    if isinstance(node, ast.And):
+        fns = tuple(compile_condition(c) for c in node.conditions)
+
+        def conj(context: EvalContext) -> bool:
+            return all(fn(context) for fn in fns)
+
+        return conj
+
+    if isinstance(node, ast.Or):
+        fns = tuple(compile_condition(c) for c in node.conditions)
+
+        def disj(context: EvalContext) -> bool:
+            return any(fn(context) for fn in fns)
+
+        return disj
+
+    if isinstance(node, ast.Not):
+        inner = compile_condition(node.condition)
+        return lambda context: not inner(context)
+
+    if isinstance(node, ast.Exists):
+        find = _compile_find(node.concept, node.where)
+        negated = node.negated
+
+        def exists(context: EvalContext) -> bool:
+            found = find(context)
+            context.touch(found)  # the matches are the control's evidence
+            return not found if negated else bool(found)
+
+        return exists
+
+    if isinstance(node, ast.Quantified):
+        if node.op not in ("ge", "le", "eq"):
+            raise CodegenGap(f"unknown quantifier op {node.op!r}")
+        find = _compile_find(node.concept, node.where)
+        op = node.op
+        count = node.count
+
+        def quantified(context: EvalContext) -> bool:
+            found = find(context)
+            context.touch(found)
+            if op == "ge":
+                return len(found) >= count
+            if op == "le":
+                return len(found) <= count
+            return len(found) == count
+
+        return quantified
+
+    if isinstance(node, ast.Comparison):
+        return _compile_comparison(node)
+
+    # A bare expression in condition position tests truthiness.
+    value_fn = compile_expression(node)
+
+    def truthy(context: EvalContext) -> bool:
+        value = value_fn(context)
+        return bool(value) and not _is_null(value)
+
+    return truthy
+
+
+def _compile_comparison(node: ast.Comparison) -> CondFn:
+    left_fn = compile_expression(node.left)
+    op = node.op
+
+    if op == "is_null":
+        return lambda context: _is_null(left_fn(context))
+    if op == "not_null":
+        return lambda context: not _is_null(left_fn(context))
+    if op == "truthy":
+
+        def truthy(context: EvalContext) -> bool:
+            left = left_fn(context)
+            return bool(left) and not _is_null(left)
+
+        return truthy
+    if op == "one_of":
+        option_fns = tuple(compile_expression(o) for o in node.right)
+
+        def one_of(context: EvalContext) -> bool:
+            left = left_fn(context)
+            # All options evaluate eagerly (matching the interpreter's
+            # side-effect order) before the lazy equality scan.
+            options = [fn(context) for fn in option_fns]
+            return any(_equals(left, option) for option in options)
+
+        return one_of
+
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        right_fn = compile_expression(node.right)
+        if op == "eq":
+            return lambda context: _equals(
+                left_fn(context), right_fn(context)
+            )
+        if op == "ne":
+            return lambda context: not _equals(
+                left_fn(context), right_fn(context)
+            )
+        return lambda context: _ordered(
+            op, left_fn(context), right_fn(context)
+        )
+
+    raise CodegenGap(f"unknown comparison op {op!r}")
+
+
+def _compile_find(concept: str, where: Optional[ast.Node]) -> ExprFn:
+    """Closure over 'instances of *concept* satisfying *where*'."""
+    where_fn = compile_condition(where) if where is not None else None
+    # concept → node type resolves once (memoized after the first success;
+    # failures re-raise identically on every call, like the interpreter).
+    node_type_slot: list = []
+
+    def instances(context: EvalContext) -> list:
+        if not node_type_slot:
+            node_type_slot.append(
+                context.vocabulary.concept(concept).node_type
+            )
+        node_type = node_type_slot[0]
+        frame = context.frame
+        if frame is not None:
+            return frame.instances_of(context.xom, node_type)
+        objects = context.xom.instances(context.graph, node_type)
+        objects.sort(key=lambda o: o.record.record_id)
+        return objects
+
+    def find(context: EvalContext) -> list:
+        if where_fn is None:
+            # Copy: the context's instance list may be frame-shared.
+            return list(instances(context))
+        matches = []
+        for candidate in instances(context):
+            context.this_stack.append(candidate)
+            touched_before = set(context.touched)
+            try:
+                accepted = where_fn(context)
+            finally:
+                context.this_stack.pop()
+            if accepted:
+                matches.append(candidate)
+            else:
+                # Nodes examined only while *rejecting* a candidate are not
+                # part of the control's subgraph.
+                context.touched = touched_before
+        return matches
+
+    return find
+
+
+# -- definitions and actions --------------------------------------------------
+
+
+def compile_definition(definition: ast.Definition) -> Tuple[str, ExprFn]:
+    """Lower one definition to ``(variable, closure)``; the engine stores
+    the closure's value into the environment."""
+    binder = definition.binder
+    if isinstance(binder, ast.InstanceBinding):
+        find = _compile_find(binder.concept, binder.where)
+
+        def bind(context: EvalContext) -> object:
+            matches = find(context)
+            value = matches[0] if matches else None
+            context.touch(value)
+            return value
+
+        return definition.var, bind
+    return definition.var, compile_expression(binder)
+
+
+def compile_action(node: ast.Node) -> ActionFn:
+    """Lower one action node to a closure ``(context, outcome) -> None``."""
+    if isinstance(node, ast.SetStatus):
+        # Deferred import: the engine imports this module.
+        from repro.brms.engine import RuleVerdict
+
+        verdict = (
+            RuleVerdict.SATISFIED
+            if node.satisfied
+            else RuleVerdict.NOT_SATISFIED
+        )
+
+        def set_status(context: EvalContext, outcome: object) -> None:
+            outcome.verdict = verdict
+
+        return set_status
+
+    if isinstance(node, ast.Alert):
+        message = node.message
+
+        def alert(context: EvalContext, outcome: object) -> None:
+            outcome.alerts.append(message)
+
+        return alert
+
+    if isinstance(node, ast.Assign):
+        var = node.var
+        expr_fn = compile_expression(node.expr)
+
+        def assign(context: EvalContext, outcome: object) -> None:
+            context.env[var] = expr_fn(context)
+
+        return assign
+
+    raise CodegenGap(f"unknown action node {type(node).__name__}")
+
+
+def compile_rule(compiled: CompiledRule) -> ClosureProgram:
+    """Lower a whole compiled rule into a :class:`ClosureProgram`.
+
+    Raises :class:`CodegenGap` when any node is outside the compiler's
+    coverage; the caller should fall back to the interpreter.
+    """
+    rule = compiled.rule
+    return ClosureProgram(
+        name=compiled.name,
+        anchor=compiled.anchor_variable,
+        definitions=tuple(
+            compile_definition(definition) for definition in rule.definitions
+        ),
+        condition=compile_condition(rule.condition),
+        then_actions=tuple(
+            compile_action(action) for action in rule.then_actions
+        ),
+        else_actions=tuple(
+            compile_action(action) for action in rule.else_actions
+        ),
+    )

@@ -1,7 +1,10 @@
 """BAL evaluation.
 
 Interprets a parsed rule against an :class:`EvalContext` (trace graph + XOM
-+ vocabulary + parameters).  Value domain:
++ vocabulary + parameters).  This tree-walking interpreter is the language's
+*reference semantics*: the closure compiler
+(:mod:`repro.brms.bal.codegen`) must agree with it outcome-for-outcome, and
+the differential fuzz suite enforces that.  Value domain:
 
 - ``None`` is the rule language's ``null``,
 - scalars (str/int/float/bool) come from record attributes and literals,
@@ -27,6 +30,49 @@ from repro.errors import RuleEngineError
 from repro.graph.graph import ProvenanceGraph
 
 
+class TraceFrame:
+    """Shared per-trace evaluation state: one graph, XOM wraps built once.
+
+    Wrapping every graph node into an :class:`XomObject` and sorting the
+    instance lists is pure function of the graph, yet a sweep that runs C
+    controls against T traces used to redo it C×T times.  A frame memoizes
+    the instance lists (and the trace's last timestamp) so every control —
+    and every quantifier inside every rule — evaluated against the same
+    trace shares one wrapping.  Frames are read-shared: callers must never
+    mutate the returned lists, and a frame must be dropped when its trace
+    gains records (the :class:`~repro.controls.evaluator.ComplianceEvaluator`
+    invalidates via store subscription).
+    """
+
+    __slots__ = ("graph", "_instances", "_checked_at")
+
+    def __init__(self, graph: ProvenanceGraph) -> None:
+        self.graph = graph
+        self._instances: Dict[str, List[XomObject]] = {}
+        self._checked_at: Optional[int] = None
+
+    def instances_of(
+        self, xom: ExecutableObjectModel, node_type: str
+    ) -> List[XomObject]:
+        """Sorted XOM instances of *node_type*, wrapped at most once."""
+        cached = self._instances.get(node_type)
+        if cached is None:
+            cached = xom.instances(self.graph, node_type)
+            cached.sort(key=lambda o: o.record.record_id)
+            self._instances[node_type] = cached
+        return cached
+
+    @property
+    def checked_at(self) -> int:
+        """The trace's newest record timestamp (compliance-row metadata)."""
+        if self._checked_at is None:
+            self._checked_at = max(
+                (record.timestamp for record in self.graph.nodes()),
+                default=0,
+            )
+        return self._checked_at
+
+
 @dataclass
 class EvalContext:
     """Everything a rule evaluation needs.
@@ -38,6 +84,8 @@ class EvalContext:
         parameters: values for ``<param>`` references.
         env: definitions-variable environment (filled during evaluation).
         this_stack: candidate stack for ``this`` inside where-clauses.
+        frame: optional shared per-trace state (memoized XOM instance
+            lists); per-evaluation state (env, touched) stays here.
     """
 
     graph: ProvenanceGraph
@@ -47,6 +95,7 @@ class EvalContext:
     env: Dict[str, object] = field(default_factory=dict)
     this_stack: List[XomObject] = field(default_factory=list)
     touched: "set" = field(default_factory=set)
+    frame: Optional[TraceFrame] = None
 
     def touch(self, value: object) -> object:
         """Record graph nodes a rule actually examined.
@@ -64,8 +113,14 @@ class EvalContext:
         return value
 
     def instances_of(self, concept: str) -> List[XomObject]:
-        """All trace-graph instances of a business concept, ordered by id."""
+        """All trace-graph instances of a business concept, ordered by id.
+
+        With a shared :class:`TraceFrame` the returned list is memoized and
+        must be treated as read-only.
+        """
         bom_class = self.vocabulary.concept(concept)
+        if self.frame is not None:
+            return self.frame.instances_of(self.xom, bom_class.node_type)
         objects = self.xom.instances(self.graph, bom_class.node_type)
         objects.sort(key=lambda o: o.record.record_id)
         return objects

@@ -1,7 +1,19 @@
 """The rule execution engine.
 
 Runs compiled BAL rules against trace graphs and produces
-:class:`RuleOutcome` objects with one of four verdicts:
+:class:`RuleOutcome` objects.  Two execution back ends share one
+semantics:
+
+- ``compiled`` (the default) lowers each rule once into Python closures
+  (:mod:`repro.brms.bal.codegen`) and thereafter evaluates by direct
+  function calls — the hot path for sweeps and deployed re-checks.  Rules
+  the closure compiler cannot cover fall back per-rule to the interpreter
+  automatically (``codegen_gaps`` records why).
+- ``interpret`` walks the AST every evaluation
+  (:mod:`repro.brms.bal.evaluate`) — the reference semantics and the
+  differential-testing oracle.
+
+Verdicts are one of four:
 
 - ``SATISFIED`` / ``NOT_SATISFIED`` — the paper's two explicit outcomes,
 - ``NOT_APPLICABLE`` — the rule's anchor (its first instance binding, e.g.
@@ -18,12 +30,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.brms.bal import ast
 from repro.brms.bal.compiler import CompiledRule
+from repro.brms.bal.codegen import ClosureProgram, CodegenGap, compile_rule
 from repro.brms.bal.evaluate import (
     EvalContext,
+    TraceFrame,
     evaluate_condition,
     evaluate_definition,
     evaluate_expression,
@@ -69,16 +83,63 @@ class RuleOutcome:
 RuleContext = EvalContext
 
 
+EXECUTION_MODES = ("compiled", "interpret")
+
+
 class RuleEngine:
-    """Evaluates compiled rules against trace graphs."""
+    """Evaluates compiled rules against trace graphs.
+
+    Args:
+        execution_mode: ``"compiled"`` (closure codegen, the default) or
+            ``"interpret"`` (AST walking).  Compiled mode falls back to the
+            interpreter per rule on codegen gaps.
+    """
 
     def __init__(
         self,
         xom: ExecutableObjectModel,
         vocabulary: Vocabulary,
+        execution_mode: str = "compiled",
     ) -> None:
+        if execution_mode not in EXECUTION_MODES:
+            raise RuleEngineError(
+                f"unknown execution mode {execution_mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
         self.xom = xom
         self.vocabulary = vocabulary
+        self.execution_mode = execution_mode
+        # id(compiled) → (compiled, program-or-None).  The strong reference
+        # to the CompiledRule pins its id; None records a codegen gap so the
+        # fallback decision is made once per rule, not per evaluation.
+        self._programs: Dict[
+            int, "Tuple[CompiledRule, Optional[ClosureProgram]]"
+        ] = {}
+        self.codegen_gaps: Dict[str, str] = {}  # rule name → gap reason
+
+    def program_for(
+        self, compiled: CompiledRule
+    ) -> Optional[ClosureProgram]:
+        """The rule's closure program, compiled on first use.
+
+        Returns None when the closure compiler cannot cover the rule; the
+        gap reason is recorded in :attr:`codegen_gaps`.
+        """
+        entry = self._programs.get(id(compiled))
+        if entry is not None and entry[0] is compiled:
+            return entry[1]
+        try:
+            program: Optional[ClosureProgram] = compile_rule(compiled)
+        except CodegenGap as gap:
+            program = None
+            self.codegen_gaps[compiled.name] = str(gap)
+        self._programs[id(compiled)] = (compiled, program)
+        return program
+
+    def clear_program_cache(self) -> None:
+        """Drop compiled closures (after vocabulary/BOM edits)."""
+        self._programs.clear()
+        self.codegen_gaps.clear()
 
     def _unobservable_concepts(
         self, compiled: CompiledRule, observable_types: Optional[Set[str]]
@@ -98,8 +159,16 @@ class RuleEngine:
         graph: ProvenanceGraph,
         parameters: Optional[Dict[str, object]] = None,
         observable_types: Optional[Set[str]] = None,
+        frame: Optional[TraceFrame] = None,
     ) -> RuleOutcome:
-        """Evaluate *compiled* against one trace *graph*."""
+        """Evaluate *compiled* against one trace *graph*.
+
+        Args:
+            frame: optional shared per-trace state (memoized XOM instance
+                wraps).  Callers evaluating several rules against the same
+                graph should build one :class:`TraceFrame` and pass it to
+                every evaluation.
+        """
         trace_id = graph.name
         if self._unobservable_concepts(compiled, observable_types):
             return RuleOutcome(
@@ -113,8 +182,23 @@ class RuleEngine:
             xom=self.xom,
             vocabulary=self.vocabulary,
             parameters=dict(parameters or {}),
+            frame=frame,
         )
 
+        if self.execution_mode == "compiled":
+            program = self.program_for(compiled)
+            if program is not None:
+                return self._evaluate_program(
+                    program, compiled, trace_id, context
+                )
+        return self._evaluate_interpreted(compiled, trace_id, context)
+
+    def _evaluate_interpreted(
+        self,
+        compiled: CompiledRule,
+        trace_id: str,
+        context: EvalContext,
+    ) -> RuleOutcome:
         anchor = compiled.anchor_variable
         for definition in compiled.rule.definitions:
             value = evaluate_definition(definition, context)
@@ -143,17 +227,64 @@ class RuleEngine:
         self._capture_bindings(context, outcome)
         return outcome
 
+    def _evaluate_program(
+        self,
+        program: ClosureProgram,
+        compiled: CompiledRule,
+        trace_id: str,
+        context: EvalContext,
+    ) -> RuleOutcome:
+        """The compiled fast path; step-for-step twin of the interpreter."""
+        anchor = program.anchor
+        env = context.env
+        for var, fn in program.definitions:
+            value = fn(context)
+            env[var] = value
+            if var == anchor and value is None:
+                return self._outcome_from(
+                    compiled, trace_id, RuleVerdict.NOT_APPLICABLE, context
+                )
+
+        condition_value = program.condition(context)
+        actions = (
+            program.then_actions
+            if condition_value
+            else program.else_actions
+        )
+        default = (
+            RuleVerdict.SATISFIED
+            if condition_value
+            else RuleVerdict.NOT_SATISFIED
+        )
+
+        outcome = self._outcome_from(compiled, trace_id, default, context)
+        outcome.condition_value = condition_value
+        for action in actions:
+            action(context, outcome)
+        self._capture_bindings(context, outcome)
+        return outcome
+
     def evaluate_many(
         self,
         compiled: CompiledRule,
         graphs: Sequence[ProvenanceGraph],
         parameters: Optional[Dict[str, object]] = None,
         observable_types: Optional[Set[str]] = None,
+        frames: Optional[Sequence[TraceFrame]] = None,
     ) -> List[RuleOutcome]:
-        """Evaluate one rule across many trace graphs."""
+        """Evaluate one rule across many trace graphs.
+
+        Pass *frames* (one per graph, e.g. shared with other rules) to
+        reuse XOM instance wraps; otherwise each graph gets a fresh frame
+        so at least the rule's own quantifiers share wrapping.
+        """
+        if frames is None:
+            frames = [TraceFrame(graph) for graph in graphs]
         return [
-            self.evaluate(compiled, graph, parameters, observable_types)
-            for graph in graphs
+            self.evaluate(
+                compiled, graph, parameters, observable_types, frame=frame
+            )
+            for graph, frame in zip(graphs, frames)
         ]
 
     # -- helpers -------------------------------------------------------------

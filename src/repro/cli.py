@@ -96,10 +96,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_workload_args(simulate)
 
+    def add_evaluation_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--execution-mode", choices=("compiled", "interpret"),
+            default="compiled",
+            help=(
+                "rule execution back end: 'compiled' lowers each control "
+                "to Python closures once (fast, the default); 'interpret' "
+                "walks the AST every evaluation (the reference semantics)"
+            ),
+        )
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help=(
+                "evaluate the compliance sweep with N worker processes "
+                "(fork-based; falls back to serial where fork is "
+                "unavailable)"
+            ),
+        )
+
     check = sub.add_parser(
         "check", help="simulate, evaluate controls, print the dashboard"
     )
     add_workload_args(check)
+    add_evaluation_args(check)
     check.add_argument(
         "--exceptions-only", action="store_true",
         help="print only the violation report",
@@ -109,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="simulate, evaluate, and print a full audit report"
     )
     add_workload_args(report)
+    add_evaluation_args(report)
 
     vocabulary = sub.add_parser(
         "vocabulary", help="print the generated business vocabulary"
@@ -193,8 +214,9 @@ def cmd_check(args, out) -> int:
         evaluator = ComplianceEvaluator(
             sim.store, sim.xom, sim.vocabulary,
             observable_types=sim.observable_types,
+            execution_mode=args.execution_mode,
         )
-        results = evaluator.run(sim.controls)
+        results = evaluator.run(sim.controls, jobs=args.jobs)
         dashboard = ComplianceDashboard()
         for control in sim.controls:
             dashboard.register_control(control)
@@ -220,8 +242,9 @@ def cmd_report(args, out) -> int:
         evaluator = ComplianceEvaluator(
             sim.store, sim.xom, sim.vocabulary,
             observable_types=sim.observable_types,
+            execution_mode=args.execution_mode,
         )
-        results = evaluator.run(sim.controls)
+        results = evaluator.run(sim.controls, jobs=args.jobs)
         builder = AuditReportBuilder(sim.store, sim.controls)
         print(builder.build(results), file=out)
         return 0

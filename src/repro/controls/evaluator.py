@@ -5,12 +5,27 @@ The :class:`ComplianceEvaluator` is the on-demand (query-frontend) style of
 and runs every control against it, producing
 :class:`~repro.controls.status.ComplianceResult` rows.  The deployed
 (real-time) style lives in :mod:`repro.controls.deployment`.
+
+Three sweep-speed mechanisms stack here:
+
+- **shared evaluation contexts** — each trace's graph and XOM wrapping are
+  built once per sweep (a :class:`~repro.brms.bal.evaluate.TraceFrame`)
+  and shared by every control; frames are cached across calls and
+  invalidated per trace when the store appends new records,
+- **compiled rule execution** — the engine defaults to the closure-codegen
+  back end (``execution_mode="compiled"``),
+- **parallel sweeps** — ``run(controls, jobs=N)`` partitions trace ids
+  across forked worker processes; safe because a sweep only reads, and
+  byte-identical to the serial sweep because partitions preserve trace
+  order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.brms.bal.evaluate import TraceFrame
 from repro.brms.engine import RuleEngine
 from repro.brms.vocabulary import Vocabulary
 from repro.brms.xom import ExecutableObjectModel
@@ -18,11 +33,70 @@ from repro.controls.control import InternalControl
 from repro.controls.status import ComplianceResult, ComplianceStatus
 from repro.graph.build import build_trace_graph, graph_from_records
 from repro.graph.graph import ProvenanceGraph
+from repro.model.records import ProvenanceRecord
 from repro.store.store import ProvenanceStore
+
+# State a parallel sweep shares with forked workers.  Set immediately
+# before forking, inherited by the children via copy-on-write (nothing is
+# pickled, so closures, SQLite-decoded records and virtual BOM getters all
+# travel for free), cleared right after.
+_FORK_STATE: Optional[Tuple] = None
+
+
+def _check_with_frame(
+    engine: RuleEngine,
+    control: InternalControl,
+    frame: TraceFrame,
+    parameters: Optional[Dict[str, object]],
+    observable_types: Optional[Set[str]],
+) -> ComplianceResult:
+    """One (control, trace) check against a prebuilt frame.
+
+    The single code path every sweep mode funnels through — serial,
+    cached, and forked sweeps produce rows from exactly this function,
+    which is what makes their outputs byte-identical.
+    """
+    outcome = engine.evaluate(
+        control.compiled,
+        frame.graph,
+        parameters=control.resolve_parameters(parameters),
+        observable_types=observable_types,
+        frame=frame,
+    )
+    result = ComplianceResult.from_outcome(outcome)
+    result.control_name = control.name
+    result.checked_at = frame.checked_at
+    return result
+
+
+def _sweep_partition(trace_ids: List[str]) -> List[ComplianceResult]:
+    """Worker body: evaluate every control against a trace-id partition."""
+    engine, controls, grouped, observable_types = _FORK_STATE
+    results: List[ComplianceResult] = []
+    for trace_id in trace_ids:
+        frame = TraceFrame(
+            graph_from_records(grouped.get(trace_id, ()), name=trace_id)
+        )
+        for control in controls:
+            results.append(
+                _check_with_frame(
+                    engine, control, frame, None, observable_types
+                )
+            )
+    return results
 
 
 class ComplianceEvaluator:
-    """Runs controls over trace graphs built from a provenance store."""
+    """Runs controls over trace graphs built from a provenance store.
+
+    Args:
+        execution_mode: rule execution back end, ``"compiled"`` (default)
+            or ``"interpret"`` — see :class:`~repro.brms.engine.RuleEngine`.
+        share_contexts: cache per-trace evaluation frames (graph + XOM
+            wraps) across checks, invalidating per trace on store appends.
+            Disable to reproduce rebuild-every-check behaviour (the
+            execution-modes benchmark's baseline).
+    """
 
     def __init__(
         self,
@@ -30,10 +104,48 @@ class ComplianceEvaluator:
         xom: ExecutableObjectModel,
         vocabulary: Vocabulary,
         observable_types: Optional[Set[str]] = None,
+        execution_mode: str = "compiled",
+        share_contexts: bool = True,
     ) -> None:
         self.store = store
-        self.engine = RuleEngine(xom, vocabulary)
+        self.engine = RuleEngine(
+            xom, vocabulary, execution_mode=execution_mode
+        )
         self.observable_types = observable_types
+        self.share_contexts = share_contexts
+        self._frames: Dict[str, TraceFrame] = {}
+        self.graph_builds = 0  # trace graphs constructed (regression metric)
+        if share_contexts:
+            store.subscribe(self._on_store_append)
+
+    # -- context cache -------------------------------------------------------
+
+    def _on_store_append(self, record: ProvenanceRecord) -> None:
+        # The trace gained a record; its cached frame is stale.
+        self._frames.pop(record.app_id, None)
+
+    def clear_context_cache(self) -> None:
+        """Drop every cached per-trace frame."""
+        self._frames.clear()
+
+    def _frame_for(self, trace_id: str) -> TraceFrame:
+        """The trace's shared frame, built (and cached) on first use."""
+        if self.share_contexts:
+            frame = self._frames.get(trace_id)
+            if frame is not None:
+                return frame
+        self.graph_builds += 1
+        frame = TraceFrame(build_trace_graph(self.store, trace_id))
+        if self.share_contexts:
+            self._frames[trace_id] = frame
+        return frame
+
+    def _adopt_frame(self, trace_id: str, graph: ProvenanceGraph) -> TraceFrame:
+        """Cache a frame around a graph the sweep already built."""
+        frame = TraceFrame(graph)
+        if self.share_contexts:
+            self._frames[trace_id] = frame
+        return frame
 
     # -- single control -----------------------------------------------------
 
@@ -51,21 +163,20 @@ class ComplianceEvaluator:
             as_of: evaluate against the trace *as it looked* at this
                 simulated time (records with later timestamps are invisible)
                 — the audit question "was this trace compliant on date X?".
+                Historical graphs bypass the context cache.
         """
-        if graph is None:
-            graph = build_trace_graph(self.store, trace_id, as_of=as_of)
-        outcome = self.engine.evaluate(
-            control.compiled,
-            graph,
-            parameters=control.resolve_parameters(parameters),
-            observable_types=self.observable_types,
+        if as_of is not None:
+            self.graph_builds += 1
+            frame = TraceFrame(
+                build_trace_graph(self.store, trace_id, as_of=as_of)
+            )
+        elif graph is not None:
+            frame = TraceFrame(graph)
+        else:
+            frame = self._frame_for(trace_id)
+        return _check_with_frame(
+            self.engine, control, frame, parameters, self.observable_types
         )
-        result = ComplianceResult.from_outcome(outcome)
-        result.control_name = control.name
-        result.checked_at = max(
-            (record.timestamp for record in graph.nodes()), default=0
-        )
-        return result
 
     def check_all_traces(
         self,
@@ -84,6 +195,7 @@ class ComplianceEvaluator:
         self,
         controls: Sequence[InternalControl],
         trace_ids: Optional[Iterable[str]] = None,
+        jobs: Optional[int] = None,
     ) -> List[ComplianceResult]:
         """Check every control against every trace (graphs built once).
 
@@ -93,27 +205,87 @@ class ComplianceEvaluator:
         point lookups.  Restricting to *trace_ids* keeps the per-trace
         query path, and so does an unindexed store: with the E8 ablation
         knob off, every evaluation is *supposed* to pay a table scan.
+
+        Args:
+            jobs: >1 partitions the sweep's trace ids across that many
+                forked worker processes (full sweeps only; requires the
+                ``fork`` start method, silently serial elsewhere).  Rows
+                come back in the same order as the serial sweep.
         """
+        if jobs is not None and jobs > 1 and trace_ids is None:
+            parallel = self._run_forked(controls, jobs)
+            if parallel is not None:
+                return parallel
         results: List[ComplianceResult] = []
         if trace_ids is None and self.store.indexed:
-            grouped = self.store.records_by_trace()
+            grouped = None
             for trace_id in self.store.app_ids():
-                graph = graph_from_records(
-                    grouped.get(trace_id, ()), name=trace_id
-                )
+                frame = self._frames.get(trace_id) if self.share_contexts \
+                    else None
+                if frame is None:
+                    if grouped is None:
+                        grouped = self.store.records_by_trace()
+                    self.graph_builds += 1
+                    frame = self._adopt_frame(
+                        trace_id,
+                        graph_from_records(
+                            grouped.get(trace_id, ()), name=trace_id
+                        ),
+                    )
                 for control in controls:
                     results.append(
-                        self.check_trace(control, trace_id, graph=graph)
+                        _check_with_frame(
+                            self.engine, control, frame, None,
+                            self.observable_types,
+                        )
                     )
             return results
         ids = list(trace_ids) if trace_ids is not None else self.store.app_ids()
         for trace_id in ids:
-            graph = build_trace_graph(self.store, trace_id)
+            frame = self._frame_for(trace_id)
             for control in controls:
                 results.append(
-                    self.check_trace(control, trace_id, graph=graph)
+                    _check_with_frame(
+                        self.engine, control, frame, None,
+                        self.observable_types,
+                    )
                 )
         return results
+
+    def _run_forked(
+        self, controls: Sequence[InternalControl], jobs: int
+    ) -> Optional[List[ComplianceResult]]:
+        """Full sweep across forked workers; None → caller runs serial.
+
+        The parent snapshots the store into per-trace record lists *before*
+        forking, so workers never touch the storage backend (no SQLite
+        connection crosses the fork) — they only read inherited memory.
+        """
+        global _FORK_STATE
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork (e.g. Windows)
+            return None
+        ids = self.store.app_ids()
+        if len(ids) < 2:
+            return None
+        jobs = min(jobs, len(ids))
+        grouped = self.store.records_by_trace()
+        # Contiguous partitions keep concatenated results in serial order.
+        bounds = [
+            (len(ids) * i // jobs, len(ids) * (i + 1) // jobs)
+            for i in range(jobs)
+        ]
+        chunks = [ids[lo:hi] for lo, hi in bounds if lo < hi]
+        _FORK_STATE = (
+            self.engine, tuple(controls), grouped, self.observable_types
+        )
+        try:
+            with context.Pool(processes=len(chunks)) as pool:
+                parts = pool.map(_sweep_partition, chunks)
+        finally:
+            _FORK_STATE = None
+        return [result for part in parts for result in part]
 
     # -- reporting ------------------------------------------------------------------
 

@@ -29,6 +29,12 @@ class ProvenanceGraph:
         self.name = name
         self._graph = nx.MultiDiGraph(name=name)
         self._records: Dict[str, ProvenanceRecord] = {}
+        # Typed-adjacency caches for the rule engine's hot path:
+        # node id → relation type → relations, built lazily per node from
+        # the same networkx iteration the uncached path uses (so edge order
+        # is identical), invalidated per endpoint on mutation.
+        self._in_cache: Dict[str, Dict[str, List[RelationRecord]]] = {}
+        self._out_cache: Dict[str, Dict[str, List[RelationRecord]]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -69,6 +75,8 @@ class ProvenanceGraph:
             key=relation.record_id,
             relation=relation,
         )
+        self._out_cache.pop(relation.source_id, None)
+        self._in_cache.pop(relation.target_id, None)
 
     # -- nodes ---------------------------------------------------------------
 
@@ -123,12 +131,21 @@ class ProvenanceGraph:
         """Outgoing relations of a node, optionally of one type."""
         if record_id not in self._records:
             return []
-        result = []
-        for __, __, data in self._graph.out_edges(record_id, data=True):
-            relation = data["relation"]
-            if relation_type is None or relation.entity_type == relation_type:
-                result.append(relation)
-        return result
+        if relation_type is None:
+            return [
+                data["relation"]
+                for __, __, data in self._graph.out_edges(
+                    record_id, data=True
+                )
+            ]
+        per_type = self._out_cache.get(record_id)
+        if per_type is None:
+            per_type = {}
+            for __, __, data in self._graph.out_edges(record_id, data=True):
+                relation = data["relation"]
+                per_type.setdefault(relation.entity_type, []).append(relation)
+            self._out_cache[record_id] = per_type
+        return list(per_type.get(relation_type, ()))
 
     def edges_to(
         self, record_id: str, relation_type: Optional[str] = None
@@ -136,12 +153,19 @@ class ProvenanceGraph:
         """Incoming relations of a node, optionally of one type."""
         if record_id not in self._records:
             return []
-        result = []
-        for __, __, data in self._graph.in_edges(record_id, data=True):
-            relation = data["relation"]
-            if relation_type is None or relation.entity_type == relation_type:
-                result.append(relation)
-        return result
+        if relation_type is None:
+            return [
+                data["relation"]
+                for __, __, data in self._graph.in_edges(record_id, data=True)
+            ]
+        per_type = self._in_cache.get(record_id)
+        if per_type is None:
+            per_type = {}
+            for __, __, data in self._graph.in_edges(record_id, data=True):
+                relation = data["relation"]
+                per_type.setdefault(relation.entity_type, []).append(relation)
+            self._in_cache[record_id] = per_type
+        return list(per_type.get(relation_type, ()))
 
     def has_edge(
         self, source_id: str, target_id: str, relation_type: Optional[str] = None

@@ -1,0 +1,134 @@
+"""The closure-codegen back end: coverage, caching, and fallback.
+
+The semantic equivalence proof lives in the differential fuzz suite
+(:mod:`tests.test_bal_fuzz`); this module pins the plumbing around it —
+programs compile once and are cached, unsupported AST nodes degrade to
+the interpreter per rule (never an error), and the engine rejects
+unknown execution modes up front.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.brms.bal import ast
+from repro.brms.bal.codegen import CodegenGap, compile_rule
+from repro.brms.engine import EXECUTION_MODES, RuleEngine, RuleVerdict
+from repro.errors import RuleEngineError
+from repro.graph.build import build_trace_graph
+from repro.processes import hiring
+from repro.processes.violations import ViolationPlan
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return hiring.workload().simulate(
+        cases=3,
+        seed=5,
+        violations=ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), 0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs(sim):
+    return [
+        build_trace_graph(sim.store, trace_id)
+        for trace_id in sim.store.app_ids()
+    ]
+
+
+class _UnsupportedNode(ast.Node):
+    """An AST node class the closure compiler has never heard of."""
+
+
+def _with_then_actions(compiled, actions):
+    return dataclasses.replace(
+        compiled, rule=dataclasses.replace(compiled.rule, then_actions=actions)
+    )
+
+
+class TestCoverage:
+    def test_every_hiring_control_compiles(self, sim):
+        for control in sim.controls:
+            program = compile_rule(control.compiled)
+            assert program.name == control.compiled.name
+            assert callable(program.condition)
+
+    def test_compiled_engine_matches_interpreter_on_controls(
+        self, sim, graphs
+    ):
+        interpreter = RuleEngine(
+            sim.xom, sim.vocabulary, execution_mode="interpret"
+        )
+        compiled_engine = RuleEngine(
+            sim.xom, sim.vocabulary, execution_mode="compiled"
+        )
+        for control in sim.controls:
+            for graph in graphs:
+                expected = interpreter.evaluate(control.compiled, graph)
+                actual = compiled_engine.evaluate(control.compiled, graph)
+                assert actual == expected
+
+    def test_unknown_node_raises_codegen_gap(self, sim):
+        broken = _with_then_actions(
+            sim.controls[0].compiled, (_UnsupportedNode(),)
+        )
+        with pytest.raises(CodegenGap):
+            compile_rule(broken)
+
+
+class TestProgramCache:
+    def test_program_compiled_once_and_cached(self, sim):
+        engine = RuleEngine(sim.xom, sim.vocabulary)
+        compiled = sim.controls[0].compiled
+        first = engine.program_for(compiled)
+        assert first is not None
+        assert engine.program_for(compiled) is first
+        engine.clear_program_cache()
+        assert engine.program_for(compiled) is not first
+
+    def test_unknown_execution_mode_rejected(self, sim):
+        with pytest.raises(RuleEngineError, match="unknown execution mode"):
+            RuleEngine(sim.xom, sim.vocabulary, execution_mode="jit")
+        assert set(EXECUTION_MODES) == {"compiled", "interpret"}
+
+
+class TestFallback:
+    def test_codegen_gap_falls_back_to_interpreter(self, sim, graphs):
+        # The unsupported node sits in the then-branch of a control whose
+        # condition holds on compliant traces: codegen must refuse the
+        # whole rule (gap recorded), and the interpreter would only choke
+        # if that branch actually ran — so pick a trace where it doesn't.
+        compiled = sim.controls[0].compiled
+        broken = _with_then_actions(compiled, (_UnsupportedNode(),))
+        engine = RuleEngine(sim.xom, sim.vocabulary, execution_mode="compiled")
+        reference = RuleEngine(
+            sim.xom, sim.vocabulary, execution_mode="interpret"
+        )
+
+        assert engine.program_for(broken) is None
+        assert broken.name in engine.codegen_gaps
+        assert "_UnsupportedNode" in engine.codegen_gaps[broken.name]
+
+        fell_back = False
+        for graph in graphs:
+            probe = reference.evaluate(compiled, graph)
+            if probe.condition_value:
+                continue  # then-branch would run the unsupported action
+            fell_back = True
+            outcome = engine.evaluate(broken, graph)
+            assert outcome == reference.evaluate(broken, graph)
+            assert outcome.verdict in (
+                RuleVerdict.NOT_SATISFIED, RuleVerdict.NOT_APPLICABLE
+            )
+        assert fell_back, "need at least one trace exercising the fallback"
+
+    def test_gap_decision_made_once(self, sim):
+        engine = RuleEngine(sim.xom, sim.vocabulary)
+        broken = _with_then_actions(
+            sim.controls[0].compiled, (_UnsupportedNode(),)
+        )
+        assert engine.program_for(broken) is None
+        gaps_after_first = dict(engine.codegen_gaps)
+        assert engine.program_for(broken) is None
+        assert engine.codegen_gaps == gaps_after_first

@@ -1,17 +1,32 @@
-"""Fuzzing the BAL front end: garbage must fail cleanly, never crash.
+"""Fuzzing the BAL front end and the execution back ends.
 
-An authoring tool feeds arbitrary keystrokes into the lexer and parser;
-the only acceptable failure mode is :class:`BalSyntaxError` (or a clean
-parse).  Anything else — recursion blowups, IndexError, hangs — would
-surface as editor crashes.
+Two layers:
+
+- **front-end totality** — arbitrary keystrokes into the lexer and
+  parser; the only acceptable failure mode is :class:`BalSyntaxError`
+  (or a clean parse).  Anything else — recursion blowups, IndexError,
+  hangs — would surface as editor crashes.
+- **differential execution** — generated *valid* rules over the hiring
+  vocabulary run through both the AST interpreter and the closure
+  codegen back end; every observable (verdict, condition value, alerts,
+  bindings, environment values, touched nodes — and error type/message
+  when evaluation fails) must match exactly.  The interpreter is the
+  reference semantics; this is the compiled path's correctness oracle.
 """
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.brms.bal.compiler import BalCompiler
 from repro.brms.bal.parser import parse_rule
 from repro.brms.bal.tokens import tokenize
-from repro.errors import BalSyntaxError
+from repro.brms.engine import RuleEngine
+from repro.brms.xom import XomObject
+from repro.errors import BalError, BalSyntaxError, RuleEngineError
+from repro.graph.build import build_trace_graph
+from repro.graph.graph import ProvenanceGraph
+from repro.processes import hiring
+from repro.processes.violations import ViolationPlan
 
 # Raw character soup, biased toward BAL's own alphabet.
 bal_chars = st.sampled_from(
@@ -80,3 +95,247 @@ class TestParserTotality:
         # Junk that happens to extend the action list legally is fine —
         # but it must still render/reparse cleanly.
         assert parse_rule(rule.render()) is not None
+
+
+# -- differential execution: interpreter vs closure codegen -------------------
+
+# Navigation phrases per concept, split into value attributes (strings /
+# numbers) and correlation links (other records, or None when the edge was
+# never captured) so generated comparisons type-check often enough.
+_ATTRS = {
+    "Job Requisition": (
+        "requisition ID", "position type", "offered position", "dept",
+        "general manager", "submitter email", "timestamp",
+    ),
+    "Approval Status": (
+        "requisition ID", "status", "approver", "approver email",
+        "timestamp",
+    ),
+    "Candidate List": ("requisition ID", "count", "timestamp"),
+    "Notification": ("requisition ID", "recipient", "timestamp"),
+    "Person": ("name", "email", "role", "timestamp"),
+}
+_LINKS = {
+    "Job Requisition": (
+        "approval", "candidate list", "submitter", "notification",
+    ),
+    "Approval Status": ("submitter",),
+    "Candidate List": ("submitter",),
+    "Notification": ("submitter",),
+    "Person": (),
+}
+_LINK_TARGET = {
+    "approval": "Approval Status",
+    "candidate list": "Candidate List",
+    "submitter": "Person",
+    "notification": "Notification",
+}
+_STRINGS = ('"new"', '"replacement"', '"approved"', '"rejected"',
+            '"gm"', '"hr"', '"nobody@nowhere"', '""')
+_NUMBERS = ("0", "1", "2", "5", "1000")
+
+_concepts = st.sampled_from(sorted(_ATTRS))
+_strings = st.sampled_from(_STRINGS)
+_numbers = st.sampled_from(_NUMBERS)
+
+
+def _navigation(draw, subject, concept):
+    phrases = _ATTRS[concept] + _LINKS[concept]
+    return f"the {draw(st.sampled_from(phrases))} of {subject}"
+
+
+def _atomic(draw, subject, concept):
+    """One comparison about *subject* (an expression of type *concept*)."""
+    kind = draw(st.sampled_from(
+        ("null", "string", "number", "one_of", "exists", "cross")
+    ))
+    if kind == "null":
+        nav = _navigation(draw, subject, concept)
+        op = draw(st.sampled_from(("is null", "is not null")))
+        return f"{nav} {op}"
+    if kind == "string":
+        attr = draw(st.sampled_from(_ATTRS[concept]))
+        op = draw(st.sampled_from(("is", "is not")))
+        return f"the {attr} of {subject} {op} {draw(_strings)}"
+    if kind == "number":
+        attr = draw(st.sampled_from(("timestamp", "count"))
+                    if concept == "Candidate List"
+                    else st.just("timestamp"))
+        op = draw(st.sampled_from(
+            ("is at least", "is at most", "is more than", "is less than",
+             "is after", "is before")
+        ))
+        left = f"the {attr} of {subject}"
+        if draw(st.booleans()):
+            left = f"{left} {draw(st.sampled_from('+-*'))} {draw(_numbers)}"
+        return f"{left} {op} {draw(_numbers)}"
+    if kind == "one_of":
+        attr = draw(st.sampled_from(_ATTRS[concept]))
+        options = draw(st.lists(_strings, min_size=1, max_size=3))
+        return (f"the {attr} of {subject} is one of "
+                f"( {' , '.join(options)} )")
+    if kind == "exists":
+        other = draw(_concepts)
+        count = draw(st.sampled_from(("", "at least 1 ", "at least 2 ",
+                                      "at most 1 ")))
+        where = ""
+        if draw(st.booleans()):
+            where = " where " + _atomic(draw, f"this {other}", other)
+        verb = "are" if count else "is a"
+        return f"there {verb} {count}{other}{where}"
+    # cross: compare two navigations of the same subject.
+    left = _navigation(draw, subject, concept)
+    right = _navigation(draw, subject, concept)
+    op = draw(st.sampled_from(("is", "is not")))
+    return f"{left} {op} {right}"
+
+
+def _condition(draw, subjects, depth=0):
+    """A condition over any of the in-scope (subject, concept) pairs."""
+    subject, concept = draw(st.sampled_from(subjects))
+    if depth >= 1 or draw(st.integers(0, 2)) == 0:
+        return _atomic(draw, subject, concept)
+    kind = draw(st.sampled_from(("all", "any", "not")))
+    if kind == "not":
+        return "not " + _atomic(draw, subject, concept)
+    branches = [
+        _condition(draw, subjects, depth + 1)
+        for __ in range(draw(st.integers(2, 3)))
+    ]
+    bullets = " , ".join(f"- {branch}" for branch in branches)
+    return (f"{kind} of the following conditions are true : {bullets}")
+
+
+@st.composite
+def generated_rules(draw):
+    """A valid-looking BAL rule over the hiring vocabulary."""
+    anchor = draw(_concepts)
+    subjects = [("'the thing'", anchor)]
+    where = ""
+    if draw(st.booleans()):
+        where = ("\n      where "
+                 + _atomic(draw, f"this {anchor}", anchor))
+    defs = [f"  set 'the thing' to a {anchor}{where} ;"]
+    if _LINKS[anchor] and draw(st.booleans()):
+        link = draw(st.sampled_from(_LINKS[anchor]))
+        defs.append(f"  set 'the extra' to the {link} of 'the thing' ;")
+        subjects.append(("'the extra'", _LINK_TARGET[link]))
+    condition = _condition(draw, subjects)
+    then_status = draw(st.sampled_from(("satisfied", "not satisfied")))
+    else_status = draw(st.sampled_from(("satisfied", "not satisfied")))
+    then_lines = [f"  the internal control is {then_status}"]
+    else_lines = [f"  the internal control is {else_status}"]
+    if draw(st.booleans()):
+        then_lines.append('  alert "then-branch fired"')
+    if draw(st.booleans()):
+        else_lines.append('  alert "else-branch fired"')
+    return "\n".join(
+        ["definitions"]
+        + defs
+        + ["if", f"  {condition}", "then"]
+        + [" ;\n".join(then_lines)]
+        + ["else"]
+        + [" ;\n".join(else_lines)]
+    )
+
+
+def _norm_value(value):
+    if isinstance(value, XomObject):
+        return ("obj", value.record.record_id)
+    if isinstance(value, (list, tuple)):
+        return tuple(_norm_value(item) for item in value)
+    return value
+
+
+def _observe(engine, compiled, graph, parameters=None):
+    """Everything externally visible about one evaluation."""
+    try:
+        outcome = engine.evaluate(compiled, graph, parameters=parameters)
+    except RuleEngineError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        outcome.verdict.value,
+        outcome.condition_value,
+        tuple(outcome.alerts),
+        tuple(sorted(outcome.bindings.items())),
+        tuple(sorted(
+            (var, _norm_value(value))
+            for var, value in outcome.env_values.items()
+        )),
+        tuple(outcome.touched_nodes),
+    )
+
+
+_DIFF_STACK = None
+
+
+def _diff_stack():
+    """Shared compiler/engines/graphs (built once across fuzz examples)."""
+    global _DIFF_STACK
+    if _DIFF_STACK is None:
+        sim = hiring.workload().simulate(
+            cases=3,
+            seed=11,
+            violations=ViolationPlan.uniform(
+                list(hiring.VIOLATION_KINDS), 0.5
+            ),
+        )
+        graphs = [
+            build_trace_graph(sim.store, trace_id)
+            for trace_id in sim.store.app_ids()
+        ]
+        # An empty trace exercises NOT_APPLICABLE / vacuous quantifiers.
+        graphs.append(ProvenanceGraph(name="empty-trace"))
+        _DIFF_STACK = (
+            BalCompiler(sim.vocabulary),
+            RuleEngine(sim.xom, sim.vocabulary, execution_mode="interpret"),
+            RuleEngine(sim.xom, sim.vocabulary, execution_mode="compiled"),
+            graphs,
+        )
+    return _DIFF_STACK
+
+
+class TestDifferentialExecution:
+    @given(text=generated_rules())
+    @settings(max_examples=500, deadline=None)
+    def test_compiled_matches_interpreter(self, text):
+        compiler, interpreter, compiled_engine, graphs = _diff_stack()
+        try:
+            compiled = compiler.compile("fuzz-diff", text)
+        except BalError:
+            assume(False)
+        # The generator only emits constructs codegen covers: a gap here
+        # is a compiler regression, not an acceptable fallback.
+        assert compiled_engine.program_for(compiled) is not None, (
+            compiled_engine.codegen_gaps
+        )
+        for graph in graphs:
+            assert _observe(interpreter, compiled, graph) == _observe(
+                compiled_engine, compiled, graph
+            ), text
+
+    @given(
+        text=generated_rules(),
+        wanted=st.sampled_from(("new", "replacement", 3)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_parameterized_rules_match(self, text, wanted):
+        compiler, interpreter, compiled_engine, graphs = _diff_stack()
+        # Splice a parameter comparison into the generated condition.
+        text = text.replace(
+            "if\n",
+            "if\n  all of the following conditions are true : "
+            "- the position type of 'the thing' is <wanted> , - ",
+            1,
+        )
+        try:
+            compiled = compiler.compile("fuzz-param", text)
+        except BalError:
+            assume(False)
+        assert "wanted" in compiled.parameters
+        parameters = {"wanted": wanted}
+        for graph in graphs:
+            assert _observe(
+                interpreter, compiled, graph, parameters
+            ) == _observe(compiled_engine, compiled, graph, parameters), text
