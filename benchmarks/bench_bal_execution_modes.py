@@ -62,11 +62,16 @@ def _normalize(results):
 
 
 def _sweep_times(sim, execution_mode, share_contexts, jobs):
+    # incremental=False: this bench prices the *evaluation* mechanisms, so
+    # every sweep must actually re-evaluate every pair.  Verdict
+    # memoization (which would make warm re-sweeps near-free) is measured
+    # separately in bench_incremental_vs_sweep.
     evaluator = ComplianceEvaluator(
         sim.store, sim.xom, sim.vocabulary,
         observable_types=sim.observable_types,
         execution_mode=execution_mode,
         share_contexts=share_contexts,
+        incremental=False,
     )
     times = []
     results = None
@@ -143,6 +148,7 @@ def test_bal_execution_modes(benchmark, artifact):
     warm = ComplianceEvaluator(
         sim.store, sim.xom, sim.vocabulary,
         observable_types=sim.observable_types,
+        incremental=False,
     )
     warm.run(sim.controls)
     benchmark(lambda: warm.run(sim.controls))

@@ -15,7 +15,6 @@ from repro.controls.evaluator import ComplianceEvaluator
 from repro.graph.build import build_trace_graph
 from repro.graph.serialize import to_dot, trace_census
 from repro.processes import hiring
-from repro.processes.violations import ViolationPlan
 
 
 def test_fig2_trace_graph(benchmark, artifact):

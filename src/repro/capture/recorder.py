@@ -11,7 +11,7 @@ than failing — recording clients on different systems routinely overlap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.capture.events import ApplicationEvent, EventEnvelope
@@ -30,6 +30,9 @@ class RecorderStats:
     dropped_unmapped: int = 0
     duplicates: int = 0
     scrubbed_fields: int = 0
+    #: Store change-feed position after the last append — the checkpoint an
+    #: incremental consumer (``changes_since``) resumes from.
+    last_seq: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -39,6 +42,7 @@ class RecorderStats:
             "dropped_unmapped": self.dropped_unmapped,
             "duplicates": self.duplicates,
             "scrubbed_fields": self.scrubbed_fields,
+            "last_seq": self.last_seq,
         }
 
 
@@ -112,6 +116,7 @@ class RecorderClient:
 
         self.store.append(record)
         self.stats.recorded += 1
+        self.stats.last_seq = self.store.last_seq()
         return EventEnvelope(event, recorded=True, scrubbed_fields=scrubbed_count)
 
     def process_all(

@@ -11,7 +11,13 @@ writing Python::
 - ``simulate`` runs a workload and prints capture statistics plus the
   Table-I rows of the first trace,
 - ``check`` runs the workload, evaluates its controls, and prints the
-  compliance dashboard (optionally under a visibility projection),
+  compliance dashboard (optionally under a visibility projection); with
+  ``--incremental`` it restores the materialized verdict snapshot from the
+  backend, re-evaluates only traces that changed since it was saved, and
+  saves the updated snapshot back,
+- ``watch`` tails a (SQLite) store's change feed: rows appended by other
+  processes are folded in on each poll and only the affected
+  (control, trace) pairs re-evaluate, printing verdict transitions live,
 - ``report`` prints a full audit report,
 - ``vocabulary`` prints the rule editor's drop-down menus for a workload's
   generated business vocabulary.
@@ -30,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.controls.dashboard import ComplianceDashboard
@@ -124,6 +131,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exceptions-only", action="store_true",
         help="print only the violation report",
     )
+    check.add_argument(
+        "--incremental", action="store_true",
+        help=(
+            "restore the materialized verdict snapshot from the storage "
+            "backend, re-evaluate only traces appended to since it was "
+            "saved, and save the updated snapshot back (most useful with "
+            "--backend sqlite --db, where snapshots survive the process)"
+        ),
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "tail a store's change feed, re-evaluating affected pairs as "
+            "rows arrive"
+        ),
+    )
+    add_workload_args(watch)
+    watch.add_argument(
+        "--execution-mode", choices=("compiled", "interpret"),
+        default="compiled",
+        help="rule execution back end (see 'check')",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll interval between change-feed syncs",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="sync and refresh a single time, then exit (for scripting)",
+    )
+    watch.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="exit after N polls (default: watch until interrupted)",
+    )
 
     report = sub.add_parser(
         "report", help="simulate, evaluate, and print a full audit report"
@@ -216,7 +258,28 @@ def cmd_check(args, out) -> int:
             observable_types=sim.observable_types,
             execution_mode=args.execution_mode,
         )
-        results = evaluator.run(sim.controls, jobs=args.jobs)
+        if args.incremental:
+            materializer = evaluator.materializer
+            # The snapshot key depends on the registered control set, so
+            # register before asking the backend for a snapshot.
+            for control in sim.controls:
+                materializer.register(control)
+            restored = materializer.restore()
+            before = materializer.refreshes
+            results = evaluator.run(sim.controls, jobs=args.jobs)
+            materializer.save()
+            evaluated = materializer.refreshes - before
+            origin = (
+                "snapshot restored" if restored
+                else "no snapshot (cold sweep)"
+            )
+            print(
+                f"incremental: {origin}; {evaluated} of {len(results)} "
+                f"(control, trace) pairs re-evaluated",
+                file=out,
+            )
+        else:
+            results = evaluator.run(sim.controls, jobs=args.jobs)
         dashboard = ComplianceDashboard()
         for control in sim.controls:
             dashboard.register_control(control)
@@ -230,6 +293,61 @@ def cmd_check(args, out) -> int:
         else:
             print(dashboard.render(), file=out)
         return 1 if dashboard.exceptions() else 0
+    finally:
+        sim.store.close()
+
+
+def cmd_watch(args, out) -> int:
+    module, workload, sim = _simulate(args)
+    try:
+        evaluator = ComplianceEvaluator(
+            sim.store, sim.xom, sim.vocabulary,
+            observable_types=sim.observable_types,
+            execution_mode=args.execution_mode,
+        )
+        materializer = evaluator.materializer
+        for control in sim.controls:
+            materializer.register(control)
+        restored = materializer.restore()
+        before = materializer.refreshes
+        evaluator.run(sim.controls)
+        print(
+            f"watching {sim.workload_name!r}: "
+            f"{len(sim.store.app_ids())} traces at seq "
+            f"{sim.store.last_seq()}; "
+            f"{'snapshot restored, ' if restored else ''}"
+            f"{materializer.refreshes - before} pairs evaluated at startup",
+            file=out,
+        )
+
+        def announce(transition) -> None:
+            if transition.changed:
+                print(f"  {transition.describe()}", file=out)
+
+        # Subscribed only after the startup sweep: the live feed shows
+        # changes, not the initial materialization.
+        materializer.subscribe(announce)
+        polls = 0
+        try:
+            while True:
+                new_rows = sim.store.sync()
+                if new_rows:
+                    refreshed = materializer.refresh()
+                    print(
+                        f"[seq {sim.store.last_seq()}] {new_rows} new "
+                        f"row(s), {len(refreshed)} pair(s) re-evaluated",
+                        file=out,
+                    )
+                polls += 1
+                if args.once:
+                    break
+                if args.max_polls is not None and polls >= args.max_polls:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        materializer.save()
+        return 0
     finally:
         sim.store.close()
 
@@ -280,6 +398,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_simulate(args, out)
         if args.command == "check":
             return cmd_check(args, out)
+        if args.command == "watch":
+            return cmd_watch(args, out)
         if args.command == "report":
             return cmd_report(args, out)
         return cmd_vocabulary(args, out)

@@ -13,6 +13,9 @@ provenance graph and evaluates per execution trace:
   control point is generated as a custom node connected to the three data
   nodes defined by the constraints", §III),
 - :mod:`repro.controls.evaluator` — evaluating controls across traces,
+- :mod:`repro.controls.materializer` — the incremental core: the
+  materialized (control, trace) verdict table every evaluation style
+  (sweep, on-demand check, deployed) reads through,
 - :mod:`repro.controls.deployment` — deployed (continuous) checking driven
   by store appends,
 - :mod:`repro.controls.dashboard` — the compliance dashboard / KPIs.
@@ -23,6 +26,7 @@ from repro.controls.control import InternalControl
 from repro.controls.authoring import ControlAuthoringTool, ValidationIssue
 from repro.controls.binding import ControlBinder, ensure_control_schema
 from repro.controls.evaluator import ComplianceEvaluator
+from repro.controls.materializer import VerdictMaterializer, VerdictTransition
 from repro.controls.deployment import ControlDeployment
 from repro.controls.dashboard import ComplianceDashboard
 from repro.controls.autodeploy import AutoSpecializer, ParameterBinding
@@ -45,6 +49,8 @@ __all__ = [
     "ParameterBinding",
     "PatternVerifier",
     "StructuralControl",
+    "VerdictMaterializer",
+    "VerdictTransition",
     "pattern_from_rule",
     "ValidationIssue",
     "ensure_control_schema",

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.controls.control import ControlSeverity, InternalControl
+from repro.controls.materializer import VerdictTransition
 from repro.controls.status import ComplianceResult, ComplianceStatus
 
 
@@ -67,6 +68,7 @@ class ComplianceDashboard:
         self._kpis: Dict[str, ControlKpi] = {}
         self._latest: Dict[Tuple[str, str], ComplianceResult] = {}
         self._severities: Dict[str, ControlSeverity] = {}
+        self._transitions: List[VerdictTransition] = []
 
     # -- feeding -------------------------------------------------------------
 
@@ -105,6 +107,20 @@ class ComplianceDashboard:
         for result in results:
             self.record(result)
 
+    def on_transition(self, transition: VerdictTransition) -> None:
+        """Consume one verdict delta (usable directly as a
+        :meth:`VerdictMaterializer.subscribe <repro.controls.materializer.
+        VerdictMaterializer.subscribe>` listener).
+
+        KPIs update from the fresh result; actual status *flips*
+        (``transition.changed``) are additionally kept as a transition log,
+        which is the "what just went red" feed a live dashboard shows next
+        to the steady-state rates.
+        """
+        self.record(transition.result)
+        if transition.changed:
+            self._transitions.append(transition)
+
     # -- reading ------------------------------------------------------------------
 
     def kpi(self, control_name: str) -> Optional[ControlKpi]:
@@ -112,6 +128,10 @@ class ComplianceDashboard:
 
     def kpis(self) -> List[ControlKpi]:
         return list(self._kpis.values())
+
+    def transitions(self) -> List[VerdictTransition]:
+        """Status flips observed via :meth:`on_transition`, oldest first."""
+        return list(self._transitions)
 
     def exceptions(self) -> List[ComplianceResult]:
         """All current violations, highest severity first."""
@@ -170,4 +190,9 @@ class ComplianceDashboard:
                     result.control_name, ControlSeverity.MEDIUM
                 )
                 lines.append(f"  [{severity.value:>8}] {result.describe()}")
+        if self._transitions:
+            lines.append("-" * 72)
+            lines.append(f"STATUS TRANSITIONS ({len(self._transitions)})")
+            for transition in self._transitions:
+                lines.append(f"  {transition.describe()}")
         return "\n".join(lines)

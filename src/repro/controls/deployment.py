@@ -8,26 +8,45 @@ node types behind the control's concepts), that control is re-checked for
 the affected trace.  Results are written back as control-point subgraphs
 (:mod:`repro.controls.binding`) and streamed to listeners (dashboards).
 
-Re-checks are incremental: only (control, trace) pairs whose inputs changed
-re-evaluate, which is what makes the deployed style cheaper than re-running
-the evaluator over the whole store (experiment E5 measures exactly this).
+Under the hood this is the continuous view over the evaluator's
+:class:`~repro.controls.materializer.VerdictMaterializer`: deploying a
+control registers it on the shared verdict table with a per-control
+relevance filter, appends dirty (control, trace) pairs through the store's
+observer fan-out, and re-checks drain the dirty set — so only pairs whose
+inputs changed re-evaluate, which is what makes the deployed style cheaper
+than re-running the evaluator over the whole store (experiment E5 measures
+exactly this).  Because the table is shared, a batch ``evaluator.run()``
+and the deployment read the same verdicts instead of maintaining rival
+caches.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set
 
 from repro.brms.vocabulary import Vocabulary
 from repro.brms.xom import ExecutableObjectModel
 from repro.controls.binding import CONTROL_NODE_TYPE, ControlBinder
 from repro.controls.control import InternalControl
 from repro.controls.evaluator import ComplianceEvaluator
+from repro.controls.materializer import VerdictTransition
 from repro.controls.status import ComplianceResult
 from repro.errors import DeploymentError
-from repro.model.records import ProvenanceRecord, RelationRecord
+from repro.model.records import ProvenanceRecord
 from repro.store.store import ProvenanceStore
 
 ResultListener = Callable[[ComplianceResult], None]
+
+
+def _is_control_artifact(record: ProvenanceRecord) -> bool:
+    """Rows written by a binder: control points and their ``checks`` edges.
+
+    These must never dirty the verdict table, or every bound result would
+    trigger another evaluation of the same trace — a feedback loop.
+    """
+    if record.entity_type == CONTROL_NODE_TYPE:
+        return True
+    return record.entity_type.startswith("checks")
 
 
 class ControlDeployment:
@@ -60,19 +79,17 @@ class ControlDeployment:
             store, xom, vocabulary, observable_types,
             execution_mode=execution_mode,
         )
+        # The deployment is a view over the evaluator's materialized
+        # verdict table; binder artifacts are invisible to dirty tracking.
+        self.materializer = self.evaluator.materializer
+        assert self.materializer is not None
+        self.materializer.ignore = _is_control_artifact
+        self.materializer.subscribe(self._on_transition)
         self.binder = ControlBinder(store) if bind_results else None
         self.immediate = immediate
-        self._controls: Dict[str, InternalControl] = {}
-        self._relevant_types: Dict[str, Set[str]] = {}
+        self._deployed: Set[str] = set()
         self._listeners: List[ResultListener] = []
-        self._latest: Dict[Tuple[str, str], ComplianceResult] = {}
-        # Dirty (control, trace) pairs awaiting a flush.  A dict (insertion
-        # ordered, keys unique) gives both the dedup and the FIFO ordering
-        # that a parallel list+set pair provided, without the possibility of
-        # the two drifting apart.
-        self._dirty: Dict[Tuple[str, str], None] = {}
         self._attached = False
-        self.rechecks = 0  # number of (control, trace) evaluations run
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -82,7 +99,7 @@ class ControlDeployment:
         Existing traces are checked immediately (history replay), matching
         continuous-query semantics.
         """
-        if control.name in self._controls:
+        if control.name in self._deployed:
             raise DeploymentError(f"control {control.name!r} already deployed")
         if control.unbound_parameters():
             raise DeploymentError(
@@ -90,22 +107,23 @@ class ControlDeployment:
                 f"parameters {control.unbound_parameters()}; specialize it "
                 f"or give defaults"
             )
-        self._controls[control.name] = control
-        self._relevant_types[control.name] = {
+        relevant_types = {
             self.vocabulary.concept(concept).node_type
             for concept in control.compiled.concepts
         }
+        self._deployed.add(control.name)
+        # Registration marks every known trace dirty (history replay) and
+        # scopes future dirty marking to the control's relevant node types.
+        self.materializer.register(control, relevant_types=relevant_types)
         self._attach()
-        for trace_id in self.store.app_ids():
-            self._mark(control.name, trace_id)
         if self.immediate:
             self.flush()
 
     def undeploy(self, name: str) -> None:
-        if name not in self._controls:
+        if name not in self._deployed:
             raise DeploymentError(f"control {name!r} is not deployed")
-        del self._controls[name]
-        del self._relevant_types[name]
+        self._deployed.discard(name)
+        self.materializer.unregister(name)
 
     def subscribe(self, listener: ResultListener) -> None:
         """Receive every new compliance result as it is produced."""
@@ -117,56 +135,47 @@ class ControlDeployment:
         self, control_name: str, trace_id: str
     ) -> Optional[ComplianceResult]:
         """Most recent result for a (control, trace) pair."""
-        return self._latest.get((control_name, trace_id))
+        return self.materializer.latest(control_name, trace_id)
 
     def all_latest(self) -> List[ComplianceResult]:
         """Most recent result of every (control, trace) pair."""
-        return list(self._latest.values())
+        return self.materializer.all_latest()
+
+    @property
+    def rechecks(self) -> int:
+        """Number of (control, trace) evaluations run through the table."""
+        return self.materializer.refreshes
+
+    @property
+    def dirty_count(self) -> int:
+        """How many (control, trace) pairs await a flush."""
+        return self.materializer.dirty_count
 
     # -- plumbing -------------------------------------------------------------------
 
     def _attach(self) -> None:
+        # The materializer (subscribed at evaluator construction) marks
+        # dirty pairs first; this trigger then drains them, so immediate
+        # mode stays per-event fresh.
         if not self._attached:
             self.store.subscribe(self._on_append)
             self._attached = True
 
     def _on_append(self, record: ProvenanceRecord) -> None:
-        # Control-point rows written by our own binder must not re-trigger
-        # checks, or every result would cause another evaluation.
-        if record.entity_type == CONTROL_NODE_TYPE:
+        if _is_control_artifact(record):
+            # Our own binder's writes (fired mid-flush) must not re-enter.
             return
-        if record.entity_type.startswith("checks"):
-            return
-        for name, control in list(self._controls.items()):
-            relevant = self._relevant_types[name]
-            if isinstance(record, RelationRecord):
-                # A new edge can complete a control's subgraph even though
-                # its endpoints arrived earlier.
-                endpoints_relevant = self._edge_touches(record, relevant)
-                if not endpoints_relevant:
-                    continue
-            elif record.entity_type not in relevant:
-                continue
-            self._mark(name, record.app_id)
         if self.immediate:
             self.flush()
 
-    def _edge_touches(
-        self, relation: RelationRecord, relevant: Set[str]
-    ) -> bool:
-        for node_id in (relation.source_id, relation.target_id):
-            if node_id in self.store:
-                if self.store.get(node_id).entity_type in relevant:
-                    return True
-        return False
-
-    def _mark(self, control_name: str, trace_id: str) -> None:
-        self._dirty.setdefault((control_name, trace_id))
-
-    @property
-    def dirty_count(self) -> int:
-        """How many (control, trace) pairs await a flush."""
-        return len(self._dirty)
+    def _on_transition(self, transition: VerdictTransition) -> None:
+        # Every refresh of the shared table lands here: write the control
+        # point back into the store, then fan out to listeners.
+        result = transition.result
+        if self.binder is not None:
+            self.binder.bind(result)
+        for listener in list(self._listeners):
+            listener(result)
 
     def flush(self) -> List[ComplianceResult]:
         """Evaluate every dirty (control, trace) pair once.
@@ -176,23 +185,4 @@ class ControlDeployment:
         makes it cheaper — a burst of records for one trace costs one
         evaluation, not one per record.
         """
-        pending, self._dirty = list(self._dirty), {}
-        results = []
-        for control_name, trace_id in pending:
-            control = self._controls.get(control_name)
-            if control is None:  # undeployed while dirty
-                continue
-            results.append(self._recheck(control, trace_id))
-        return results
-
-    def _recheck(
-        self, control: InternalControl, trace_id: str
-    ) -> ComplianceResult:
-        self.rechecks += 1
-        result = self.evaluator.check_trace(control, trace_id)
-        self._latest[(control.name, trace_id)] = result
-        if self.binder is not None:
-            self.binder.bind(result)
-        for listener in list(self._listeners):
-            listener(result)
-        return result
+        return self.materializer.refresh()

@@ -6,23 +6,34 @@ and runs every control against it, producing
 :class:`~repro.controls.status.ComplianceResult` rows.  The deployed
 (real-time) style lives in :mod:`repro.controls.deployment`.
 
-Three sweep-speed mechanisms stack here:
+Since the incremental-core refactor, both styles are views over one
+engine: a :class:`~repro.controls.materializer.VerdictMaterializer` keeps
+a materialized (control, trace) verdict table current under store appends,
+and the evaluator's public entry points read it —
+
+- :meth:`run` (batch sweep) drains the dirty pairs and assembles the
+  table in canonical order; a sweep after one append re-evaluates one
+  trace, not the store,
+- :meth:`check_trace` (on-demand) is a targeted refresh of one pair,
+- deployed controls subscribe to the same table's transition deltas.
+
+Underneath, three sweep-speed mechanisms stack:
 
 - **shared evaluation contexts** — each trace's graph and XOM wrapping are
-  built once per sweep (a :class:`~repro.brms.bal.evaluate.TraceFrame`)
-  and shared by every control; frames are cached across calls and
-  invalidated per trace when the store appends new records,
+  built once (a :class:`~repro.brms.bal.evaluate.TraceFrame`), cached, and
+  invalidated per trace when the store appends records to that trace,
 - **compiled rule execution** — the engine defaults to the closure-codegen
   back end (``execution_mode="compiled"``),
-- **parallel sweeps** — ``run(controls, jobs=N)`` partitions trace ids
-  across forked worker processes; safe because a sweep only reads, and
-  byte-identical to the serial sweep because partitions preserve trace
-  order.
+- **parallel sweeps** — ``run(controls, jobs=N)`` forks workers over the
+  *dirty* trace partition only; byte-identical to the serial sweep, and
+  falling back to serial (with a warning) where ``fork`` is unavailable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.brms.bal.evaluate import TraceFrame
@@ -30,6 +41,7 @@ from repro.brms.engine import RuleEngine
 from repro.brms.vocabulary import Vocabulary
 from repro.brms.xom import ExecutableObjectModel
 from repro.controls.control import InternalControl
+from repro.controls.materializer import VerdictMaterializer
 from repro.controls.status import ComplianceResult, ComplianceStatus
 from repro.graph.build import build_trace_graph, graph_from_records
 from repro.graph.graph import ProvenanceGraph
@@ -52,8 +64,8 @@ def _check_with_frame(
 ) -> ComplianceResult:
     """One (control, trace) check against a prebuilt frame.
 
-    The single code path every sweep mode funnels through — serial,
-    cached, and forked sweeps produce rows from exactly this function,
+    The single code path every evaluation mode funnels through — serial,
+    memoized, and forked checks produce rows from exactly this function,
     which is what makes their outputs byte-identical.
     """
     outcome = engine.evaluate(
@@ -96,6 +108,10 @@ class ComplianceEvaluator:
             wraps) across checks, invalidating per trace on store appends.
             Disable to reproduce rebuild-every-check behaviour (the
             execution-modes benchmark's baseline).
+        incremental: maintain the materialized verdict table
+            (:attr:`materializer`), memoizing (control, trace) verdicts
+            while their traces are clean.  Requires ``share_contexts``;
+            disable to force every ``run``/``check_trace`` to re-evaluate.
     """
 
     def __init__(
@@ -106,6 +122,7 @@ class ComplianceEvaluator:
         observable_types: Optional[Set[str]] = None,
         execution_mode: str = "compiled",
         share_contexts: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.store = store
         self.engine = RuleEngine(
@@ -116,7 +133,14 @@ class ComplianceEvaluator:
         self._frames: Dict[str, TraceFrame] = {}
         self.graph_builds = 0  # trace graphs constructed (regression metric)
         if share_contexts:
+            # Frame invalidation must run before the materializer's dirty
+            # marking (observers fire in subscription order), so a refresh
+            # triggered by the same append sees a fresh frame.
             store.subscribe(self._on_store_append)
+        self.materializer: Optional[VerdictMaterializer] = (
+            VerdictMaterializer(self) if share_contexts and incremental
+            else None
+        )
 
     # -- context cache -------------------------------------------------------
 
@@ -125,8 +149,11 @@ class ComplianceEvaluator:
         self._frames.pop(record.app_id, None)
 
     def clear_context_cache(self) -> None:
-        """Drop every cached per-trace frame."""
+        """Drop every cached per-trace frame and dirty the verdict table,
+        forcing the next sweep to rebuild and re-evaluate everything."""
         self._frames.clear()
+        if self.materializer is not None:
+            self.materializer.invalidate_all()
 
     def _frame_for(self, trace_id: str) -> TraceFrame:
         """The trace's shared frame, built (and cached) on first use."""
@@ -147,6 +174,48 @@ class ComplianceEvaluator:
             self._frames[trace_id] = frame
         return frame
 
+    def prime_frames(self, trace_ids: Sequence[str]) -> None:
+        """Build the missing frames among *trace_ids* from one store scan.
+
+        The sweep-friendly path: materializing many traces costs one
+        sequential backend pass instead of one indexed point-lookup chain
+        per trace.  A single missing frame keeps the per-trace query path
+        (O(trace) on an indexed store), and so does an unindexed store:
+        with the E8 ablation knob off, every evaluation is *supposed* to
+        pay a table scan.
+        """
+        if not self.share_contexts or not self.store.indexed:
+            return
+        missing = [t for t in trace_ids if t not in self._frames]
+        if len(missing) < 2:
+            return
+        grouped = self.store.records_by_trace()
+        for trace_id in missing:
+            self.graph_builds += 1
+            self._adopt_frame(
+                trace_id,
+                graph_from_records(grouped.get(trace_id, ()), name=trace_id),
+            )
+
+    # -- raw evaluation ------------------------------------------------------
+
+    def evaluate_pair(
+        self,
+        control: InternalControl,
+        trace_id: str,
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> ComplianceResult:
+        """Evaluate one (control, trace) pair, no verdict memoization.
+
+        This is the materializer's refresh primitive; everything above it
+        (sweeps, targeted checks, deployed re-checks) is policy about
+        *when* to call it.
+        """
+        frame = self._frame_for(trace_id)
+        return _check_with_frame(
+            self.engine, control, frame, parameters, self.observable_types
+        )
+
     # -- single control -----------------------------------------------------
 
     def check_trace(
@@ -159,11 +228,17 @@ class ComplianceEvaluator:
     ) -> ComplianceResult:
         """Check one control against one trace.
 
+        Plain checks are targeted refreshes of the materialized table:
+        the pair re-evaluates only if its trace changed since the last
+        check (or was never checked), which on an unchanged trace returns
+        the identical verdict a fresh evaluation would produce.
+
         Args:
             as_of: evaluate against the trace *as it looked* at this
                 simulated time (records with later timestamps are invisible)
                 — the audit question "was this trace compliant on date X?".
-                Historical graphs bypass the context cache.
+                Historical graphs bypass the context cache and the verdict
+                table.
         """
         if as_of is not None:
             self.graph_builds += 1
@@ -172,8 +247,10 @@ class ComplianceEvaluator:
             )
         elif graph is not None:
             frame = TraceFrame(graph)
+        elif self.materializer is not None and parameters is None:
+            return self.materializer.check(control, trace_id)
         else:
-            frame = self._frame_for(trace_id)
+            return self.evaluate_pair(control, trace_id, parameters)
         return _check_with_frame(
             self.engine, control, frame, parameters, self.observable_types
         )
@@ -197,26 +274,33 @@ class ComplianceEvaluator:
         trace_ids: Optional[Iterable[str]] = None,
         jobs: Optional[int] = None,
     ) -> List[ComplianceResult]:
-        """Check every control against every trace (graphs built once).
+        """Check every control against every trace; rows in (trace,
+        control) order.
 
-        A full sweep groups one sequential storage-backend scan by trace
-        instead of issuing one store query per trace — on lazy backends
-        (SQLite) that is one pass over the table rather than thousands of
-        point lookups.  Restricting to *trace_ids* keeps the per-trace
-        query path, and so does an unindexed store: with the E8 ablation
-        knob off, every evaluation is *supposed* to pay a table scan.
+        Incremental by default: the sweep drains the materialized table's
+        dirty pairs — traces appended to since the last sweep, plus any
+        controls never swept — and reads everything else from the table,
+        byte-identical to a cold full sweep.  A cold sweep materializes
+        all its frames from one sequential backend scan.
 
         Args:
-            jobs: >1 partitions the sweep's trace ids across that many
-                forked worker processes (full sweeps only; requires the
-                ``fork`` start method, silently serial elsewhere).  Rows
-                come back in the same order as the serial sweep.
+            jobs: >1 partitions the *dirty* trace set across that many
+                forked worker processes (full sweeps only; falls back to
+                serial, with a warning, where the ``fork`` start method is
+                unavailable).  Rows come back in the same order as the
+                serial sweep.
         """
+        if self.materializer is not None:
+            return self.materializer.sweep(
+                controls, trace_ids=trace_ids, jobs=jobs
+            )
+        results: List[ComplianceResult] = []
         if jobs is not None and jobs > 1 and trace_ids is None:
-            parallel = self._run_forked(controls, jobs)
+            parallel = self.evaluate_forked(
+                controls, self.store.app_ids(), jobs
+            )
             if parallel is not None:
                 return parallel
-        results: List[ComplianceResult] = []
         if trace_ids is None and self.store.indexed:
             grouped = None
             for trace_id in self.store.app_ids():
@@ -252,31 +336,55 @@ class ComplianceEvaluator:
                 )
         return results
 
-    def _run_forked(
-        self, controls: Sequence[InternalControl], jobs: int
+    def evaluate_forked(
+        self,
+        controls: Sequence[InternalControl],
+        trace_ids: Sequence[str],
+        jobs: int,
     ) -> Optional[List[ComplianceResult]]:
-        """Full sweep across forked workers; None → caller runs serial.
+        """Evaluate every control over *trace_ids* across forked workers.
 
-        The parent snapshots the store into per-trace record lists *before*
+        Returns None — telling the caller to evaluate serially — when
+        forking cannot help (fewer than two traces) or cannot run
+        (platforms without the ``fork`` start method get a warning; the
+        sweep still completes serially).
+
+        The parent snapshots the requested traces' records *before*
         forking, so workers never touch the storage backend (no SQLite
         connection crosses the fork) — they only read inherited memory.
         """
         global _FORK_STATE
+        if len(trace_ids) < 2:
+            return None
+        if not hasattr(os, "fork"):
+            warnings.warn(
+                "parallel sweep requested (jobs>1) but os.fork is "
+                "unavailable on this platform; evaluating serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         try:
             context = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork (e.g. Windows)
+        except ValueError:  # spawn-only platform
+            warnings.warn(
+                "parallel sweep requested (jobs>1) but the 'fork' "
+                "multiprocessing start method is unavailable; evaluating "
+                "serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
-        ids = self.store.app_ids()
-        if len(ids) < 2:
-            return None
-        jobs = min(jobs, len(ids))
-        grouped = self.store.records_by_trace()
+        jobs = min(jobs, len(trace_ids))
+        grouped_all = self.store.records_by_trace()
+        grouped = {t: grouped_all.get(t, []) for t in trace_ids}
         # Contiguous partitions keep concatenated results in serial order.
+        total = len(trace_ids)
         bounds = [
-            (len(ids) * i // jobs, len(ids) * (i + 1) // jobs)
+            (total * i // jobs, total * (i + 1) // jobs)
             for i in range(jobs)
         ]
-        chunks = [ids[lo:hi] for lo, hi in bounds if lo < hi]
+        chunks = [list(trace_ids[lo:hi]) for lo, hi in bounds if lo < hi]
         _FORK_STATE = (
             self.engine, tuple(controls), grouped, self.observable_types
         )

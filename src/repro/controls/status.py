@@ -77,3 +77,37 @@ class ComplianceResult:
         if self.alerts:
             text += f"  ({'; '.join(self.alerts)})"
         return text
+
+    # -- wire form (materialized-verdict snapshots) -------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form; round-trips through :meth:`from_payload`.
+
+        Every field is carried so a verdict restored from a snapshot is
+        byte-identical to the one a fresh evaluation would produce on an
+        unchanged trace.
+        """
+        return {
+            "control": self.control_name,
+            "trace": self.trace_id,
+            "status": self.status.value,
+            "checked_at": self.checked_at,
+            "alerts": list(self.alerts),
+            "bound_nodes": dict(self.bound_nodes),
+            "touched_nodes": list(self.touched_nodes),
+            "control_node_id": self.control_node_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ComplianceResult":
+        """Rebuild a result dumped by :meth:`to_payload`."""
+        return cls(
+            control_name=payload["control"],
+            trace_id=payload["trace"],
+            status=ComplianceStatus(payload["status"]),
+            checked_at=payload["checked_at"],
+            alerts=list(payload["alerts"]),
+            bound_nodes=dict(payload["bound_nodes"]),
+            touched_nodes=list(payload["touched_nodes"]),
+            control_node_id=payload.get("control_node_id"),
+        )

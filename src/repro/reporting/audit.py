@@ -12,10 +12,11 @@ from compliance results plus the store, using the control points' own
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.controls.control import InternalControl
 from repro.controls.dashboard import ComplianceDashboard
+from repro.controls.materializer import VerdictTransition
 from repro.controls.status import ComplianceResult, ComplianceStatus
 from repro.model.records import ProvenanceRecord
 from repro.store.store import ProvenanceStore
@@ -78,8 +79,17 @@ class AuditReportBuilder:
         self,
         results: Iterable[ComplianceResult],
         title: str = "INTERNAL CONTROLS AUDIT REPORT",
+        transitions: Optional[Sequence[VerdictTransition]] = None,
     ) -> str:
-        """Render the full report for *results*."""
+        """Render the full report for *results*.
+
+        Args:
+            transitions: optional verdict deltas (from a
+                :class:`~repro.controls.materializer.VerdictMaterializer`
+                listener) to document *when statuses flipped* during the
+                audited window — the incremental-evaluation counterpart of
+                a point-in-time effectiveness table.
+        """
         results = list(results)
         dashboard = ComplianceDashboard()
         for control in self.controls.values():
@@ -150,4 +160,15 @@ class AuditReportBuilder:
                     f"{name}: {count} trace(s) unobservable under the "
                     f"current capture configuration"
                 )
+
+        # Status transitions: how the picture changed during the window.
+        if transitions:
+            changed = [t for t in transitions if t.changed]
+            lines.append("")
+            lines.append(f"STATUS TRANSITIONS ({len(changed)})")
+            lines.append("-" * 72)
+            if not changed:
+                lines.append("none — no verdict changed during the window")
+            for transition in changed:
+                lines.append(f"* {transition.describe()}")
         return "\n".join(lines)

@@ -8,11 +8,24 @@ seam.  The :class:`~repro.store.store.ProvenanceStore` stays the
 coordination layer (validation, secondary indexes, observers, queries) and
 delegates row custody to a backend.
 
-A backend owns exactly two things:
+A backend owns exactly three things:
 
-- the physical rows, in append order, byte-identical forever, and
+- the physical rows, in append order, byte-identical forever,
 - the materialization of rows back into records (eagerly for the memory
-  backend, lazily with caching for SQLite).
+  backend, lazily with caching for SQLite), and
+- the **change feed**: every row carries an implicit monotonic sequence
+  number — its 1-based append position — and :meth:`changes_since`
+  replays the rows after a cursor.  Seqs are contiguous and identical
+  across backends holding the same rows, so a cursor taken against one
+  backend resumes against any replica.  On SQLite the feed is the table
+  itself (``rowid`` order), which is what lets a reopened database hand
+  incremental consumers exactly the rows they missed.
+
+Backends may additionally persist small named *auxiliary state* blobs
+(:meth:`save_state` / :meth:`load_state`) next to the rows — materialized
+verdict snapshots use this so an incremental evaluation survives a close
+and reopen.  Durability follows the backend: the memory backend keeps the
+blobs for the life of the object, SQLite writes them to disk.
 
 Everything else — duplicate-id policy, schema validation, indexing,
 continuous queries — is store policy and must NOT be reimplemented in a
@@ -28,7 +41,7 @@ it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.model.records import ProvenanceRecord
 from repro.store.xmlcodec import StoredRow
@@ -92,6 +105,48 @@ class StorageBackend(ABC):
         """Distinct APPIDs in first-seen order, when the backend can compute
         them faster than a row scan; ``None`` means "no fast path"."""
         return None
+
+    # -- change feed ---------------------------------------------------------
+
+    def last_seq(self) -> int:
+        """Sequence number of the newest row; 0 when empty.
+
+        A row's seq is its 1-based append position.  The store is
+        append-only, so seqs are contiguous, monotonic, and — because they
+        are positional — identical across backends holding the same rows.
+        Backends with a write buffer flush before answering so that every
+        numbered row is actually replayable.
+        """
+        self.flush()
+        return self.count()
+
+    def changes_since(self, seq: int) -> Iterator[Tuple[int, StoredRow]]:
+        """``(seq, row)`` for every row appended after *seq*, in order.
+
+        ``changes_since(0)`` replays the whole table;
+        ``changes_since(last_seq())`` yields nothing.  The default derives
+        the feed from :meth:`iter_rows`; backends with a cheaper tail scan
+        (SQLite's ``rowid > ?``) override it.
+        """
+        for position, row in enumerate(self.iter_rows(), start=1):
+            if position > seq:
+                yield position, row
+
+    # -- auxiliary state -----------------------------------------------------
+
+    def load_state(self, key: str) -> Optional[str]:
+        """The auxiliary state blob stored under *key*, or ``None``.
+
+        Default: no auxiliary storage (always ``None``).
+        """
+        return None
+
+    def save_state(self, key: str, payload: str) -> None:
+        """Persist *payload* under *key*, replacing any previous value.
+
+        Default: dropped.  Callers that need to know whether state will
+        survive should check :meth:`load_state` round-trips.
+        """
 
     # -- batching ------------------------------------------------------------
 

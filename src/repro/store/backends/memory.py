@@ -8,7 +8,7 @@ the full scans, and nothing survives the process.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import RecordNotFound
 from repro.model.records import ProvenanceRecord
@@ -25,6 +25,7 @@ class MemoryBackend(StorageBackend):
         self._rows: List[StoredRow] = []
         self._records: Dict[str, ProvenanceRecord] = {}
         self._order: List[str] = []
+        self._state: Dict[str, str] = {}
         self._decoder = None
 
     def set_decoder(self, decoder) -> None:
@@ -61,6 +62,24 @@ class MemoryBackend(StorageBackend):
 
     def count(self) -> int:
         return len(self._order)
+
+    def last_seq(self) -> int:
+        return len(self._rows)
+
+    def changes_since(self, seq: int) -> Iterator[Tuple[int, StoredRow]]:
+        # The row list *is* the change log; replay is a slice.
+        start = max(seq, 0)
+        for offset, row in enumerate(self._rows[start:], start=start + 1):
+            yield offset, row
+
+    def load_state(self, key: str) -> Optional[str]:
+        return self._state.get(key)
+
+    def save_state(self, key: str, payload: str) -> None:
+        # Survives for the life of the backend object — two stores sharing
+        # one MemoryBackend see each other's snapshots, mirroring two
+        # SQLite handles on one file.
+        self._state[key] = payload
 
     def close(self) -> None:
         """Nothing to release; kept so stores can close any backend."""

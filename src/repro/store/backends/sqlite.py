@@ -28,6 +28,14 @@ Throughput and latency choices:
   into records when fetched, and the hot ids (index hits, relation
   endpoints) stay cached.  Full scans read through the cache but do not
   populate it, so sweeps cannot evict the hot set.
+- **The table is the change log**: the store never deletes, so ``rowid``
+  is exactly the row's 1-based append position — the backend-neutral
+  sequence number.  :meth:`changes_since` is a ``rowid > ?`` tail scan,
+  which makes catching up after a reopen (or after another handle on the
+  same file appended out-of-band) cost O(new rows), not O(table).
+- **Auxiliary state** (``aux_state`` table): small named blobs —
+  materialized verdict snapshots — persisted next to the rows so
+  incremental consumers survive a close/reopen.
 """
 
 from __future__ import annotations
@@ -50,6 +58,10 @@ CREATE TABLE IF NOT EXISTS provenance (
 );
 CREATE INDEX IF NOT EXISTS idx_provenance_class ON provenance(class);
 CREATE INDEX IF NOT EXISTS idx_provenance_appid ON provenance(appid);
+CREATE TABLE IF NOT EXISTS aux_state (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL
+);
 """
 
 
@@ -209,6 +221,46 @@ class SQLiteBackend(StorageBackend):
             "SELECT appid FROM provenance GROUP BY appid ORDER BY MIN(rowid)"
         )
         return [appid for (appid,) in cursor]
+
+    # -- change feed ---------------------------------------------------------
+
+    def last_seq(self) -> int:
+        # Flush so every numbered row is replayable; with no deletes ever,
+        # MAX(rowid) == COUNT(*) == the append position of the newest row.
+        self._check_open()
+        self.flush()
+        (seq,) = self._conn.execute(
+            "SELECT COALESCE(MAX(rowid), 0) FROM provenance"
+        ).fetchone()
+        return int(seq)
+
+    def changes_since(self, seq: int) -> Iterator[Tuple[int, StoredRow]]:
+        self._check_open()
+        self.flush()
+        cursor = self._conn.execute(
+            "SELECT rowid, id, class, appid, xml FROM provenance "
+            "WHERE rowid > ? ORDER BY rowid",
+            (seq,),
+        )
+        for rowid, *found in cursor:
+            yield int(rowid), self._row_from_sql(tuple(found))
+
+    # -- auxiliary state -----------------------------------------------------
+
+    def load_state(self, key: str) -> Optional[str]:
+        self._check_open()
+        found = self._conn.execute(
+            "SELECT payload FROM aux_state WHERE key = ?", (key,)
+        ).fetchone()
+        return found[0] if found is not None else None
+
+    def save_state(self, key: str, payload: str) -> None:
+        self._check_open()
+        self._conn.execute(
+            "INSERT OR REPLACE INTO aux_state (key, payload) VALUES (?, ?)",
+            (key, payload),
+        )
+        self._conn.commit()
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -43,6 +43,14 @@ class ContinuousQuery:
     dashboard attached mid-stream still sees the full history — this mirrors
     the store-backed semantics (results are a view over the table, not only
     over future appends).
+
+    Lifecycle: :meth:`undeploy` detaches from the store, and cancelling the
+    *last* subscription undeploys automatically — a deployed query with
+    nobody listening would otherwise sit in the store's observer list
+    forever, paying a match test per append and pinning the query (and
+    everything its callbacks close over) in memory.  Re-attach with
+    :meth:`deploy`; subscribers added while undeployed queue up and start
+    receiving once deployed again.
     """
 
     def __init__(self, query: RecordQuery, replay: bool = True) -> None:
@@ -84,6 +92,10 @@ class ContinuousQuery:
 
     def _drop(self, callback: Callback) -> None:
         self._callbacks.remove(callback)
+        if not self._callbacks:
+            # Last listener gone: stop leaking an observer slot (and the
+            # per-append match test) on the store.
+            self.undeploy()
 
     # -- plumbing ---------------------------------------------------------------
 

@@ -17,6 +17,15 @@ Opening a store over a backend that already holds rows (e.g. a SQLite file
 written by an earlier run) hydrates the secondary indexes from the existing
 rows, so queries and continuous checking behave exactly as if the records
 had just been appended.
+
+The store also fronts the backend's **change feed**: every committed row
+has a monotonic sequence number (its append position), :meth:`last_seq`
+reports the newest one this store has seen, :meth:`changes_since` replays
+decoded records after a cursor, and :meth:`sync` folds in rows another
+handle wrote to the same backend out-of-band — updating indexes and firing
+observers exactly as if the records had been appended here.  Incremental
+consumers (the verdict materializer, deployed controls, ``watch``) are all
+views over this one feed.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from typing import (
     List,
     Optional,
     Set,
+    Tuple,
     Union,
 )
 
@@ -82,6 +92,7 @@ class ProvenanceStore:
             StoreIndex(indexed_attributes) if indexed else None
         )
         self._observers: List[Callable[[ProvenanceRecord], None]] = []
+        self._seen_seq = self._backend.last_seq()
         if self._index is not None and self._backend.count():
             self._index.rebuild(self._backend.iter_records())
 
@@ -118,6 +129,7 @@ class ProvenanceStore:
     def _commit(self, row: StoredRow, record: ProvenanceRecord) -> None:
         """Persist an already-validated (row, record) pair and fan out."""
         self._backend.append_row(row, record)
+        self._seen_seq += 1
         if self._index is not None:
             self._index.add(record)
         for observer in self._observers:
@@ -152,6 +164,65 @@ class ProvenanceStore:
 
     def unsubscribe(self, observer: Callable[[ProvenanceRecord], None]) -> None:
         self._observers.remove(observer)
+
+    # -- change feed --------------------------------------------------------
+
+    def last_seq(self) -> int:
+        """Sequence number of the newest record this store has committed or
+        synced; 0 for an empty store.  Seqs are 1-based append positions."""
+        return self._seen_seq
+
+    def changes_since(
+        self, seq: int
+    ) -> Iterator[Tuple[int, ProvenanceRecord]]:
+        """Decoded records appended after *seq*, as ``(seq, record)`` pairs.
+
+        This is the replay face of the feed: a consumer that remembers the
+        cursor it last processed asks for exactly the rows it missed —
+        including rows written by *other* handles on the same backend.
+        """
+        for position, row in self._backend.changes_since(seq):
+            yield position, self._decode(row)
+
+    def sync(self) -> int:
+        """Fold in rows another handle appended to the shared backend.
+
+        Rows past this store's cursor are decoded, indexed, and announced
+        to observers exactly as a local append would be — continuous
+        queries, deployments, and materializers downstream of this store
+        catch up without a rescan.  Returns the number of rows folded in.
+
+        The local handle is flushed first so its own pending rows get
+        their seqs before foreign rows are numbered after them; callers
+        interleaving unflushed local writes with foreign appends on one
+        file should flush at the handoff points.
+        """
+        self._backend.flush()
+        # Snapshot the delta and advance the cursor past it *before* firing
+        # observers: an observer that appends (a binder writing control
+        # rows) re-enters _commit, and the counter must already be past the
+        # foreign rows for that append to be numbered correctly.
+        delta = list(self._backend.changes_since(self._seen_seq))
+        if not delta:
+            return 0
+        self._seen_seq = delta[-1][0]
+        for __, row in delta:
+            record = self._decode(row)
+            if self._index is not None:
+                self._index.add(record)
+            for observer in self._observers:
+                observer(record)
+        return len(delta)
+
+    # -- auxiliary state ----------------------------------------------------
+
+    def load_state(self, key: str) -> Optional[str]:
+        """Auxiliary state blob from the backend (None when absent)."""
+        return self._backend.load_state(key)
+
+    def save_state(self, key: str, payload: str) -> None:
+        """Persist an auxiliary state blob with the backend's durability."""
+        self._backend.save_state(key, payload)
 
     # -- direct access -----------------------------------------------------
 

@@ -1,6 +1,5 @@
 """Tests for as-of (time-travel) evaluation and incident-workload details."""
 
-import pytest
 
 from repro.controls.evaluator import ComplianceEvaluator
 from repro.controls.status import ComplianceStatus

@@ -6,7 +6,6 @@ conditions over a fixed trace.  These laws protect rule authors: a control
 rewritten into an equivalent logical form must keep its verdicts.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.brms.xom import ExecutableObjectModel
 from repro.errors import XomError
 from tests.conftest import build_hiring_trace
 

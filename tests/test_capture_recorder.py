@@ -4,7 +4,7 @@ import pytest
 
 from repro.capture.events import ApplicationEvent, EventSource
 from repro.capture.filters import RelevanceFilter, SensitiveDataScrubber
-from repro.capture.mapping import EventMapping, MappingRule
+from repro.capture.mapping import EventMapping
 from repro.capture.recorder import RecorderClient
 from repro.errors import MappingError
 from repro.model.builder import ModelBuilder
@@ -185,3 +185,19 @@ class TestRecorderClient:
         assert len(envelopes) == 3
         assert recorder.stats.seen == 3
         assert recorder.stats.as_dict()["recorded"] == 3
+
+    def test_last_seq_checkpoints_change_feed(self, model, mapping):
+        store = ProvenanceStore(model=model)
+        recorder = RecorderClient(store, mapping)
+        assert recorder.stats.last_seq == 0
+        recorder.process(submitted_event(reqid="R1", event_id="E1"))
+        assert recorder.stats.last_seq == store.last_seq() == 1
+        # Dropped events don't advance the checkpoint.
+        recorder.process(
+            ApplicationEvent("E9", EventSource.EMAIL, "mail.sent")
+        )
+        assert recorder.stats.last_seq == 1
+        recorder.process(submitted_event(reqid="R2", event_id="E2"))
+        assert recorder.stats.as_dict()["last_seq"] == 2
+        # The checkpoint is a valid changes_since cursor.
+        assert list(store.changes_since(recorder.stats.last_seq)) == []

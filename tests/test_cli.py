@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import re
 
 import pytest
 
@@ -85,3 +86,82 @@ class TestReport:
         assert "INTERNAL CONTROLS AUDIT REPORT" in text
         assert "p1-escalation" in text
         assert "EXCEPTIONS" in text
+
+
+class TestIncrementalCheck:
+    def test_snapshot_roundtrip_on_sqlite(self, tmp_path):
+        db = str(tmp_path / "inc.db")
+        code, __ = run_cli(
+            "simulate", "hiring", "--cases", "8",
+            "--violation-rate", "0.25", "--backend", "sqlite", "--db", db,
+        )
+        assert code == 0
+        code1, text1 = run_cli(
+            "check", "hiring", "--backend", "sqlite", "--db", db,
+            "--incremental",
+        )
+        assert "incremental: no snapshot (cold sweep)" in text1
+        code2, text2 = run_cli(
+            "check", "hiring", "--backend", "sqlite", "--db", db,
+            "--incremental",
+        )
+        # Second run restores the saved snapshot and evaluates nothing.
+        assert "incremental: snapshot restored; 0 of" in text2
+        assert code1 == code2
+        # Same dashboard either way.
+        assert text1.split("\n", 1)[1] == text2.split("\n", 1)[1]
+
+    def test_incremental_without_db_still_works(self):
+        code, text = run_cli(
+            "check", "hiring", "--cases", "4", "--incremental",
+        )
+        assert "incremental: no snapshot (cold sweep)" in text
+        assert "COMPLIANCE DASHBOARD" in text
+
+
+class TestWatch:
+    def test_watch_once_reports_startup_sweep(self, tmp_path):
+        db = str(tmp_path / "watch.db")
+        run_cli(
+            "simulate", "hiring", "--cases", "5",
+            "--backend", "sqlite", "--db", db,
+        )
+        code, text = run_cli(
+            "watch", "hiring", "--backend", "sqlite", "--db", db, "--once",
+        )
+        assert code == 0
+        assert "watching 'new-position-open'" in text
+        assert "pairs evaluated at startup" in text
+
+    def test_watch_catches_up_after_out_of_band_append(self, tmp_path):
+        import dataclasses
+
+        from repro.store.backends import SQLiteBackend
+        from repro.store.store import ProvenanceStore
+
+        db = str(tmp_path / "watch.db")
+        run_cli(
+            "simulate", "hiring", "--cases", "5",
+            "--backend", "sqlite", "--db", db,
+        )
+        # First watch saves the verdict snapshot on exit.
+        run_cli(
+            "watch", "hiring", "--backend", "sqlite", "--db", db, "--once",
+        )
+        # Another process appends to one trace while nobody is watching.
+        other = ProvenanceStore(backend=SQLiteBackend(db))
+        template = next(r for r in other.records() if r.app_id == "App01")
+        other.append(
+            dataclasses.replace(template, record_id="oob-clone-1")
+        )
+        other.close()
+        code, text = run_cli(
+            "watch", "hiring", "--backend", "sqlite", "--db", db, "--once",
+        )
+        assert code == 0
+        match = re.search(
+            r"snapshot restored, (\d+) pairs evaluated at startup", text
+        )
+        assert match is not None
+        # Only the touched trace's pairs re-evaluated, not all 5 traces'.
+        assert 0 < int(match.group(1)) <= 5

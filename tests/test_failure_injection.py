@@ -13,7 +13,6 @@ from repro.capture.recorder import RecorderClient
 from repro.controls.evaluator import ComplianceEvaluator
 from repro.controls.status import ComplianceStatus
 from repro.errors import CodecError
-from repro.model.records import RecordClass
 from repro.processes import hiring
 from repro.processes.engine import ProcessSimulator, all_events
 from repro.processes.violations import ViolationPlan

@@ -1,6 +1,5 @@
 """Unit tests for detection/authoring/timing metrics and table rendering."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

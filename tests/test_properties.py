@@ -15,7 +15,6 @@ Each property pins an invariant the rest of the system leans on:
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -201,3 +201,34 @@ class TestContinuousQuery:
         query = ContinuousQuery(RecordQuery()).deploy(store)
         with pytest.raises(RuntimeError):
             query.deploy(store)
+
+    def test_last_cancel_detaches_from_store(self):
+        from repro.store.continuous import CollectingSink, ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        query = ContinuousQuery(RecordQuery()).deploy(store)
+        first = query.subscribe(CollectingSink())
+        second = query.subscribe(CollectingSink())
+        first.cancel()
+        assert query.deployed  # one listener left: stay attached
+        second.cancel()
+        # Last listener gone: the query undeploys itself, so the store no
+        # longer pays a match test (or holds a reference) for it.
+        assert not query.deployed
+        store.append(record())
+        assert query.emitted == 0
+
+    def test_redeploy_after_auto_detach(self):
+        from repro.store.continuous import CollectingSink, ContinuousQuery
+        from repro.store.store import ProvenanceStore
+
+        store = ProvenanceStore()
+        query = ContinuousQuery(RecordQuery(), replay=False).deploy(store)
+        query.subscribe(CollectingSink()).cancel()
+        assert not query.deployed
+        sink = CollectingSink()
+        query.subscribe(sink)
+        query.deploy(store)  # re-attach is allowed after auto-detach
+        store.append(record())
+        assert len(sink) == 1

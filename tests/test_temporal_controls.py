@@ -68,7 +68,6 @@ class TestOrderingControls:
         assert outcome.verdict is RuleVerdict.SATISFIED
 
     def test_violated_ordering(self, hiring_vocabulary, engine):
-        from repro.graph.graph import ProvenanceGraph
         from repro.model.records import DataRecord, RelationRecord
 
         # Build a trace where the candidate list PREDATES the approval.
