@@ -1,0 +1,163 @@
+"""Ingestion fast path — record + correlate, before vs after.
+
+PR 4's tentpole made the capture ingest path cheap twice over:
+
+- **precompiled XML codecs** — the store encodes/decodes Table I rows with
+  per-(CLASS, record-type) closures compiled from the data-model schema
+  instead of building an ElementTree per row (``fast_codec=False``
+  restores the ElementTree path, which stays in the tree as the
+  differential oracle),
+- **correlation planner** — ``CorrelationAnalytics`` classifies each rule
+  and runs attribute joins as hash joins and co-trace rules as type-bucket
+  products instead of the per-trace cartesian scan (``use_planner=False``
+  restores the pairwise path).
+
+This bench ingests the same simulated event stream through both
+configurations and reports the record / correlate phase times, the
+combined speedup, and the planner's pairs-considered reduction.  Both
+paths must leave **byte-identical** store rows — the fast path changes
+cost, never the Table I bytes.
+
+At full scale (800 hiring traces) the combined record+correlate speedup
+must be >= 2x (the PR's acceptance bar).  ``BAL_BENCH_SCALE=tiny`` runs
+the CI smoke variant, which only insists the fast path is not slower.
+
+Benchmarked operation: one fast-path record+correlate ingest at 50 traces.
+"""
+
+import os
+import time
+
+from repro.capture.correlation import CorrelationAnalytics
+from repro.capture.recorder import RecorderClient
+from repro.processes import hiring
+from repro.processes.engine import ProcessSimulator, all_events
+from repro.processes.violations import ViolationPlan
+from repro.reporting.tables import render_table
+from repro.store.store import ProvenanceStore
+
+TINY = os.environ.get("BAL_BENCH_SCALE") == "tiny"
+CASES = 50 if TINY else 800
+REPEATS = 3
+# Full scale must hit the PR's 2x acceptance bar; the tiny CI smoke run
+# only guards the sign (fixed costs swamp ratios at 50 traces).
+MIN_SPEEDUP = 1.0 if TINY else 2.0
+
+
+def _events(workload, cases):
+    simulator = ProcessSimulator(
+        workload.build_spec(),
+        workload.case_factory(
+            ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), 0.2)
+        ),
+        seed=7,
+    )
+    return all_events(simulator.run(cases))
+
+
+def _ingest(workload, model, events, fast):
+    """One full record+correlate ingest; returns (store, times, stats)."""
+    store = ProvenanceStore(model=model, fast_codec=fast)
+    started = time.perf_counter()
+    RecorderClient(store, workload.build_mapping(model)).process_all(events)
+    record_s = time.perf_counter() - started
+    analytics = CorrelationAnalytics(store, model, use_planner=fast)
+    for rule in workload.correlation_rules():
+        analytics.add_rule(rule)
+    started = time.perf_counter()
+    analytics.run()
+    correlate_s = time.perf_counter() - started
+    return store, record_s, correlate_s, analytics.stats
+
+
+def test_ingestion_fast_path(benchmark, artifact):
+    workload = hiring.workload()
+    model = workload.build_model()
+    events = _events(workload, CASES)
+
+    # Best-of-N per configuration: ingest cost is the measurement, and the
+    # minimum is the least noise-contaminated sample of it.
+    base_best = fast_best = None
+    base_store = fast_store = None
+    stats = None
+    for __ in range(REPEATS):
+        base_store, b_rec, b_cor, __stats = _ingest(
+            workload, model, events, fast=False
+        )
+        fast_store, f_rec, f_cor, stats = _ingest(
+            workload, model, events, fast=True
+        )
+        if base_best is None or b_rec + b_cor < sum(base_best):
+            base_best = (b_rec, b_cor)
+        if fast_best is None or f_rec + f_cor < sum(fast_best):
+            fast_best = (f_rec, f_cor)
+
+    # The fast path changes cost, never bytes: same Table I rows, same
+    # order, through either codec and either correlation strategy.
+    assert base_store.rows() == fast_store.rows(), (
+        "fast-path ingest produced different store rows than the "
+        "ElementTree + pairwise baseline"
+    )
+
+    base_total = sum(base_best)
+    fast_total = sum(fast_best)
+    speedup = base_total / fast_total
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast-path ingest is only {speedup:.2f}x the baseline at "
+        f"{CASES} traces; required >= {MIN_SPEEDUP}x"
+    )
+
+    columns = ("path", "record", "correlate", "total", "vs baseline")
+    rows = [
+        (
+            "ElementTree codec + pairwise scan",
+            f"{base_best[0]:.3f}s",
+            f"{base_best[1]:.3f}s",
+            f"{base_total:.3f}s",
+            "1.00x",
+        ),
+        (
+            "compiled codec + planned joins",
+            f"{fast_best[0]:.3f}s",
+            f"{fast_best[1]:.3f}s",
+            f"{fast_total:.3f}s",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    table = render_table(
+        columns,
+        rows,
+        title=(
+            f"Ingestion fast path — hiring, {CASES} traces, "
+            f"{len(base_store)} rows "
+            f"(pairs considered: {stats.pairs_considered} of "
+            f"{stats.pairs_naive} naive, "
+            f"reduction {stats.pairs_reduction:.3f})"
+        ),
+    )
+    artifact(
+        "Ingestion",
+        table,
+        data={
+            "cases": CASES,
+            "scale": "tiny" if TINY else "full",
+            "rows_stored": len(base_store),
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+            "seconds": {
+                "baseline_record": base_best[0],
+                "baseline_correlate": base_best[1],
+                "fast_record": fast_best[0],
+                "fast_correlate": fast_best[1],
+            },
+            "speedup": speedup,
+            "correlation_stats": stats.as_dict(),
+        },
+    )
+
+    def fast_ingest_small():
+        small = events if TINY else _events(workload, 50)
+        store, __r, __c, __s = _ingest(workload, model, small, fast=True)
+        return len(store)
+
+    benchmark(fast_ingest_small)

@@ -73,6 +73,13 @@ class RecorderClient:
         self.scrubber = scrubber
         self.strict = strict
         self.stats = RecorderStats()
+        # Compile the store's per-type XML codecs up front: the first event
+        # of each record type should not pay codec generation inside the
+        # ingest loop, and every subsequent append reuses the compiled
+        # encoder instead of re-deriving schema lookups per row.
+        codec = getattr(store, "codec", None)
+        if codec is not None:
+            codec.prime()
 
     def process(self, event: ApplicationEvent) -> EventEnvelope:
         """Process one event; returns its disposition envelope."""

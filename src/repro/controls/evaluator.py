@@ -24,16 +24,21 @@ Underneath, three sweep-speed mechanisms stack:
   invalidated per trace when the store appends records to that trace,
 - **compiled rule execution** — the engine defaults to the closure-codegen
   back end (``execution_mode="compiled"``),
-- **parallel sweeps** — ``run(controls, jobs=N)`` forks workers over the
-  *dirty* trace partition only; byte-identical to the serial sweep, and
-  falling back to serial (with a warning) where ``fork`` is unavailable.
+- **parallel sweeps** — ``run(controls, jobs=N)`` spreads the *dirty*
+  trace partition over a persistent forked worker pool, byte-identical to
+  the serial sweep.  The pool forks once and is fed per-sweep record
+  deltas; a measured break-even test keeps small sweeps serial (so
+  ``jobs=N`` is never slower than ``jobs=1``), and platforms without
+  ``fork`` fall back to serial with a warning.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.brms.bal.evaluate import TraceFrame
@@ -48,11 +53,31 @@ from repro.graph.graph import ProvenanceGraph
 from repro.model.records import ProvenanceRecord
 from repro.store.store import ProvenanceStore
 
-# State a parallel sweep shares with forked workers.  Set immediately
+# State a sweep pool shares with its forked workers.  Set immediately
 # before forking, inherited by the children via copy-on-write (nothing is
 # pickled, so closures, SQLite-decoded records and virtual BOM getters all
-# travel for free), cleared right after.
-_FORK_STATE: Optional[Tuple] = None
+# travel for free), cleared right after the fork.
+_POOL_STATE: Optional[Tuple] = None
+
+# Cost-model priors, replaced by measurements as soon as a pool exists:
+# creating a pool (fork + snapshot + prime) and dispatching one task batch.
+_STARTUP_PRIOR = 0.08
+_DISPATCH_PRIOR = 0.004
+#: last measured pool startup / dispatch round-trip on this machine.
+_measured_startup: Optional[float] = None
+_measured_dispatch: Optional[float] = None
+
+#: a parallel sweep must be predicted to save at least this multiple of its
+#: fixed overhead before it forks/dispatches — below the threshold the
+#: sweep silently runs serially, which is what keeps ``jobs=N`` from ever
+#: losing to ``jobs=1``.
+_BREAKEVEN_MARGIN = 2.0
+#: a persistent pool serves many sweeps; its startup cost is charged to the
+#: break-even test amortized over this many expected sweeps.
+_STARTUP_AMORTIZATION = 4
+#: re-fork the pool (fresh snapshot) once the shipped delta outgrows this
+#: fraction of the inherited snapshot.
+_REBASE_FRACTION = 0.2
 
 
 def _check_with_frame(
@@ -81,14 +106,28 @@ def _check_with_frame(
     return result
 
 
-def _sweep_partition(trace_ids: List[str]) -> List[ComplianceResult]:
-    """Worker body: evaluate every control against a trace-id partition."""
-    engine, controls, grouped, observable_types = _FORK_STATE
+def _pool_noop(_arg) -> None:
+    """Warm-up task: measures the pool's dispatch round-trip."""
+    return None
+
+
+def _sweep_task(payload) -> List[ComplianceResult]:
+    """Worker body: evaluate every control against a trace-id partition.
+
+    *payload* is ``(trace_ids, delta)`` where *delta* maps trace id → the
+    records appended after the worker's inherited snapshot was taken; the
+    parent ships exactly those (they are plain frozen dataclasses, cheap to
+    pickle), so a long-lived pool evaluates current data without re-forking.
+    """
+    trace_ids, delta = payload
+    engine, controls, grouped, observable_types = _POOL_STATE
     results: List[ComplianceResult] = []
     for trace_id in trace_ids:
-        frame = TraceFrame(
-            graph_from_records(grouped.get(trace_id, ()), name=trace_id)
-        )
+        records = grouped.get(trace_id, ())
+        extra = delta.get(trace_id)
+        if extra:
+            records = list(records) + extra
+        frame = TraceFrame(graph_from_records(records, name=trace_id))
         for control in controls:
             results.append(
                 _check_with_frame(
@@ -96,6 +135,62 @@ def _sweep_partition(trace_ids: List[str]) -> List[ComplianceResult]:
                 )
             )
     return results
+
+
+class _SweepPool:
+    """A persistent fork pool bound to one evaluator's engine + controls.
+
+    Workers inherit the engine, the controls, and a full store snapshot at
+    fork time; each sweep ships only the per-trace record delta appended
+    since.  The pool survives across sweeps (fork-per-sweep is what made
+    ``jobs=N`` slower than serial) and is disposed when the control set
+    changes, the delta outgrows the snapshot, or the evaluator goes away.
+    """
+
+    def __init__(
+        self,
+        context,
+        evaluator: "ComplianceEvaluator",
+        controls: Sequence[InternalControl],
+        jobs: int,
+    ) -> None:
+        global _POOL_STATE, _measured_startup, _measured_dispatch
+        self.jobs = jobs
+        self.controls_key = tuple(id(control) for control in controls)
+        self.base_seq = evaluator.store.last_seq()
+        started = time.perf_counter()
+        grouped = evaluator.store.records_by_trace()
+        self.trace_sizes = {t: len(v) for t, v in grouped.items()}
+        self.snapshot_size = sum(self.trace_sizes.values())
+        _POOL_STATE = (
+            evaluator.engine,
+            tuple(controls),
+            grouped,
+            evaluator.observable_types,
+        )
+        try:
+            self.pool = context.Pool(processes=jobs)
+        finally:
+            _POOL_STATE = None
+        self.pool.map(_pool_noop, range(jobs))
+        self.startup_cost = time.perf_counter() - started
+        dispatched = time.perf_counter()
+        self.pool.map(_pool_noop, range(jobs))
+        self.dispatch_cost = time.perf_counter() - dispatched
+        _measured_startup = self.startup_cost
+        _measured_dispatch = self.dispatch_cost
+        self._disposed = False
+
+    def map(self, payloads) -> List[List[ComplianceResult]]:
+        return self.pool.map(_sweep_task, payloads)
+
+    def dispose(self) -> None:
+        """Terminate the workers.  Idempotent."""
+        if self._disposed:
+            return
+        self._disposed = True
+        self.pool.terminate()
+        self.pool.join()
 
 
 class ComplianceEvaluator:
@@ -132,6 +227,17 @@ class ComplianceEvaluator:
         self.share_contexts = share_contexts
         self._frames: Dict[str, TraceFrame] = {}
         self.graph_builds = 0  # trace graphs constructed (regression metric)
+        #: parallel-sweep policy: ``"auto"`` engages the worker pool only
+        #: when the measured break-even test predicts a win; ``"always"`` /
+        #: ``"never"`` force the decision (tests and benchmarks).
+        self.parallel_mode = "auto"
+        #: sweeps where jobs>1 was requested but the break-even test (or a
+        #: pool failure) kept evaluation serial.
+        self.parallel_fallbacks = 0
+        #: parallel sweeps actually dispatched to the pool.
+        self.parallel_sweeps = 0
+        self._sweep_pool: Optional[_SweepPool] = None
+        self._pair_cost: Optional[float] = None  # EMA, seconds per pair
         if share_contexts:
             # Frame invalidation must run before the materializer's dirty
             # marking (observers fire in subscription order), so a refresh
@@ -212,9 +318,22 @@ class ComplianceEvaluator:
         *when* to call it.
         """
         frame = self._frame_for(trace_id)
-        return _check_with_frame(
+        started = time.perf_counter()
+        result = _check_with_frame(
             self.engine, control, frame, parameters, self.observable_types
         )
+        self._note_pair_cost(time.perf_counter() - started, 1)
+        return result
+
+    def _note_pair_cost(self, seconds: float, pairs: int) -> None:
+        """Fold a serial evaluation measurement into the per-pair EMA."""
+        if pairs <= 0:
+            return
+        sample = seconds / pairs
+        if self._pair_cost is None:
+            self._pair_cost = sample
+        else:
+            self._pair_cost = 0.5 * self._pair_cost + 0.5 * sample
 
     # -- single control -----------------------------------------------------
 
@@ -301,6 +420,7 @@ class ComplianceEvaluator:
             )
             if parallel is not None:
                 return parallel
+        started = time.perf_counter()
         if trace_ids is None and self.store.indexed:
             grouped = None
             for trace_id in self.store.app_ids():
@@ -323,18 +443,92 @@ class ComplianceEvaluator:
                             self.observable_types,
                         )
                     )
-            return results
-        ids = list(trace_ids) if trace_ids is not None else self.store.app_ids()
-        for trace_id in ids:
-            frame = self._frame_for(trace_id)
-            for control in controls:
-                results.append(
-                    _check_with_frame(
-                        self.engine, control, frame, None,
-                        self.observable_types,
+        else:
+            ids = (
+                list(trace_ids) if trace_ids is not None
+                else self.store.app_ids()
+            )
+            for trace_id in ids:
+                frame = self._frame_for(trace_id)
+                for control in controls:
+                    results.append(
+                        _check_with_frame(
+                            self.engine, control, frame, None,
+                            self.observable_types,
+                        )
                     )
-                )
+        # The serial sweep is the break-even measurement for the next one.
+        self._note_pair_cost(time.perf_counter() - started, len(results))
         return results
+
+    def shutdown_pool(self) -> None:
+        """Terminate the persistent sweep pool, if one is running."""
+        if self._sweep_pool is not None:
+            self._sweep_pool.dispose()
+            self._sweep_pool = None
+
+    def _parallel_worthwhile(
+        self,
+        controls: Sequence[InternalControl],
+        pairs: int,
+        jobs: int,
+    ) -> bool:
+        """The measured break-even test for one sweep.
+
+        Predicts the serial cost from the per-pair EMA and compares the
+        parallel saving against the fixed overhead (pool startup amortized
+        over its expected lifetime, plus the measured dispatch round-trip).
+        With no measurement yet the sweep stays serial — that first serial
+        sweep *is* the measurement.
+        """
+        if self.parallel_mode == "always":
+            return True
+        if self.parallel_mode == "never" or jobs < 2:
+            return False
+        if self._pair_cost is None:
+            return False
+        serial_estimate = pairs * self._pair_cost
+        pool = self._sweep_pool
+        reusable = (
+            pool is not None
+            and pool.controls_key == tuple(id(c) for c in controls)
+            and jobs <= pool.jobs
+        )
+        if reusable:
+            overhead = pool.dispatch_cost
+        else:
+            startup = _measured_startup or _STARTUP_PRIOR
+            dispatch = _measured_dispatch or _DISPATCH_PRIOR
+            overhead = startup / _STARTUP_AMORTIZATION + dispatch
+        savings = serial_estimate * (1.0 - 1.0 / jobs)
+        return savings > _BREAKEVEN_MARGIN * overhead
+
+    def _ensure_pool(
+        self, context, controls: Sequence[InternalControl], jobs: int
+    ) -> _SweepPool:
+        """The persistent pool for (engine, controls), re-forked when the
+        control set changed, more workers are wanted, or the shipped delta
+        outgrew the inherited snapshot."""
+        pool = self._sweep_pool
+        controls_key = tuple(id(control) for control in controls)
+        if pool is not None:
+            delta_size = self.store.last_seq() - pool.base_seq
+            stale = (
+                pool.controls_key != controls_key
+                or jobs > pool.jobs
+                or delta_size
+                > max(1000, _REBASE_FRACTION * pool.snapshot_size)
+            )
+            if stale:
+                pool.dispose()
+                pool = None
+        if pool is None:
+            pool = _SweepPool(context, self, controls, jobs)
+            self._sweep_pool = pool
+            # The workers die with the evaluator even when nobody calls
+            # shutdown_pool (each pool gets its own finalizer).
+            weakref.finalize(self, pool.dispose)
+        return pool
 
     def evaluate_forked(
         self,
@@ -342,18 +536,19 @@ class ComplianceEvaluator:
         trace_ids: Sequence[str],
         jobs: int,
     ) -> Optional[List[ComplianceResult]]:
-        """Evaluate every control over *trace_ids* across forked workers.
+        """Evaluate every control over *trace_ids* across pooled workers.
 
         Returns None — telling the caller to evaluate serially — when
-        forking cannot help (fewer than two traces) or cannot run
-        (platforms without the ``fork`` start method get a warning; the
-        sweep still completes serially).
+        forking cannot help (fewer than two traces, or the break-even test
+        predicts the serial sweep wins) or cannot run (platforms without
+        the ``fork`` start method get a warning; the sweep still completes
+        serially).
 
-        The parent snapshots the requested traces' records *before*
-        forking, so workers never touch the storage backend (no SQLite
-        connection crosses the fork) — they only read inherited memory.
+        Workers never touch the storage backend (no SQLite connection
+        crosses the fork): they read the snapshot inherited when the
+        persistent pool was forked, plus the per-trace delta of records
+        appended since, shipped with each task.
         """
-        global _FORK_STATE
         if len(trace_ids) < 2:
             return None
         if not hasattr(os, "fork"):
@@ -376,24 +571,78 @@ class ComplianceEvaluator:
             )
             return None
         jobs = min(jobs, len(trace_ids))
-        grouped_all = self.store.records_by_trace()
-        grouped = {t: grouped_all.get(t, []) for t in trace_ids}
-        # Contiguous partitions keep concatenated results in serial order.
-        total = len(trace_ids)
-        bounds = [
-            (total * i // jobs, total * (i + 1) // jobs)
-            for i in range(jobs)
-        ]
-        chunks = [list(trace_ids[lo:hi]) for lo, hi in bounds if lo < hi]
-        _FORK_STATE = (
-            self.engine, tuple(controls), grouped, self.observable_types
-        )
+        pairs = len(trace_ids) * len(controls)
+        if not self._parallel_worthwhile(controls, pairs, jobs):
+            self.parallel_fallbacks += 1
+            return None
         try:
-            with context.Pool(processes=len(chunks)) as pool:
-                parts = pool.map(_sweep_partition, chunks)
-        finally:
-            _FORK_STATE = None
+            pool = self._ensure_pool(context, controls, jobs)
+            delta = self._delta_by_trace(pool.base_seq, set(trace_ids))
+            chunks = self._cost_chunks(trace_ids, pool, delta, jobs)
+            payloads = [
+                (
+                    chunk,
+                    {t: delta[t] for t in chunk if t in delta},
+                )
+                for chunk in chunks
+            ]
+            parts = pool.map(payloads)
+        except Exception as exc:  # pool died (OOM, signal): finish serially
+            warnings.warn(
+                f"parallel sweep failed ({exc!r}); evaluating serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.shutdown_pool()
+            self.parallel_fallbacks += 1
+            return None
+        self.parallel_sweeps += 1
         return [result for part in parts for result in part]
+
+    def _delta_by_trace(
+        self, base_seq: int, wanted: Set[str]
+    ) -> Dict[str, List[ProvenanceRecord]]:
+        """Records appended after *base_seq*, grouped per wanted trace."""
+        delta: Dict[str, List[ProvenanceRecord]] = {}
+        for __, record in self.store.changes_since(base_seq):
+            if record.app_id in wanted:
+                delta.setdefault(record.app_id, []).append(record)
+        return delta
+
+    def _cost_chunks(
+        self,
+        trace_ids: Sequence[str],
+        pool: _SweepPool,
+        delta: Dict[str, List[ProvenanceRecord]],
+        jobs: int,
+    ) -> List[List[str]]:
+        """Contiguous chunks balanced by estimated per-trace cost.
+
+        Cost ∝ record count (snapshot + delta) — evaluation and frame
+        building both scale with trace size.  Contiguity keeps the
+        concatenated results in serial sweep order.
+        """
+        costs = [
+            1
+            + pool.trace_sizes.get(trace_id, 0)
+            + len(delta.get(trace_id, ()))
+            for trace_id in trace_ids
+        ]
+        total = sum(costs)
+        target = total / jobs
+        chunks: List[List[str]] = []
+        current: List[str] = []
+        accumulated = 0.0
+        for trace_id, cost in zip(trace_ids, costs):
+            current.append(trace_id)
+            accumulated += cost
+            if accumulated >= target and len(chunks) < jobs - 1:
+                chunks.append(current)
+                current = []
+                accumulated = 0.0
+        if current:
+            chunks.append(current)
+        return chunks
 
     # -- reporting ------------------------------------------------------------------
 

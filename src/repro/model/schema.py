@@ -131,6 +131,10 @@ class ProvenanceDataModel:
         self.name = name
         self._node_types: Dict[str, NodeTypeSpec] = {}
         self._relation_types: Dict[str, RelationTypeSpec] = {}
+        #: bumped on every type declaration; consumers that compile derived
+        #: artifacts from the schema (the store's XML codecs) compare it to
+        #: know when their caches are stale.
+        self.revision = 0
 
     # -- declaration -------------------------------------------------------
 
@@ -139,6 +143,7 @@ class ProvenanceDataModel:
         if spec.name in self._node_types:
             raise ModelError(f"node type {spec.name!r} already declared")
         self._node_types[spec.name] = spec
+        self.revision += 1
         return spec
 
     def add_relation_type(self, spec: RelationTypeSpec) -> RelationTypeSpec:
@@ -146,6 +151,7 @@ class ProvenanceDataModel:
         if spec.name in self._relation_types:
             raise ModelError(f"relation type {spec.name!r} already declared")
         self._relation_types[spec.name] = spec
+        self.revision += 1
         return spec
 
     # -- lookup ------------------------------------------------------------

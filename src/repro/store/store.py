@@ -56,7 +56,7 @@ from repro.model.schema import ProvenanceDataModel
 from repro.store.backends import StorageBackend, create_backend
 from repro.store.index import StoreIndex
 from repro.store.query import RecordQuery
-from repro.store.xmlcodec import StoredRow, decode_row, encode_row
+from repro.store.xmlcodec import StoredRow, XmlCodec, decode_row, encode_row
 
 BackendSpec = Union[None, str, StorageBackend]
 
@@ -72,6 +72,10 @@ class ProvenanceStore:
             :class:`~repro.store.backends.base.StorageBackend` instance, a
             registry name (``"memory"``, ``"sqlite"``), or ``None`` for the
             in-memory default.
+        fast_codec: use the compiled per-(CLASS, record-type) XML codecs
+            (:class:`~repro.store.xmlcodec.XmlCodec`) for row encode/decode.
+            Byte-identical to the ElementTree path; disable only to measure
+            the oracle path (the ingestion benchmark's baseline).
     """
 
     def __init__(
@@ -80,8 +84,10 @@ class ProvenanceStore:
         indexed: bool = True,
         indexed_attributes: Optional[Set[str]] = None,
         backend: BackendSpec = None,
+        fast_codec: bool = True,
     ) -> None:
         self.model = model
+        self.codec: Optional[XmlCodec] = XmlCodec(model) if fast_codec else None
         if backend is None:
             backend = create_backend("memory")
         elif isinstance(backend, str):
@@ -107,7 +113,14 @@ class ProvenanceStore:
         return self._index is not None
 
     def _decode(self, row: StoredRow) -> ProvenanceRecord:
+        if self.codec is not None:
+            return self.codec.decode_row(row)
         return decode_row(row, self.model)
+
+    def _encode(self, record: ProvenanceRecord) -> StoredRow:
+        if self.codec is not None:
+            return self.codec.encode_row(record)
+        return encode_row(record)
 
     # -- append ------------------------------------------------------------
 
@@ -122,7 +135,7 @@ class ProvenanceStore:
             raise DuplicateRecordId(record.record_id)
         if self.model is not None:
             self.model.validate(record)
-        row = encode_row(record)
+        row = self._encode(record)
         self._commit(row, record)
         return row
 

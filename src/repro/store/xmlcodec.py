@@ -11,17 +11,33 @@ row is ``(ID, CLASS, APPID, XML)`` and the XML column looks like::
       ...
     </ps:jobrequisition>
 
-The codec round-trips records through that exact shape using the standard
-library's :mod:`xml.etree.ElementTree`.  Attribute typing on decode is
-delegated to the data model when one is supplied; otherwise values decode as
-strings (which is what the physical table knows).
+The codec round-trips records through that exact shape.  Two implementations
+coexist:
+
+- the **ElementTree path** (:func:`encode_record_xml` / :func:`decode_row`)
+  — the semantics oracle.  It builds/parses real element trees and is what
+  defines the wire format,
+- the **compiled fast path** (:class:`XmlCodec`) — per-(CLASS, record-type)
+  encoder/decoder closures generated from the
+  :class:`~repro.model.schema.ProvenanceDataModel`: direct string building
+  on encode (ElementTree-identical escaping), single-pass regex extraction
+  on decode (interned tag fragments, precomputed attribute coercers).  Any
+  row whose XML does not match the canonical shape the encoder emits —
+  foreign prefixes, nested elements, unknown entities, malformed markup —
+  falls back to the ElementTree path, byte-for-byte and error-for-error
+  identical (the differential fuzz suite asserts this).
+
+Attribute typing on decode is delegated to the data model when one is
+supplied; otherwise values decode as strings (which is what the physical
+table knows).
 """
 
 from __future__ import annotations
 
+import re
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import CodecError
 from repro.model.attributes import AttributeType, AttributeValue
@@ -175,3 +191,461 @@ def decode_row(
         )
     except Exception as exc:
         raise CodecError(f"row {row.record_id}: {exc}") from exc
+
+
+# -- compiled fast path -------------------------------------------------------
+#
+# ElementTree spends most of an encode walking element objects and resolving
+# qnames, and most of a decode building a tree it immediately discards.  The
+# compiled codec skips both: the canonical row shape is flat (a root element,
+# reserved children, one element per attribute, no nesting), so encoding is
+# pure string assembly and decoding is one anchored regex walk.
+
+# Exact replicas of ElementTree's _escape_cdata / _escape_attrib (the
+# serializer the oracle path uses), so fast-encoded XML is byte-identical.
+
+
+def _escape_text(text: str) -> str:
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    return text
+
+
+def _escape_attr(text: str) -> str:
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    if '"' in text:
+        text = text.replace('"', "&quot;")
+    if "\r" in text:
+        text = text.replace("\r", "&#13;")
+    if "\n" in text:
+        text = text.replace("\n", "&#10;")
+    if "\t" in text:
+        text = text.replace("\t", "&#09;")
+    return text
+
+
+class _Fallback(Exception):
+    """Internal: this row's XML is not in canonical shape; use ElementTree."""
+
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_ENTITY_RE = re.compile(r"&([a-zA-Z]+|#[0-9]+|#x[0-9a-fA-F]+);")
+
+
+def _valid_xml_codepoint(code: int) -> bool:
+    return (
+        code in (0x9, 0xA, 0xD)
+        or 0x20 <= code <= 0xD7FF
+        or 0xE000 <= code <= 0xFFFD
+        or 0x10000 <= code <= 0x10FFFF
+    )
+
+
+def _decode_text(raw: str) -> str:
+    """What expat yields for literal element text: line-ending
+    normalization (``\\r\\n``/``\\r`` → ``\\n``) first, then entities."""
+    if "\r" in raw:
+        raw = raw.replace("\r\n", "\n").replace("\r", "\n")
+    return _unescape(raw)
+
+
+def _decode_attr(raw: str) -> str:
+    """What expat yields for a literal attribute value: line-ending then
+    attribute-value normalization (literal whitespace → space) before
+    entity expansion (character references survive as-is)."""
+    if "\r" in raw:
+        raw = raw.replace("\r\n", "\n").replace("\r", "\n")
+    if "\n" in raw:
+        raw = raw.replace("\n", " ")
+    if "\t" in raw:
+        raw = raw.replace("\t", " ")
+    return _unescape(raw)
+
+
+def _unescape(text: str) -> str:
+    """Resolve the entities expat would; anything else punts to the oracle."""
+    if "&" not in text:
+        return text
+    out = []
+    pos = 0
+    while True:
+        amp = text.find("&", pos)
+        if amp < 0:
+            out.append(text[pos:])
+            return "".join(out)
+        match = _ENTITY_RE.match(text, amp)
+        if match is None:
+            raise _Fallback  # bare ampersand: expat would reject this
+        body = match.group(1)
+        if body.startswith("#x"):
+            code = int(body[2:], 16)
+        elif body.startswith("#"):
+            code = int(body[1:])
+        else:
+            code = None
+            replacement = _NAMED_ENTITIES.get(body)
+            if replacement is None:
+                raise _Fallback  # entity we cannot prove expat resolves
+        if code is not None:
+            if not _valid_xml_codepoint(code):
+                raise _Fallback
+            replacement = chr(code)
+        out.append(text[pos:amp])
+        out.append(replacement)
+        pos = match.end()
+
+
+# Tag names the fast path claims: a conservative ASCII subset of XML
+# Names.  Anything outside it (unicode names, but also junk like a bare
+# "&" that expat would reject) falls back to the oracle, which is the
+# side that knows the real rules.
+_NAME = r"[A-Za-z_][A-Za-z0-9._-]*"
+
+# Root of a canonically encoded row:
+#   <ps:TYPE xmlns:ps="..." ps:id="ID" ps:class="CLS">
+_ROOT_RE = re.compile(
+    rf"<ps:({_NAME})"
+    r' xmlns:ps="http://repro\.example/provenance"'
+    r' ps:id="([^"<]*)" ps:class="([^"<]*)">'
+)
+
+# One canonical child: an empty element (optionally with the timestamp's
+# value attribute), or a flat text element with a matching close tag.
+_CHILD_RE = re.compile(
+    rf'<ps:({_NAME})(?: value="([^"<]*)")? />'
+    rf"|<ps:({_NAME})>([^<]*)</ps:({_NAME})>"
+)
+
+# Characters XML 1.0 forbids outright; expat raises on them, so a document
+# containing one must take the oracle path to get the oracle's error.
+_INVALID_XML_CHAR_RE = re.compile(
+    "[\x00-\x08\x0b\x0c\x0e-\x1f\ud800-\udfff\ufffe\uffff]"
+)
+
+Encoder = Callable[[ProvenanceRecord], str]
+Decoder = Callable[..., ProvenanceRecord]
+
+
+class XmlCodec:
+    """Compiled per-(CLASS, record-type) codecs over one data model.
+
+    One instance is meant to live as long as its store: encoder and decoder
+    closures are generated on first use of each (record class, entity type)
+    pair and reused for every subsequent row, so bulk ingestion never
+    re-derives schema lookups, tag strings, or attribute coercers per row.
+
+    The fast paths are exact: encoded XML is byte-identical to
+    :func:`encode_record_xml`, and decoding matches :func:`decode_row`
+    including error messages — rows outside the canonical shape are simply
+    handed to the ElementTree oracle.
+    """
+
+    def __init__(self, model: Optional[ProvenanceDataModel] = None) -> None:
+        self.model = model
+        self._encoders: Dict[Tuple[RecordClass, str], Encoder] = {}
+        self._decoders: Dict[Tuple[RecordClass, str], Decoder] = {}
+        self._model_revision = self._revision()
+        #: rows decoded by the compiled path vs. handed to ElementTree
+        #: (regression metric: fallbacks on canonical rows mean a codec gap).
+        self.fast_decodes = 0
+        self.fallback_decodes = 0
+
+    def _revision(self) -> int:
+        if self.model is None:
+            return 0
+        return getattr(self.model, "revision", 0)
+
+    def _check_revision(self) -> None:
+        # A model that learned new types after codecs were compiled would
+        # leave stale coercer tables behind; recompile lazily.
+        current = self._revision()
+        if current != self._model_revision:
+            self._encoders.clear()
+            self._decoders.clear()
+            self._model_revision = current
+
+    def prime(self) -> int:
+        """Precompile codecs for every type the model declares.
+
+        Recorder clients call this once before streaming events so the
+        first record of each type does not pay compilation inside the
+        ingest loop.  Returns the number of codecs compiled.
+        """
+        if self.model is None:
+            return 0
+        self._check_revision()
+        compiled = 0
+        for spec in self.model.node_types():
+            key = (spec.record_class, spec.name)
+            if key not in self._encoders:
+                self._encoder_for(spec.record_class, spec.name)
+                self._decoder_for(spec.record_class, spec.name)
+                compiled += 1
+        for rel in self.model.relation_types():
+            key = (RecordClass.RELATION, rel.name)
+            if key not in self._encoders:
+                self._encoder_for(RecordClass.RELATION, rel.name)
+                self._decoder_for(RecordClass.RELATION, rel.name)
+                compiled += 1
+        return compiled
+
+    # -- encoding ------------------------------------------------------------
+
+    def _encoder_for(
+        self, record_class: RecordClass, entity_type: str
+    ) -> Encoder:
+        key = (record_class, entity_type)
+        encoder = self._encoders.get(key)
+        if encoder is None:
+            encoder = self._compile_encoder(record_class, entity_type)
+            self._encoders[key] = encoder
+        return encoder
+
+    def _compile_encoder(
+        self, record_class: RecordClass, entity_type: str
+    ) -> Encoder:
+        # Static fragments shared by every row of this (class, type).
+        prefix = (
+            f"<ps:{entity_type} "
+            f'xmlns:ps="{PS_NAMESPACE}" ps:id="'
+        )
+        mid = f'" ps:class="{record_class.value.lower()}"><ps:appid>'
+        empty_app = f'" ps:class="{record_class.value.lower()}"><ps:appid />'
+        ts_open = '<ps:timestamp value="'
+        closing = f"</ps:{entity_type}>"
+        is_relation = record_class is RecordClass.RELATION
+        # Interned per-attribute tag fragments, grown lazily for attribute
+        # names outside the schema.
+        tags: Dict[str, Tuple[str, str, str]] = {}
+        if self.model is not None and self.model.has_node_type(entity_type):
+            for spec in self.model.node_type(entity_type).attributes:
+                tags[spec.name] = (
+                    f"<ps:{spec.name}>",
+                    f"</ps:{spec.name}>",
+                    f"<ps:{spec.name} />",
+                )
+
+        def encode(record: ProvenanceRecord) -> str:
+            parts = [prefix, _escape_attr(record.record_id)]
+            if record.app_id:
+                parts.append(mid)
+                parts.append(_escape_text(record.app_id))
+                parts.append("</ps:appid>")
+            else:  # pragma: no cover - records enforce non-empty app ids
+                parts.append(empty_app)
+            parts.append(ts_open)
+            parts.append(str(record.timestamp))
+            parts.append('" />')
+            if is_relation:
+                parts.append("<ps:source>")
+                parts.append(_escape_text(record.source_id))
+                parts.append("</ps:source><ps:target>")
+                parts.append(_escape_text(record.target_id))
+                parts.append("</ps:target>")
+            for name, value in sorted(dict(record._attributes).items()):
+                fragment = tags.get(name)
+                if fragment is None:
+                    fragment = (
+                        f"<ps:{name}>",
+                        f"</ps:{name}>",
+                        f"<ps:{name} />",
+                    )
+                    tags[name] = fragment
+                if value is True:
+                    wire = "true"
+                elif value is False:
+                    wire = "false"
+                else:
+                    wire = str(value)
+                if wire:
+                    parts.append(fragment[0])
+                    parts.append(_escape_text(wire))
+                    parts.append(fragment[1])
+                else:
+                    parts.append(fragment[2])
+            parts.append(closing)
+            return "".join(parts)
+
+        return encode
+
+    def encode_record_xml(self, record: ProvenanceRecord) -> str:
+        """Fast-path equivalent of :func:`encode_record_xml`."""
+        self._check_revision()
+        return self._encoder_for(record.record_class, record.entity_type)(
+            record
+        )
+
+    def encode_row(self, record: ProvenanceRecord) -> StoredRow:
+        """Fast-path equivalent of :func:`encode_row`."""
+        return StoredRow(
+            record_id=record.record_id,
+            record_class=record.record_class,
+            app_id=record.app_id,
+            xml=self.encode_record_xml(record),
+        )
+
+    # -- decoding ------------------------------------------------------------
+
+    def _decoder_for(
+        self, record_class: RecordClass, entity_type: str
+    ) -> Decoder:
+        key = (record_class, entity_type)
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            decoder = self._compile_decoder(record_class, entity_type)
+            self._decoders[key] = decoder
+        return decoder
+
+    def _compile_decoder(
+        self, record_class: RecordClass, entity_type: str
+    ) -> Decoder:
+        closing = f"</ps:{entity_type}>"
+        class_wire = record_class.value.lower()
+        is_relation = record_class is RecordClass.RELATION
+        # Precomputed attribute coercers: exactly what
+        # ProvenanceDataModel.coerce_attributes would look up per row.
+        coercers: Dict[str, Callable[[str], object]] = {}
+        if (
+            self.model is not None
+            and not is_relation
+            and self.model.has_node_type(entity_type)
+        ):
+            for spec in self.model.node_type(entity_type).attributes:
+                coercers[spec.name] = spec.type.from_wire
+        coerce = self.model is not None and not is_relation
+
+        def decode(row: StoredRow, root_match: "re.Match") -> ProvenanceRecord:
+            # Structural pass first: ElementTree parses the entire document
+            # before any semantic check, so a row that is both corrupted
+            # (mismatched embedded id) and malformed (broken tail) must
+            # report "malformed XML" — never the semantic error.
+            xml = row.xml
+            end = len(xml) - len(closing)
+            if end < 0 or not xml.endswith(closing):
+                raise _Fallback
+            children = []
+            pos = root_match.end()
+            while pos < end:
+                child = _CHILD_RE.match(xml, pos)
+                if child is None or child.end() > end:
+                    raise _Fallback
+                name = child.group(1)
+                if name is not None:  # empty element, maybe value="..."
+                    value_attr = child.group(2)
+                    text = ""
+                else:
+                    name = child.group(3)
+                    if child.group(5) != name:
+                        raise _Fallback
+                    value_attr = None
+                    text = _decode_text(child.group(4)).strip()
+                children.append((name, value_attr, text))
+                pos = child.end()
+            if pos != end:
+                raise _Fallback
+
+            embedded_id = _decode_attr(root_match.group(2))
+            if embedded_id != row.record_id:
+                raise CodecError(
+                    f"row {row.record_id}: embedded ps:id "
+                    f"{embedded_id!r} disagrees"
+                )
+            embedded_class = _decode_attr(root_match.group(3))
+            if embedded_class.lower() != class_wire:
+                raise CodecError(
+                    f"row {row.record_id}: embedded ps:class "
+                    f"{embedded_class!r} disagrees with column "
+                    f"{row.record_class.value!r}"
+                )
+            timestamp = 0
+            source_id = ""
+            target_id = ""
+            raw: Dict[str, str] = {}
+            for name, value_attr, text in children:
+                if name == "appid":
+                    if text != row.app_id:
+                        raise CodecError(
+                            f"row {row.record_id}: embedded appid "
+                            f"{text!r} disagrees"
+                        )
+                elif name == "timestamp":
+                    if value_attr is not None:
+                        value = _decode_attr(value_attr)
+                    else:
+                        value = text or "0"
+                    try:
+                        timestamp = int(value)
+                    except ValueError as exc:
+                        raise CodecError(
+                            f"row {row.record_id}: bad timestamp {value!r}"
+                        ) from exc
+                elif name == "source":
+                    source_id = text
+                elif name == "target":
+                    target_id = text
+                else:
+                    raw[name] = text
+
+            attributes: Mapping[str, AttributeValue]
+            if coerce:
+                typed: Dict[str, AttributeValue] = {}
+                for name, text in raw.items():
+                    coercer = coercers.get(name)
+                    typed[name] = text if coercer is None else coercer(text)
+                attributes = typed
+            else:
+                attributes = raw
+
+            try:
+                return record_from_parts(
+                    record_class=row.record_class,
+                    record_id=row.record_id,
+                    app_id=row.app_id,
+                    entity_type=entity_type,
+                    timestamp=timestamp,
+                    attributes=attributes,
+                    source_id=source_id,
+                    target_id=target_id,
+                )
+            except CodecError:
+                raise
+            except Exception as exc:
+                raise CodecError(f"row {row.record_id}: {exc}") from exc
+
+        return decode
+
+    def decode_row(self, row: StoredRow) -> ProvenanceRecord:
+        """Fast-path equivalent of :func:`decode_row` (same model binding).
+
+        Rows outside the canonical shape fall back to the ElementTree
+        oracle, which also produces the identical errors for corrupted or
+        malformed XML.
+        """
+        self._check_revision()
+        root_match = _ROOT_RE.match(row.xml)
+        if root_match is not None and not _INVALID_XML_CHAR_RE.search(row.xml):
+            decoder = self._decoder_for(row.record_class, root_match.group(1))
+            try:
+                record = decoder(row, root_match)
+                self.fast_decodes += 1
+                return record
+            except _Fallback:
+                pass
+        self.fallback_decodes += 1
+        return decode_row(row, self.model)

@@ -42,7 +42,21 @@ from repro.store.xmlcodec import decode_row, encode_row
 
 # -- strategies ---------------------------------------------------------------
 
-identifier = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)
+# Structural BAL words: the lexer has no reserved words (phrases may contain
+# ``of``), so a generated identifier or phrase that *is* a structural word
+# renders to text the parser reads as grammar ("the of of 0") and the
+# render/parse fixpoint legitimately fails.  Real vocabularies never use
+# bare structural words as whole names; keep the generator out of them too.
+_BAL_STRUCTURAL = frozenset(
+    """
+    if then else and or not is are was the a an of no any null there exists
+    each all at least most more than it this that to as set define true
+    false number one satisfied violated internal control
+    """.split()
+)
+identifier = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s not in _BAL_STRUCTURAL
+)
 safe_text = st.text(
     alphabet=st.characters(
         whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x2FF

@@ -1,0 +1,372 @@
+"""Differential fuzz: the compiled XML codec against the ElementTree oracle.
+
+The fast path's contract is exactness, not approximation: for every row it
+claims, encoded XML is byte-identical to :func:`encode_record_xml` and
+decoding produces a record equal to :func:`decode_row`'s — including the
+:class:`CodecError` message when the row is corrupted.  Rows outside the
+canonical shape must fall back to the oracle and therefore agree trivially;
+what these tests pin down is that the compiled path never *disagrees*.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CodecError
+from repro.model.attributes import AttributeSpec, AttributeType
+from repro.model.records import (
+    CustomRecord,
+    DataRecord,
+    RecordClass,
+    RelationRecord,
+    ResourceRecord,
+    TaskRecord,
+)
+from repro.model.schema import (
+    NodeTypeSpec,
+    ProvenanceDataModel,
+    RelationTypeSpec,
+)
+from repro.store.xmlcodec import (
+    StoredRow,
+    XmlCodec,
+    decode_row,
+    encode_record_xml,
+    encode_row,
+)
+
+# Deliberately nasty alphabet: markup metacharacters, every whitespace kind
+# expat normalizes, entity-looking sequences, and non-ASCII text.
+_CHARS = (
+    "abz AZ09._-"
+    "&<>\"'"
+    "\t\n\r"
+    "äßλЖ中🙂"
+    ";#"
+)
+
+_NODE_CLASSES = {
+    RecordClass.DATA: DataRecord,
+    RecordClass.TASK: TaskRecord,
+    RecordClass.RESOURCE: ResourceRecord,
+    RecordClass.CUSTOM: CustomRecord,
+}
+
+_TYPED_ATTRS = (
+    AttributeSpec("astring", AttributeType.STRING),
+    AttributeSpec("anint", AttributeType.INTEGER),
+    AttributeSpec("afloat", AttributeType.FLOAT),
+    AttributeSpec("abool", AttributeType.BOOLEAN),
+    AttributeSpec("awhen", AttributeType.TIMESTAMP),
+)
+
+
+def _model() -> ProvenanceDataModel:
+    model = ProvenanceDataModel("codec-fuzz")
+    model.add_node_type(
+        NodeTypeSpec("widget", RecordClass.DATA, attributes=_TYPED_ATTRS)
+    )
+    model.add_node_type(NodeTypeSpec("review", RecordClass.TASK))
+    model.add_node_type(NodeTypeSpec("person", RecordClass.RESOURCE))
+    model.add_node_type(NodeTypeSpec("blob", RecordClass.CUSTOM))
+    model.add_relation_type(
+        RelationTypeSpec("linkOf", RecordClass.DATA, RecordClass.TASK)
+    )
+    return model
+
+
+def _text(rng: random.Random, lo: int = 0, hi: int = 12) -> str:
+    return "".join(
+        rng.choice(_CHARS) for __ in range(rng.randint(lo, hi))
+    )
+
+
+_NAME_CHARS = "abcxyz0123456789_.-"
+
+
+def _name(rng: random.Random) -> str:
+    # Attribute names become XML tags, so canonical rows need XML Names;
+    # junk names are covered separately (they must fall back, not break).
+    return "a" + "".join(
+        rng.choice(_NAME_CHARS) for __ in range(rng.randint(0, 6))
+    )
+
+
+def _record(rng: random.Random, index: int):
+    """One randomized record spanning every class and attribute type."""
+    roll = rng.random()
+    record_id = f"R{index}-{_text(rng, 0, 4)}" or f"R{index}"
+    app_id = f"App{rng.randint(1, 5)}{_text(rng, 0, 3)}"
+    timestamp = rng.randint(-3, 10**9)
+    if roll < 0.2:
+        return RelationRecord.create(
+            record_id, app_id, "linkOf",
+            source_id=f"S{_text(rng, 1, 5)}",
+            target_id=f"T{_text(rng, 1, 5)}",
+            timestamp=timestamp,
+            attributes={"rule": _text(rng)},
+        )
+    attributes = {}
+    if roll < 0.55:
+        entity_type = "widget"
+        attributes = {
+            "astring": _text(rng),
+            "anint": rng.randint(-10**6, 10**6),
+            "afloat": rng.choice(
+                [0.0, -1.5, 3.14159, 1e300, float("inf"), 2.5e-10]
+            ),
+            "abool": rng.random() < 0.5,
+            "awhen": rng.randint(0, 10**10),
+        }
+        cls = DataRecord
+    else:
+        entity_type, cls = rng.choice(
+            [
+                ("review", TaskRecord),
+                ("person", ResourceRecord),
+                ("blob", CustomRecord),
+                # A type the model never declared: schema-less codec path.
+                ("mystery", DataRecord),
+            ]
+        )
+        for __ in range(rng.randint(0, 4)):
+            attributes[_name(rng)] = _text(rng)
+        if rng.random() < 0.3:
+            # Reserved element names used as plain attributes: "source" /
+            # "target" collide with relation plumbing on decode; both
+            # paths must agree on what comes back.
+            attributes[rng.choice(["source", "target"])] = _text(rng, 1, 6)
+        if rng.random() < 0.2:
+            attributes["empty"] = ""  # encodes as <ps:empty />
+    return cls.create(
+        record_id, app_id, entity_type,
+        timestamp=timestamp, attributes=attributes,
+    )
+
+
+def _outcome(thunk):
+    """(tag, payload) for a decode attempt: the decoded record, or the
+    exact exception type and message.  The oracle mostly raises
+    :class:`CodecError`, but leaks ``SchemaViolation`` for mistyped
+    attribute text — parity covers whatever it does."""
+    try:
+        return ("ok", thunk())
+    except Exception as exc:
+        return (type(exc).__name__, str(exc))
+
+
+class TestEncodeFuzz:
+    def test_byte_identical_encoding_400_records(self):
+        rng = random.Random(0xC0DEC)
+        model = _model()
+        codec = XmlCodec(model)
+        codec.prime()
+        for index in range(400):
+            record = _record(rng, index)
+            assert codec.encode_record_xml(record) == encode_record_xml(
+                record
+            ), f"encoder diverged on {record!r}"
+            assert codec.encode_row(record) == encode_row(record)
+
+    def test_byte_identical_without_model(self):
+        rng = random.Random(7)
+        codec = XmlCodec(None)
+        for index in range(50):
+            record = _record(rng, index)
+            assert codec.encode_record_xml(record) == encode_record_xml(
+                record
+            )
+
+
+class TestDecodeFuzz:
+    def test_equal_records_400_rows_no_fallbacks(self):
+        rng = random.Random(0xFA57)
+        model = _model()
+        codec = XmlCodec(model)
+        decoded_ok = 0
+        for index in range(400):
+            record = _record(rng, index)
+            row = encode_row(record)
+            expected = _outcome(lambda: decode_row(row, model))
+            actual = _outcome(lambda: codec.decode_row(row))
+            assert actual == expected, f"decoder diverged on {row.xml!r}"
+            if expected[0] == "ok":
+                decoded_ok += 1
+        # Every canonically encoded row must take the compiled path — a
+        # fallback here means the fast decoder's shape grammar has a gap.
+        # (Rows that legitimately error — e.g. an app_id whose embedded
+        # copy strips differently — raise from the compiled path too and
+        # count in neither bucket.)
+        assert codec.fallback_decodes == 0
+        assert codec.fast_decodes == decoded_ok
+        assert decoded_ok >= 300
+
+    def test_equal_records_without_model(self):
+        rng = random.Random(11)
+        codec = XmlCodec(None)
+        for index in range(100):
+            record = _record(rng, index)
+            row = encode_row(record)
+            expected = _outcome(lambda: decode_row(row, None))
+            actual = _outcome(lambda: codec.decode_row(row))
+            assert actual == expected, f"diverged on {row.xml!r}"
+
+    def test_junk_attribute_names_stay_in_parity(self):
+        # Names outside the XML Name grammar produce rows ElementTree
+        # itself cannot re-parse; the compiled path must reject the shape
+        # and reproduce the oracle's error, never "fix" the row.
+        rng = random.Random(23)
+        model = _model()
+        codec = XmlCodec(model)
+        for index in range(60):
+            name = _text(rng, 1, 6) or "&"
+            record = CustomRecord.create(
+                f"J{index}", "App01", "blob", attributes={name: "v"}
+            )
+            row = encode_row(record)
+            expected = _outcome(lambda: decode_row(row, model))
+            actual = _outcome(lambda: codec.decode_row(row))
+            assert actual == expected, f"diverged on {row.xml!r}"
+
+
+def _canonical_row() -> StoredRow:
+    record = DataRecord.create(
+        "PE3", "App01", "widget",
+        timestamp=86400,
+        attributes={"astring": "a&b<c>", "anint": 7, "abool": True},
+    )
+    return encode_row(record)
+
+
+def _mutations(row: StoredRow):
+    """Corrupted / off-canon variants of one good row, labelled."""
+    xml = row.xml
+    swap = lambda old, new: xml.replace(old, new, 1)  # noqa: E731
+    yield "id-mismatch", swap('ps:id="PE3"', 'ps:id="PE9"')
+    yield "class-mismatch", swap('ps:class="data"', 'ps:class="task"')
+    yield "appid-mismatch", swap("App01", "App99")
+    yield "bad-timestamp", swap('value="86400"', 'value="soon"')
+    yield "truncated", xml[:-7]
+    yield "junk-tail", xml + "<trailing/>"
+    yield "unclosed-child", swap("<ps:anint>", "<ps:anint><ps:anint>")
+    yield "mismatched-close", swap("</ps:anint>", "</ps:other>")
+    yield "bare-ampersand", swap("a&amp;b", "a& b")
+    yield "unknown-entity", swap("a&amp;b", "a&nbsp;b")
+    yield "invalid-char", swap("a&amp;b", "a\x01b")
+    yield "nested-children", swap(
+        "<ps:anint>7</ps:anint>",
+        "<ps:anint><ps:deep>7</ps:deep></ps:anint>",
+    )
+    yield "extra-space", swap("<ps:timestamp value=", "<ps:timestamp  value=")
+    yield "foreign-prefix", xml.replace("ps:", "qq:").replace(
+        'xmlns:qq="', 'xmlns:qq="', 1
+    )
+    yield "no-namespace", swap(' xmlns:ps="http://repro.example/provenance"', "")
+    yield "xml-declaration", '<?xml version="1.0"?>' + xml
+    yield "comment-inside", swap("<ps:appid>", "<!-- x --><ps:appid>")
+    yield "cdata-text", swap(
+        "<ps:astring>", "<ps:astring><![CDATA[z]]>"
+    )
+    # Both corrupted AND malformed: structural parsing happens first in
+    # ElementTree, so "malformed XML" must win over the id mismatch.
+    yield "id-mismatch-and-truncated", swap('ps:id="PE3"', 'ps:id="PE9"')[:-7]
+    yield "numeric-char-refs", swap("a&amp;b", "a&#38;&#x26;b")
+    yield "timestamp-as-text", swap(
+        '<ps:timestamp value="86400" />',
+        "<ps:timestamp>86400</ps:timestamp>",
+    )
+    yield "crlf-in-text", swap("a&amp;b", "a\r\nb&#13;")
+
+
+class TestErrorAndFallbackParity:
+    @pytest.mark.parametrize(
+        "label,xml",
+        list(_mutations(_canonical_row())),
+        ids=[label for label, __ in _mutations(_canonical_row())],
+    )
+    def test_mutated_rows_agree_with_oracle(self, label, xml):
+        base = _canonical_row()
+        row = StoredRow(base.record_id, base.record_class, base.app_id, xml)
+        model = _model()
+        codec = XmlCodec(model)
+        expected = _outcome(lambda: decode_row(row, model))
+        actual = _outcome(lambda: codec.decode_row(row))
+        assert actual == expected, (
+            f"{label}: compiled path {actual!r} != oracle {expected!r}"
+        )
+
+    def test_mutation_fuzz_parity(self):
+        # Random pairs of mutations stacked on random records: whatever
+        # the oracle does — decode, or raise with some message — the
+        # compiled path does identically.
+        rng = random.Random(0xBAD)
+        model = _model()
+        codec = XmlCodec(model)
+        surgeries = list(_mutations(_canonical_row()))
+        for index in range(150):
+            record = _record(rng, index)
+            row = encode_row(record)
+            xml = row.xml
+            for __ in range(rng.randint(1, 2)):
+                label, __mutated = rng.choice(surgeries)
+                # Re-apply the same *kind* of surgery to this row's XML.
+                xml = _apply_surgery(label, xml)
+            mutated = StoredRow(
+                row.record_id, row.record_class, row.app_id, xml
+            )
+            expected = _outcome(lambda: decode_row(mutated, model))
+            actual = _outcome(lambda: codec.decode_row(mutated))
+            assert actual == expected, (
+                f"diverged on {xml!r}: {actual!r} != {expected!r}"
+            )
+
+
+def _apply_surgery(label: str, xml: str) -> str:
+    if label == "truncated" or label == "id-mismatch-and-truncated":
+        return xml[:-5]
+    if label == "junk-tail":
+        return xml + "</ps:extra>"
+    if label == "xml-declaration":
+        return '<?xml version="1.0"?>' + xml
+    if label == "invalid-char":
+        return xml[: len(xml) // 2] + "\x0b" + xml[len(xml) // 2:]
+    if label == "bare-ampersand":
+        return xml.replace(">", ">& ", 1)
+    if label == "no-namespace":
+        return xml.replace(
+            ' xmlns:ps="http://repro.example/provenance"', "", 1
+        )
+    if label == "extra-space":
+        return xml.replace("><", "> <", 1)
+    # Default surgery: perturb the first close tag.
+    return xml.replace("</ps:", "</sp:", 1)
+
+
+class TestCodecLifecycle:
+    def test_prime_compiles_every_declared_type(self):
+        model = _model()
+        codec = XmlCodec(model)
+        compiled = codec.prime()
+        assert compiled == 5  # 4 node types + 1 relation type
+        assert codec.prime() == 0  # idempotent
+
+    def test_model_revision_invalidates_compiled_codecs(self):
+        model = _model()
+        codec = XmlCodec(model)
+        codec.prime()
+        record = DataRecord.create(
+            "N1", "App01", "gadget", attributes={"num": "5"}
+        )
+        # 'gadget' is unknown: attribute stays a string on decode.
+        row = encode_row(record)
+        assert codec.decode_row(row).get("num") == "5"
+        model.add_node_type(
+            NodeTypeSpec(
+                "gadget",
+                RecordClass.DATA,
+                attributes=(AttributeSpec("num", AttributeType.INTEGER),),
+            )
+        )
+        # The schema learned the type; stale codecs must be recompiled.
+        assert codec.decode_row(row).get("num") == 5
+        assert decode_row(row, model).get("num") == 5
