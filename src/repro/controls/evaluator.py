@@ -47,6 +47,7 @@ from repro.brms.vocabulary import Vocabulary
 from repro.brms.xom import ExecutableObjectModel
 from repro.controls.control import InternalControl
 from repro.controls.materializer import VerdictMaterializer
+from repro.faults.points import crash_point
 from repro.controls.status import ComplianceResult, ComplianceStatus
 from repro.graph.build import build_trace_graph, graph_from_records
 from repro.graph.graph import ProvenanceGraph
@@ -158,6 +159,10 @@ class _SweepPool:
         self.jobs = jobs
         self.controls_key = tuple(id(control) for control in controls)
         self.base_seq = evaluator.store.last_seq()
+        # Death here leaves no pool behind — the crash model checker uses
+        # this point to assert a sweep killed at worker startup cannot
+        # corrupt the verdict table.
+        crash_point("evaluator.pool.worker_start")
         started = time.perf_counter()
         grouped = evaluator.store.records_by_trace()
         self.trace_sizes = {t: len(v) for t, v in grouped.items()}
@@ -464,6 +469,7 @@ class ComplianceEvaluator:
     def shutdown_pool(self) -> None:
         """Terminate the persistent sweep pool, if one is running."""
         if self._sweep_pool is not None:
+            crash_point("evaluator.pool.worker_teardown")
             self._sweep_pool.dispose()
             self._sweep_pool = None
 

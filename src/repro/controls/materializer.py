@@ -54,6 +54,8 @@ from typing import (
 
 from repro.controls.control import InternalControl
 from repro.controls.status import ComplianceResult, ComplianceStatus
+from repro.errors import StoreError
+from repro.faults.points import crash_point
 from repro.model.records import ProvenanceRecord, RelationRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -257,7 +259,20 @@ class VerdictMaterializer:
         self, control: InternalControl, trace_id: str
     ) -> ComplianceResult:
         self.refreshes += 1
-        result = self.evaluator.evaluate_pair(control, trace_id)
+        try:
+            result = self.evaluator.evaluate_pair(control, trace_id)
+        except StoreError as exc:
+            # The trace's evidence could not be read — e.g. a row
+            # tampered with at rest failed to decode.  An integrity
+            # failure must surface as an explicit verdict (and a
+            # transition, so deployed listeners hear about it), never as
+            # a silent skip or a crashed sweep.
+            result = ComplianceResult(
+                control_name=control.name,
+                trace_id=trace_id,
+                status=ComplianceStatus.ERROR,
+                alerts=[f"evaluation failed: {exc}"],
+            )
         self._store_result(result)
         return result
 
@@ -361,9 +376,15 @@ class VerdictMaterializer:
                         self.refreshes += 1
                         self._store_result(result)
             else:
-                self.evaluator.prime_frames(
-                    list(dict.fromkeys(t for __, t in stale))
-                )
+                try:
+                    self.evaluator.prime_frames(
+                        list(dict.fromkeys(t for __, t in stale))
+                    )
+                except StoreError:
+                    # An unreadable row anywhere poisons the shared scan;
+                    # fall through to per-pair refreshes, which confine
+                    # the failure to the affected trace's verdicts.
+                    pass
                 for control, trace_id in stale:
                     self._refresh_pair(control, trace_id)
         # Dirty pairs of controls outside this sweep's set stay dirty; the
@@ -417,6 +438,7 @@ class VerdictMaterializer:
         consistent: every saved verdict is current as of the saved cursor.
         """
         self.refresh()
+        crash_point("materializer.save.mid_snapshot")
         payload = json.dumps(
             {
                 "version": _SNAPSHOT_VERSION,
@@ -448,6 +470,13 @@ class VerdictMaterializer:
         snapshot = json.loads(raw)
         if snapshot.get("version") != _SNAPSHOT_VERSION:
             return False
+        if snapshot["cursor"] > self.store.last_seq():
+            # The snapshot describes rows the store no longer holds: a
+            # crash made the aux-state write outlive the row suffix it
+            # summarized.  Its verdicts may cite vanished evidence, so
+            # the only safe answer is a cold re-materialization.
+            return False
+        crash_point("materializer.restore.mid_restore")
         for entry in snapshot["verdicts"]:
             result = ComplianceResult.from_payload(entry)
             self._verdicts[(result.control_name, result.trace_id)] = result

@@ -23,6 +23,11 @@ class ComplianceStatus(enum.Enum):
     VIOLATED = "violated"
     NOT_APPLICABLE = "not_applicable"
     UNDETERMINED = "undetermined"
+    #: Evaluation itself failed — the trace's evidence could not be read
+    #: (e.g. a provenance row tampered with at rest fails to decode).  An
+    #: integrity failure is audit-relevant in its own right, so it
+    #: surfaces as an explicit verdict, never a silent skip.
+    ERROR = "error"
 
     @classmethod
     def from_verdict(cls, verdict: RuleVerdict) -> "ComplianceStatus":

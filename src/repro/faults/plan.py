@@ -1,0 +1,189 @@
+"""Seeded, scripted fault schedules.
+
+A :class:`FaultPlan` is the single source of truth for *which* faults fire
+*when* during one run: the Nth physical write can raise a transient
+:class:`~repro.errors.BackendError`, the Nth flush can tear (commit a
+prefix of the batch, then die), a named crash point can kill the process
+model mid-operation, and the SQLite fsync image can be frozen so commits
+after the freeze are lost at crash time.
+
+Two properties make failures replayable:
+
+- every decision derives from the plan's ``seed`` (or from an explicit
+  script), never from ambient randomness, and
+- the plan keeps a :attr:`FaultPlan.fired` log of every fault it injected,
+  so a failing schedule can print exactly what it did.
+
+:class:`SimulatedCrash` deliberately subclasses :class:`BaseException`,
+not :class:`Exception`: a crash is not an application error, and library
+code that recovers from *errors* (``except Exception`` fallbacks, retry
+loops) must not be able to swallow a scripted process death — exactly as
+it could not swallow a real ``SIGKILL``.  Only the fault harness catches
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BackendError
+
+
+class SimulatedCrash(BaseException):
+    """The process model died at a crash point (or mid-tear).
+
+    Carries the crash-point name (or the synthetic site, e.g.
+    ``"flush.torn"``) so harness reports can say where the run died.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+class FaultInjected(BackendError):
+    """A scripted transient write failure (not a crash).
+
+    Subclasses :class:`~repro.errors.BackendError` so callers exercise
+    their real error paths; distinguishable from organic backend failures
+    by type.
+    """
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for one run.
+
+    Args:
+        seed: replay seed; recorded in reports and used for any random
+            choice the plan itself must make (e.g. how many rows a torn
+            flush keeps when the script did not say).
+
+    The scripting methods return ``self`` so plans read as one chain::
+
+        plan = (
+            FaultPlan(seed=42)
+            .crash_at("after_commit_before_index", occurrence=3)
+            .tear_flush(nth=2)
+        )
+
+    Crash-point names match either exactly or by dotted suffix:
+    ``crash_at("before_commit")`` fires at
+    ``"store.append.before_commit"``.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: scripted crashes: (point name or suffix, occurrence) → armed.
+        self._crashes: Dict[Tuple[str, int], bool] = {}
+        #: write numbers (1-based) that raise a transient error.
+        self._failing_writes: Dict[int, str] = {}
+        #: flush numbers (1-based) that tear: value = rows kept, or None
+        #: for a seeded random prefix.
+        self._torn_flushes: Dict[int, Optional[int]] = {}
+        #: write numbers (1-based) whose row is corrupted at rest.
+        self._corrupt_writes: Dict[int, str] = {}
+        #: flush number after which the durable (fsync) image is frozen.
+        self.fsync_freeze_after: Optional[int] = None
+        # -- live counters ---------------------------------------------------
+        #: physical writes attempted so far.
+        self.writes = 0
+        #: flushes attempted so far.
+        self.flushes = 0
+        #: crash-point name → times reached.
+        self.reached: Dict[str, int] = {}
+        #: log of every fault injected, in order, for failure reports.
+        self.fired: List[str] = []
+        #: latched once a crash fires.  The process model is dead from
+        #: that instant: code still unwinding (``finally`` blocks,
+        #: context-manager exits) runs only in Python, so crash points
+        #: stop firing and the faulty backend drops further writes.
+        self.crash_fired = False
+
+    # -- scripting -----------------------------------------------------------
+
+    def crash_at(self, point: str, occurrence: int = 1) -> "FaultPlan":
+        """Die with :class:`SimulatedCrash` the *occurrence*-th time
+        *point* is reached (exact name or dotted suffix)."""
+        self._crashes[(point, occurrence)] = True
+        return self
+
+    def fail_write(self, nth: int, message: str = "") -> "FaultPlan":
+        """Raise a transient :class:`FaultInjected` on the *nth* write."""
+        self._failing_writes[nth] = message or f"scripted failure of write #{nth}"
+        return self
+
+    def tear_flush(self, nth: int, keep: Optional[int] = None) -> "FaultPlan":
+        """Tear the *nth* flush: commit only *keep* rows of the batch
+        (seeded-random prefix when ``None``), then crash."""
+        self._torn_flushes[nth] = keep
+        return self
+
+    def corrupt_write(self, nth: int) -> "FaultPlan":
+        """Persist the *nth* written row with truncated XML — at-rest
+        corruption that must be *detected*, never silently repaired."""
+        self._corrupt_writes[nth] = f"corrupted row of write #{nth}"
+        return self
+
+    def drop_fsync_after(self, nth_flush: int) -> "FaultPlan":
+        """Freeze the durable image after the *nth* successful flush:
+        later commits reach the live file but are lost at crash time
+        (the lost-page-cache / dropped-fsync window of
+        ``synchronous=NORMAL``)."""
+        self.fsync_freeze_after = nth_flush
+        return self
+
+    # -- interrogation (called by the harness) -------------------------------
+
+    def reached_point(self, point: str) -> None:
+        """Record that *point* was reached; crash if the script says so."""
+        if self.crash_fired:
+            return  # already dead; unwinding code reaches no more points
+        count = self.reached.get(point, 0) + 1
+        self.reached[point] = count
+        for (name, occurrence), armed in self._crashes.items():
+            if not armed or occurrence != count:
+                continue
+            if point == name or point.endswith("." + name):
+                self._crashes[(name, occurrence)] = False
+                self.fired.append(f"crash@{point}#{count}")
+                self.crash_fired = True
+                raise SimulatedCrash(point)
+
+    def on_write(self) -> bool:
+        """Account one physical write.  Raises :class:`FaultInjected` when
+        scripted to fail; returns True when the row must be corrupted."""
+        self.writes += 1
+        message = self._failing_writes.pop(self.writes, None)
+        if message is not None:
+            self.fired.append(f"fail-write#{self.writes}")
+            raise FaultInjected(message)
+        if self.writes in self._corrupt_writes:
+            self.fired.append(f"corrupt-write#{self.writes}")
+            return True
+        return False
+
+    def on_flush(self, batch_size: int) -> Optional[int]:
+        """Account one flush of *batch_size* staged rows.
+
+        Returns ``None`` for a normal flush, or the number of rows to
+        commit before dying (a torn batch).  The tear itself — committing
+        the prefix and raising :class:`SimulatedCrash` — is the backend's
+        job; the plan only decides.
+        """
+        self.flushes += 1
+        if self.flushes not in self._torn_flushes:
+            return None
+        keep = self._torn_flushes.pop(self.flushes)
+        if keep is None:
+            keep = self.rng.randrange(batch_size + 1) if batch_size else 0
+        keep = max(0, min(keep, batch_size))
+        self.fired.append(f"tear-flush#{self.flushes}(keep={keep})")
+        self.crash_fired = True  # the flush commits `keep` rows, then dies
+        return keep
+
+    def describe(self) -> str:
+        """One line for failure reports: seed plus every fault fired."""
+        fired = ", ".join(self.fired) if self.fired else "no faults fired"
+        return f"FaultPlan(seed={self.seed}): {fired}"

@@ -165,3 +165,12 @@ class StorageBackend(ABC):
     def close(self) -> None:
         """Flush and release resources.  Idempotent."""
         self.flush()
+
+    def abort(self) -> None:
+        """Release resources WITHOUT flushing pending writes.
+
+        This is the process-death path: crash simulation
+        (:class:`~repro.faults.backend.FaultyBackend`) and unrecoverable
+        error handling use it to model "the buffer never reached disk".
+        Backends without pending state need not override it.  Idempotent.
+        """

@@ -45,6 +45,7 @@ from collections import OrderedDict
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import BackendError, RecordNotFound
+from repro.faults.points import crash_point
 from repro.model.records import ProvenanceRecord, RecordClass
 from repro.store.backends.base import StorageBackend
 from repro.store.xmlcodec import StoredRow
@@ -144,7 +145,12 @@ class SQLiteBackend(StorageBackend):
                 for r, __ in self._pending
             ],
         )
+        # A death between the INSERTs and the COMMIT must roll the whole
+        # batch back — this is the transaction-boundary guarantee the
+        # crash model checker exercises.
+        crash_point("sqlite.flush.before_commit")
         self._conn.commit()
+        crash_point("sqlite.flush.after_commit")
         self._pending.clear()
         self._pending_ids.clear()
 
@@ -268,6 +274,18 @@ class SQLiteBackend(StorageBackend):
         if self._closed:
             return
         self.flush()
+        self._conn.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Process-death close: pending appends are dropped, the open
+        transaction (if any) rolls back — exactly what SQLite guarantees
+        when the process holding the connection dies.  Idempotent."""
+        if self._closed:
+            return
+        self._pending.clear()
+        self._pending_ids.clear()
+        self._conn.rollback()
         self._conn.close()
         self._closed = True
 

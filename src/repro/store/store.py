@@ -46,6 +46,7 @@ from typing import (
 )
 
 from repro.errors import DuplicateRecordId, QueryError
+from repro.faults.points import crash_point
 from repro.model.attributes import AttributeValue
 from repro.model.records import (
     ProvenanceRecord,
@@ -141,7 +142,9 @@ class ProvenanceStore:
 
     def _commit(self, row: StoredRow, record: ProvenanceRecord) -> None:
         """Persist an already-validated (row, record) pair and fan out."""
+        crash_point("store.append.before_commit")
         self._backend.append_row(row, record)
+        crash_point("store.append.after_commit_before_index")
         self._seen_seq += 1
         if self._index is not None:
             self._index.add(record)
@@ -166,9 +169,13 @@ class ProvenanceStore:
         widen, which is what makes SQLite appends stream-fast.  Nestable.
         """
         self._backend.begin_bulk()
+        crash_point("store.bulk.enter")
         try:
             yield self
         finally:
+            # A crash here may supersede an in-flight exception — as a
+            # real process death would.
+            crash_point("store.bulk.exit")
             self._backend.end_bulk()
 
     def subscribe(self, observer: Callable[[ProvenanceRecord], None]) -> None:
@@ -234,7 +241,16 @@ class ProvenanceStore:
         return self._backend.load_state(key)
 
     def save_state(self, key: str, payload: str) -> None:
-        """Persist an auxiliary state blob with the backend's durability."""
+        """Persist an auxiliary state blob with the backend's durability.
+
+        Pending row appends are flushed first: auxiliary state typically
+        *describes* the rows (a materialized-verdict snapshot carries a
+        change-feed cursor), so the rows must never be less durable than
+        the state referring to them.  Without this write-ahead ordering a
+        crash after the state commit but before the row commit would
+        leave a snapshot whose cursor points past the end of the table.
+        """
+        self._backend.flush()
         self._backend.save_state(key, payload)
 
     # -- direct access -----------------------------------------------------
@@ -290,6 +306,15 @@ class ProvenanceStore:
     def _candidates(self, query: RecordQuery) -> Iterator[ProvenanceRecord]:
         """Choose the narrowest index path for *query*, else scan."""
         if self._index is None:
+            if query.app_id is not None:
+                # The physical row carries APPID (Table I), so a trace
+                # query filters on the column and decodes only that
+                # trace's rows — other traces' XML is never touched, and
+                # a corrupt row elsewhere stays that trace's problem.
+                for row in self._backend.iter_rows():
+                    if row.app_id == query.app_id:
+                        yield self._decode(row)
+                return
             yield from self.records()
             return
         ids: Optional[List[str]] = None
@@ -374,10 +399,12 @@ class ProvenanceStore:
 
     def flush(self) -> None:
         """Make pending backend writes durable (no-op for memory)."""
+        crash_point("store.flush")
         self._backend.flush()
 
     def close(self) -> None:
         """Flush and release backend resources.  Idempotent."""
+        crash_point("store.close")
         self._backend.close()
 
     def __enter__(self) -> "ProvenanceStore":

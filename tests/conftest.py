@@ -3,9 +3,44 @@
 The fixtures build the paper's New Position Open example by hand (the full
 simulator in :mod:`repro.processes` has its own tests); rule-system tests
 need a known graph, not a simulated one.
+
+This file is also the single root of test randomness: every randomized
+test derives its RNG from ``REPRO_TEST_SEED`` via :func:`derive_rng`, so
+one exported environment variable replays the whole suite's random
+choices.  The active seed is printed in the pytest header.
 """
 
+import os
+import random
+
 import pytest
+
+#: the one seed every randomized test derives from.  Override with
+#: ``REPRO_TEST_SEED=<n> pytest ...`` to replay a failing run.
+REPRO_TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "2011"))
+
+
+def derive_rng(label: str) -> random.Random:
+    """A fresh RNG for one call site, derived from the suite seed.
+
+    Distinct labels give independent, reproducible streams; the same
+    (seed, label) pair always yields the same sequence, regardless of
+    test execution order.
+    """
+    return random.Random(f"{REPRO_TEST_SEED}:{label}")
+
+
+def derive_seed(label: str) -> int:
+    """A reproducible integer seed for APIs that take one (simulators,
+    the crash checker), derived like :func:`derive_rng`."""
+    return derive_rng(label).randrange(2**31)
+
+
+def pytest_report_header(config):
+    return (
+        f"REPRO_TEST_SEED={REPRO_TEST_SEED} "
+        "(export to replay this run's randomized tests)"
+    )
 
 from repro.brms.bom import BusinessObjectModel
 from repro.brms.verbalization import Verbalizer

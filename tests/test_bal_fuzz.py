@@ -28,6 +28,8 @@ from repro.graph.graph import ProvenanceGraph
 from repro.processes import hiring
 from repro.processes.violations import ViolationPlan
 
+from tests.conftest import derive_seed
+
 # Raw character soup, biased toward BAL's own alphabet.
 bal_chars = st.sampled_from(
     list("abcdefghij \n\"'<>()+-*/;:,.0123456789_")
@@ -276,7 +278,7 @@ def _diff_stack():
     if _DIFF_STACK is None:
         sim = hiring.workload().simulate(
             cases=3,
-            seed=11,
+            seed=derive_seed("bal-fuzz-stack"),
             violations=ViolationPlan.uniform(
                 list(hiring.VIOLATION_KINDS), 0.5
             ),

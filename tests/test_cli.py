@@ -165,3 +165,93 @@ class TestWatch:
         assert match is not None
         # Only the touched trace's pairs re-evaluated, not all 5 traces'.
         assert 0 < int(match.group(1)) <= 5
+
+    def test_poll_loop_is_bounded_and_picks_up_live_appends(
+        self, tmp_path, monkeypatch
+    ):
+        """`--max-polls N` polls exactly N times with the configured
+        interval; an append landing between polls is caught by the loop
+        itself (not the startup sweep)."""
+        import dataclasses
+
+        from repro.store.backends import SQLiteBackend
+        from repro.store.store import ProvenanceStore
+
+        db = str(tmp_path / "watch.db")
+        run_cli(
+            "simulate", "hiring", "--cases", "4",
+            "--backend", "sqlite", "--db", db,
+        )
+        sleeps = []
+
+        def fake_sleep(seconds):
+            # The fake clock stands in for wall time; on the first tick
+            # another "process" appends out-of-band.
+            sleeps.append(seconds)
+            if len(sleeps) == 1:
+                other = ProvenanceStore(backend=SQLiteBackend(db))
+                template = next(
+                    r for r in other.records() if r.app_id == "App01"
+                )
+                other.append(
+                    dataclasses.replace(template, record_id="live-oob-1")
+                )
+                other.close()
+
+        monkeypatch.setattr("repro.cli.time.sleep", fake_sleep)
+        code, text = run_cli(
+            "watch", "hiring", "--backend", "sqlite", "--db", db,
+            "--max-polls", "3", "--interval", "0.25",
+        )
+        assert code == 0
+        # 3 polls → 2 sleeps between them, at the configured interval.
+        assert sleeps == [0.25, 0.25]
+        match = re.search(r"\[seq \d+\] (\d+) new row\(s\)", text)
+        assert match is not None and int(match.group(1)) == 1
+
+    def test_poll_loop_saves_snapshot_on_exit(self, tmp_path, monkeypatch):
+        db = str(tmp_path / "watch.db")
+        run_cli(
+            "simulate", "hiring", "--cases", "4",
+            "--backend", "sqlite", "--db", db,
+        )
+        monkeypatch.setattr("repro.cli.time.sleep", lambda seconds: None)
+        code, __ = run_cli(
+            "watch", "hiring", "--backend", "sqlite", "--db", db,
+            "--max-polls", "2",
+        )
+        assert code == 0
+        # The snapshot written when the bounded loop exited makes the next
+        # incremental check a no-op catch-up, not a cold sweep.
+        code, text = run_cli(
+            "check", "hiring", "--backend", "sqlite", "--db", db,
+            "--incremental",
+        )
+        assert code == 0
+        assert "incremental: snapshot restored; 0 of" in text
+
+
+class TestChaos:
+    def test_chaos_runs_seeded_schedules(self):
+        code, text = run_cli("chaos", "--schedules", "3", "--seed", "7")
+        assert code == 0
+        assert "3 schedules ok" not in text  # both backends → 6 total
+        assert "6 schedules ok" in text
+        assert "seeds 7..9" in text
+
+    def test_chaos_verbose_names_crash_sites(self):
+        code, text = run_cli(
+            "chaos", "--schedules", "4", "--backend", "memory", "--verbose",
+        )
+        assert code == 0
+        assert "seed=0 backend=memory" in text
+        assert "crash@" in text
+
+    def test_chaos_failure_is_replayable(self, monkeypatch):
+        from repro.faults import checker
+
+        monkeypatch.setattr(checker, "_norm", lambda results: [object()])
+        code, text = run_cli("chaos", "--schedules", "1", "--seed", "3")
+        assert code == 1
+        assert "chaos: FAILED" in text
+        assert "--seed 3" in text

@@ -174,3 +174,55 @@ class TestSweepParity:
         assert [r.trace_id for r in results] == [
             tid for tid in ids for __ in sim.controls
         ]
+
+
+class TestForkUnavailable:
+    """Platforms without ``fork`` degrade to serial — loudly, once, and
+    with byte-identical results."""
+
+    def _serial_reference(self, sim):
+        ev = ComplianceEvaluator(
+            sim.store, sim.xom, sim.vocabulary,
+            observable_types=sim.observable_types,
+        )
+        return _normalize(ev.run(sim.controls))
+
+    def test_missing_os_fork_warns_once_and_matches_serial(
+        self, sim, monkeypatch
+    ):
+        reference = self._serial_reference(sim)
+        monkeypatch.delattr(evaluator_module.os, "fork", raising=False)
+        ev = ComplianceEvaluator(
+            sim.store, sim.xom, sim.vocabulary,
+            observable_types=sim.observable_types,
+        )
+        ev.parallel_mode = "always"  # would fork if it could
+        with pytest.warns(RuntimeWarning) as captured:
+            got = _normalize(ev.run(sim.controls, jobs=4))
+        fork_warnings = [
+            w for w in captured if "os.fork" in str(w.message)
+        ]
+        assert len(fork_warnings) == 1
+        assert got == reference
+
+    def test_spawn_only_platform_warns_and_matches_serial(
+        self, sim, monkeypatch
+    ):
+        reference = self._serial_reference(sim)
+
+        def no_fork_context(method=None):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(
+            evaluator_module.multiprocessing, "get_context", no_fork_context
+        )
+        ev = ComplianceEvaluator(
+            sim.store, sim.xom, sim.vocabulary,
+            observable_types=sim.observable_types,
+        )
+        ev.parallel_mode = "always"
+        with pytest.warns(
+            RuntimeWarning, match="start method is unavailable"
+        ):
+            got = _normalize(ev.run(sim.controls, jobs=4))
+        assert got == reference

@@ -134,6 +134,77 @@ class TestCorruptedRows:
         with pytest.raises(CodecError):
             decode_row(truncated)
 
+    @staticmethod
+    def _tampered_db(tmp_path):
+        """A SQLite store with one trace's row truncated at rest."""
+        import sqlite3
+
+        from repro.store.backends import SQLiteBackend
+
+        path = str(tmp_path / "tampered.db")
+        sim = hiring.workload().simulate(
+            cases=2, seed=17, backend=SQLiteBackend(path)
+        )
+        sim.store.close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE provenance SET xml = substr(xml, 1, 20) "
+                "WHERE appid = 'App01' AND rowid = "
+                "(SELECT max(rowid) FROM provenance WHERE appid = 'App01')"
+            )
+        conn.close()
+        return path, sim
+
+    def test_indexed_open_fails_fast_on_tampered_row(self, tmp_path):
+        from repro.errors import StoreError
+        from repro.store.backends import SQLiteBackend
+        from repro.store.store import ProvenanceStore as Store
+
+        path, sim = self._tampered_db(tmp_path)
+        with pytest.raises(StoreError):
+            Store(model=sim.model, backend=SQLiteBackend(path))
+
+    def test_tampered_row_surfaces_as_error_verdict(self, tmp_path):
+        """Through the materializer, a tampered row becomes an explicit
+        ERROR verdict (with a transition), never a silent skip — and the
+        failure stays confined to the tampered trace."""
+        from repro.store.backends import SQLiteBackend
+        from repro.store.store import ProvenanceStore as Store
+
+        path, sim = self._tampered_db(tmp_path)
+        # Unindexed open defers decoding, so evaluation (not open) is
+        # where the tampering surfaces.
+        store = Store(
+            model=sim.model, backend=SQLiteBackend(path), indexed=False
+        )
+        evaluator = ComplianceEvaluator(store, sim.xom, sim.vocabulary)
+        transitions = []
+        evaluator.materializer.subscribe(transitions.append)
+        results = evaluator.run(sim.controls)
+
+        by_trace = {}
+        for result in results:
+            by_trace.setdefault(result.trace_id, []).append(result)
+        assert all(
+            r.status is ComplianceStatus.ERROR for r in by_trace["App01"]
+        )
+        assert any(
+            "evaluation failed" in alert
+            for r in by_trace["App01"]
+            for alert in r.alerts
+        )
+        # The intact trace still evaluates normally.
+        assert all(
+            r.status is not ComplianceStatus.ERROR
+            for r in by_trace["App02"]
+        )
+        # Listeners saw the integrity failure as a transition.
+        assert any(
+            t.result.status is ComplianceStatus.ERROR for t in transitions
+        )
+        store.close()
+
 
 class TestUnattributedEvents:
     def test_traceless_events_quarantined_not_mixed(self):

@@ -15,7 +15,6 @@ Three layers under test:
 
 import dataclasses
 import os
-import random
 
 import pytest
 
@@ -27,6 +26,8 @@ from repro.controls.evaluator import ComplianceEvaluator
 from repro.controls.status import ComplianceStatus
 from repro.store.backends import SQLiteBackend
 from repro.store.store import ProvenanceStore
+
+from tests.conftest import derive_rng
 
 from tests.conftest import build_hiring_trace
 from tests.test_controls_evaluation import GM_CONTROL, populate_store
@@ -407,7 +408,7 @@ class TestDifferentialIdentity:
     ):
         controls = tool.deployed_controls()
         for iteration in range(200):
-            rng = random.Random(1000 + iteration)
+            rng = derive_rng(f"incremental-interleavings:{iteration}")
             store = ProvenanceStore(model=hiring_model, indexed=True)
             live = ComplianceEvaluator(store, hiring_xom, hiring_vocabulary)
             cold = ComplianceEvaluator(
@@ -438,7 +439,7 @@ class TestDifferentialIdentity:
     ):
         controls = tool.deployed_controls()
         for iteration in range(24):
-            rng = random.Random(5000 + iteration)
+            rng = derive_rng(f"sqlite-reopen-interleavings:{iteration}")
             path = str(tmp_path / f"diff{iteration}.db")
 
             # Phase 1: populate, sweep, snapshot, close.

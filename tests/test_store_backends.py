@@ -16,6 +16,7 @@ import pytest
 from repro.controls.deployment import ControlDeployment
 from repro.controls.evaluator import ComplianceEvaluator
 from repro.errors import BackendError, DuplicateRecordId, RecordNotFound
+from repro.faults import FaultPlan, FaultyBackend
 from repro.model.builder import ModelBuilder
 from repro.model.records import DataRecord, RecordClass, RelationRecord
 from repro.processes import hiring
@@ -30,7 +31,16 @@ from repro.store.store import ProvenanceStore
 
 from tests.test_store_store import sample_records
 
-BACKEND_PARAMS = ("memory", "sqlite-memory", "sqlite-file")
+BACKEND_PARAMS = (
+    "memory",
+    "sqlite-memory",
+    "sqlite-file",
+    # A fault-free FaultyBackend must be behaviorally invisible — the
+    # crash harness's staging proxy passes the same contract as the real
+    # backends it wraps.
+    "faulty-memory",
+    "faulty-sqlite",
+)
 
 
 def make_backend(kind, tmp_path):
@@ -38,6 +48,12 @@ def make_backend(kind, tmp_path):
         return MemoryBackend()
     if kind == "sqlite-memory":
         return SQLiteBackend(":memory:")
+    if kind == "faulty-memory":
+        return FaultyBackend(MemoryBackend(), FaultPlan())
+    if kind == "faulty-sqlite":
+        return FaultyBackend(
+            SQLiteBackend(str(tmp_path / "faulty.db")), FaultPlan()
+        )
     return SQLiteBackend(str(tmp_path / "store.db"))
 
 
