@@ -42,6 +42,27 @@ def _slug(title: str) -> str:
     return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
 
 
+def _canonical(value: Any) -> Any:
+    """Round floats to 6 places, recursively, so re-measured artifacts
+    only diff when a number meaningfully moved."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {key: _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def _dump(payload: Any) -> str:
+    """The one JSON shape every artifact file uses: sorted keys, fixed
+    float precision, trailing newline — byte-stable across runs that
+    measured the same numbers."""
+    return json.dumps(
+        _canonical(payload), indent=2, sort_keys=True, default=str
+    ) + "\n"
+
+
 @pytest.fixture
 def artifact():
     """Record one regenerated artifact: ``artifact(title, text, data=...)``.
@@ -62,7 +83,7 @@ def artifact():
         with open(
             os.path.join(_OUT_DIR, f"{slug}.json"), "w", encoding="utf-8"
         ) as handle:
-            handle.write(json.dumps(payload, indent=2, default=str) + "\n")
+            handle.write(_dump(payload))
         for snapshot, prefixes in _ROOT_SNAPSHOTS.items():
             if not slug.startswith(tuple(prefixes)):
                 continue
@@ -75,12 +96,7 @@ def artifact():
                 pass
             merged[slug] = payload
             with open(snapshot_path, "w", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(
-                        {"artifacts": merged}, indent=2, default=str
-                    )
-                    + "\n"
-                )
+                handle.write(_dump({"artifacts": merged}))
 
     return record
 

@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional
 from repro.capture.events import ApplicationEvent, EventEnvelope
 from repro.capture.filters import RelevanceFilter, SensitiveDataScrubber
 from repro.capture.mapping import EventMapping
+from repro.store.cursor import Cursor, cursor_to_wire
 from repro.store.store import ProvenanceStore
 
 
@@ -31,8 +32,9 @@ class RecorderStats:
     duplicates: int = 0
     scrubbed_fields: int = 0
     #: Store change-feed position after the last append — the checkpoint an
-    #: incremental consumer (``changes_since``) resumes from.
-    last_seq: int = 0
+    #: incremental consumer (``changes_since``) resumes from.  An int for
+    #: plain stores, a per-shard vector cursor for sharded ones.
+    last_seq: Cursor = 0
 
     def as_dict(self) -> dict:
         return {
@@ -42,7 +44,7 @@ class RecorderStats:
             "dropped_unmapped": self.dropped_unmapped,
             "duplicates": self.duplicates,
             "scrubbed_fields": self.scrubbed_fields,
-            "last_seq": self.last_seq,
+            "last_seq": cursor_to_wire(self.last_seq),
         }
 
 

@@ -30,11 +30,20 @@ the stored rows — the capture-once / audit-later split of §II.A::
 
     python -m repro simulate hiring --backend sqlite --db out.db
     python -m repro check hiring --backend sqlite --db out.db
+
+``--shards N`` partitions the store by APPID hash into N child backends
+(for SQLite: ``out.db.shard-00`` … files, each with its own write lock),
+and ``store-stats`` prints per-shard row counts, feed positions, and
+on-disk sizes for eyeballing the balance::
+
+    python -m repro simulate hiring --backend sqlite --db out.db --shards 4
+    python -m repro store-stats --backend sqlite --db out.db --shards 4
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -46,7 +55,12 @@ from repro.processes import expenses, hiring, incidents, procurement
 from repro.processes.violations import ViolationPlan
 from repro.processes.visibility import VisibilityPolicy
 from repro.reporting.tables import render_provenance_table
-from repro.store.backends import SQLiteBackend, StorageBackend
+from repro.store.backends import (
+    MemoryBackend,
+    ShardedBackend,
+    SQLiteBackend,
+    StorageBackend,
+)
 
 WORKLOADS = {
     "hiring": hiring,
@@ -76,6 +90,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help=(
                 "SQLite database path (implies persistence; a populated "
                 "database is reused instead of re-simulating)"
+            ),
+        )
+        p.add_argument(
+            "--shards", type=int, default=1, metavar="N",
+            help=(
+                "partition the store into N shards by APPID hash (for "
+                "sqlite: one <db>.shard-0i file per shard, each with its "
+                "own write lock)"
             ),
         )
 
@@ -202,14 +224,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which storage backend kinds to crash",
     )
     chaos.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help=(
+            "run each schedule against an N-shard store with per-shard "
+            "crash points (one shard can die while the others survive)"
+        ),
+    )
+    chaos.add_argument(
         "--verbose", action="store_true",
         help="print one line per schedule (crash site, surviving rows)",
     )
+
+    stats = sub.add_parser(
+        "store-stats",
+        help=(
+            "print per-shard row counts, change-feed positions, and "
+            "on-disk sizes of an existing store"
+        ),
+    )
+    add_backend_args(stats)
     return parser
 
 
 def _backend_for(args) -> Optional[StorageBackend]:
     """The storage backend the flags select; None means in-memory default."""
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        if args.backend == "sqlite":
+            if args.db:
+                return ShardedBackend.for_sqlite(args.db, shards)
+            return ShardedBackend(
+                [SQLiteBackend(":memory:") for _ in range(shards)]
+            )
+        return ShardedBackend([MemoryBackend() for _ in range(shards)])
     if args.backend == "sqlite":
         return SQLiteBackend(args.db or ":memory:")
     return None
@@ -411,7 +458,7 @@ def cmd_chaos(args, out) -> int:
     try:
         reports = run_schedules(
             args.schedules, base_seed=args.seed, backends=kinds,
-            on_report=emit,
+            on_report=emit, shards=args.shards,
         )
     except CheckFailure as exc:
         print(f"chaos: FAILED\n{exc}", file=out)
@@ -419,14 +466,67 @@ def cmd_chaos(args, out) -> int:
     crashed = sum(1 for r in reports if r.crashed)
     survived = sum(r.recovered for r in reports)
     acked = sum(r.acknowledged for r in reports)
+    sharding = f" with {args.shards} shards" if args.shards > 1 else ""
     print(
-        f"chaos: {len(reports)} schedules ok over {', '.join(kinds)} "
+        f"chaos: {len(reports)} schedules ok over {', '.join(kinds)}"
+        f"{sharding} "
         f"(seeds {args.seed}..{args.seed + args.schedules - 1}): "
         f"{crashed} crashed, {len(reports) - crashed} closed clean; "
         f"{survived}/{acked} acknowledged rows survived recovery",
         file=out,
     )
     return 0
+
+
+def cmd_store_stats(args, out) -> int:
+    """Per-shard row counts, feed positions, and on-disk sizes."""
+    backend = _backend_for(args)
+    if backend is None:
+        backend = MemoryBackend()
+    try:
+        children = (
+            list(backend.children)
+            if isinstance(backend, ShardedBackend)
+            else [backend]
+        )
+        total_rows = 0
+        total_bytes = 0
+        for index, child in enumerate(children):
+            rows = child.count()
+            seq = child.last_seq()
+            ids = child.app_ids()
+            if ids is None:
+                known = set()
+                for row in child.iter_rows():
+                    known.add(row.app_id)
+                traces = len(known)
+            else:
+                traces = len(ids)
+            if (
+                isinstance(child, SQLiteBackend)
+                and child.path != ":memory:"
+                and os.path.exists(child.path)
+            ):
+                size = os.path.getsize(child.path)
+                disk = f"{size} bytes ({child.path})"
+            else:
+                size = 0
+                disk = "in memory"
+            total_rows += rows
+            total_bytes += size
+            print(
+                f"shard {index}: {rows} rows, {traces} traces, "
+                f"last_seq {seq}, {disk}",
+                file=out,
+            )
+        print(
+            f"total: {total_rows} rows across {len(children)} shard(s), "
+            f"{total_bytes} bytes on disk",
+            file=out,
+        )
+        return 0
+    finally:
+        backend.close()
 
 
 def cmd_vocabulary(args, out) -> int:
@@ -452,6 +552,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "db", None) and args.backend == "memory":
         parser.error("--db requires --backend sqlite")
+    if getattr(args, "shards", 1) < 1:
+        parser.error("--shards must be >= 1")
     try:
         if args.command == "simulate":
             return cmd_simulate(args, out)
@@ -463,6 +565,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_report(args, out)
         if args.command == "chaos":
             return cmd_chaos(args, out)
+        if args.command == "store-stats":
+            return cmd_store_stats(args, out)
         return cmd_vocabulary(args, out)
     except BackendError as exc:
         parser.error(str(exc))

@@ -52,6 +52,7 @@ from repro.controls.status import ComplianceResult, ComplianceStatus
 from repro.graph.build import build_trace_graph, graph_from_records
 from repro.graph.graph import ProvenanceGraph
 from repro.model.records import ProvenanceRecord
+from repro.store.cursor import cursor_distance
 from repro.store.store import ProvenanceStore
 
 # State a sweep pool shares with its forked workers.  Set immediately
@@ -518,7 +519,9 @@ class ComplianceEvaluator:
         pool = self._sweep_pool
         controls_key = tuple(id(control) for control in controls)
         if pool is not None:
-            delta_size = self.store.last_seq() - pool.base_seq
+            delta_size = cursor_distance(
+                self.store.last_seq(), pool.base_seq
+            )
             stale = (
                 pool.controls_key != controls_key
                 or jobs > pool.jobs
@@ -581,10 +584,14 @@ class ComplianceEvaluator:
         if not self._parallel_worthwhile(controls, pairs, jobs):
             self.parallel_fallbacks += 1
             return None
+        sharded = self.store.shard_count() > 1
         try:
             pool = self._ensure_pool(context, controls, jobs)
             delta = self._delta_by_trace(pool.base_seq, set(trace_ids))
-            chunks = self._cost_chunks(trace_ids, pool, delta, jobs)
+            if sharded:
+                chunks = self._shard_chunks(trace_ids, pool, delta, jobs)
+            else:
+                chunks = self._cost_chunks(trace_ids, pool, delta, jobs)
             payloads = [
                 (
                     chunk,
@@ -603,12 +610,24 @@ class ComplianceEvaluator:
             self.parallel_fallbacks += 1
             return None
         self.parallel_sweeps += 1
-        return [result for part in parts for result in part]
+        results = [result for part in parts for result in part]
+        if sharded:
+            # Shard assignments are not contiguous in trace order, so
+            # reassemble the canonical (trace, control) serial order.
+            by_key = {
+                (r.trace_id, r.control_name): r for r in results
+            }
+            results = [
+                by_key[(trace_id, control.name)]
+                for trace_id in trace_ids
+                for control in controls
+            ]
+        return results
 
     def _delta_by_trace(
-        self, base_seq: int, wanted: Set[str]
+        self, base_seq, wanted: Set[str]
     ) -> Dict[str, List[ProvenanceRecord]]:
-        """Records appended after *base_seq*, grouped per wanted trace."""
+        """Records appended after cursor *base_seq*, per wanted trace."""
         delta: Dict[str, List[ProvenanceRecord]] = {}
         for __, record in self.store.changes_since(base_seq):
             if record.app_id in wanted:
@@ -649,6 +668,44 @@ class ComplianceEvaluator:
         if current:
             chunks.append(current)
         return chunks
+
+    def _shard_chunks(
+        self,
+        trace_ids: Sequence[str],
+        pool: _SweepPool,
+        delta: Dict[str, List[ProvenanceRecord]],
+        jobs: int,
+    ) -> List[List[str]]:
+        """Whole-shard work assignments for a sharded store.
+
+        Traces sharing a shard share a partition — the natural unit of
+        locality for a scatter-gather sweep — so each worker gets whole
+        shards, packed greedily (heaviest shard first onto the lightest
+        worker) by the same record-count cost model as
+        :meth:`_cost_chunks`.  The caller reassembles canonical order
+        afterwards, so chunks need not be contiguous.
+        """
+        by_shard: Dict[int, List[str]] = {}
+        shard_cost: Dict[int, int] = {}
+        for trace_id in trace_ids:
+            shard = self.store.shard_index(trace_id)
+            by_shard.setdefault(shard, []).append(trace_id)
+            shard_cost[shard] = (
+                shard_cost.get(shard, 0)
+                + 1
+                + pool.trace_sizes.get(trace_id, 0)
+                + len(delta.get(trace_id, ()))
+            )
+        workers: List[List[str]] = [[] for _ in range(jobs)]
+        loads = [0] * jobs
+        # Heaviest shard first; ties break on shard index for determinism.
+        for shard in sorted(
+            by_shard, key=lambda s: (-shard_cost[s], s)
+        ):
+            lightest = loads.index(min(loads))
+            workers[lightest].extend(by_shard[shard])
+            loads[lightest] += shard_cost[shard]
+        return [chunk for chunk in workers if chunk]
 
     # -- reporting ------------------------------------------------------------------
 

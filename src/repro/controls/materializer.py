@@ -57,6 +57,11 @@ from repro.controls.status import ComplianceResult, ComplianceStatus
 from repro.errors import StoreError
 from repro.faults.points import crash_point
 from repro.model.records import ProvenanceRecord, RelationRecord
+from repro.store.cursor import (
+    cursor_covers,
+    cursor_from_wire,
+    cursor_to_wire,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.controls.evaluator import ComplianceEvaluator
@@ -207,6 +212,21 @@ class VerdictMaterializer:
         for __, trace_id in self._dirty:
             seen.setdefault(trace_id)
         return list(seen)
+
+    def dirty_traces_by_shard(self) -> Dict[int, List[str]]:
+        """Dirty traces grouped by home shard (FIFO within each shard).
+
+        The scatter-gather view of the dirty set: each shard's list is an
+        independent work unit — its traces share a partition and nothing
+        outside it — which is how the forked sweep assigns whole shards
+        to workers.  Unsharded stores report everything under shard 0.
+        """
+        grouped: Dict[int, List[str]] = {}
+        for trace_id in self.dirty_traces():
+            grouped.setdefault(
+                self.store.shard_index(trace_id), []
+            ).append(trace_id)
+        return grouped
 
     # -- listeners -----------------------------------------------------------
 
@@ -442,7 +462,7 @@ class VerdictMaterializer:
         payload = json.dumps(
             {
                 "version": _SNAPSHOT_VERSION,
-                "cursor": self.cursor,
+                "cursor": cursor_to_wire(self.cursor),
                 "verdicts": [
                     result.to_payload()
                     for result in self._verdicts.values()
@@ -470,18 +490,22 @@ class VerdictMaterializer:
         snapshot = json.loads(raw)
         if snapshot.get("version") != _SNAPSHOT_VERSION:
             return False
-        if snapshot["cursor"] > self.store.last_seq():
-            # The snapshot describes rows the store no longer holds: a
+        snap_cursor = cursor_from_wire(snapshot["cursor"])
+        if not cursor_covers(self.store.last_seq(), snap_cursor):
+            # The snapshot describes rows the store no longer holds — a
             # crash made the aux-state write outlive the row suffix it
-            # summarized.  Its verdicts may cite vanished evidence, so
-            # the only safe answer is a cold re-materialization.
+            # summarized — or was taken under a different shard layout.
+            # Its verdicts may cite vanished evidence, so the only safe
+            # answer is a cold re-materialization.  Pre-sharding int
+            # cursors compare fine against a single-shard vector (the
+            # N=1 degenerate case), so old snapshots keep restoring.
             return False
         crash_point("materializer.restore.mid_restore")
         for entry in snapshot["verdicts"]:
             result = ComplianceResult.from_payload(entry)
             self._verdicts[(result.control_name, result.trace_id)] = result
         touched: Dict[str, None] = {}
-        for __, record in self.store.changes_since(snapshot["cursor"]):
+        for __, record in self.store.changes_since(snap_cursor):
             touched.setdefault(record.app_id)
         for trace_id in touched:
             for name in self._controls:

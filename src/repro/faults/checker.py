@@ -46,7 +46,13 @@ from repro.faults.backend import FaultyBackend
 from repro.faults.plan import FaultInjected, FaultPlan, SimulatedCrash
 from repro.faults.points import active_plan
 from repro.model.records import ProvenanceRecord
-from repro.store.backends import MemoryBackend, SQLiteBackend
+from repro.store.backends import (
+    MemoryBackend,
+    ShardedBackend,
+    SQLiteBackend,
+)
+from repro.store.backends.sharded import shard_index_for
+from repro.store.cursor import cursor_covers
 from repro.store.store import ProvenanceStore
 
 #: backends the checker knows how to crash and recover.
@@ -99,13 +105,15 @@ class ScheduleReport:
     durable_floor: int
     snapshot_restored: bool
     verdicts_checked: int
+    shards: int = 1
 
     def describe(self) -> str:
         outcome = (
             f"crash@{self.crash_site}" if self.crashed else "clean close"
         )
+        sharding = f" shards={self.shards}" if self.shards > 1 else ""
         return (
-            f"seed={self.seed} backend={self.backend} "
+            f"seed={self.seed} backend={self.backend}{sharding} "
             f"scenario={self.scenario}: {outcome}; "
             f"{self.recovered}/{self.acknowledged} rows survived "
             f"(floor {self.durable_floor}), "
@@ -192,12 +200,16 @@ def _interleave(rng: random.Random, streams) -> List[ProvenanceRecord]:
 
 
 def _script_faults(
-    rng: random.Random, plan: FaultPlan, backend: str, total_records: int
+    rng: random.Random,
+    plan: FaultPlan,
+    backend: str,
+    total_records: int,
+    points: Optional[Sequence[str]] = None,
 ) -> None:
     """Arm a seeded mix of faults on *plan*.  A schedule may script no
     crash at all — then the power is cut when the stream ends."""
     if rng.random() < 0.8:
-        point = rng.choice(_CRASH_POINTS[backend])
+        point = rng.choice(points or _CRASH_POINTS[backend])
         plan.crash_at(point, occurrence=rng.randrange(1, 8))
     if rng.random() < 0.3:
         plan.tear_flush(nth=rng.randrange(1, 5))
@@ -211,17 +223,27 @@ def run_schedule(
     seed: int,
     backend: str = "memory",
     workdir: Optional[str] = None,
+    shards: int = 1,
 ) -> ScheduleReport:
     """Run one seeded crash schedule and verify the recovery invariants.
+
+    With *shards* > 1 the store is a :class:`ShardedBackend` whose
+    children are individually fault-wrapped: a scripted crash can kill
+    one shard mid-flush while the others survive, and the recovery
+    invariants are then asserted per shard (each recovered shard holds a
+    clean prefix of the appends routed to it, at or above that shard's
+    durability floor) as well as globally.
 
     Raises :class:`CheckFailure` (with the replay seed in the message) on
     any violation; returns a :class:`ScheduleReport` on success.
     """
     if backend not in BACKEND_KINDS:
         raise ValueError(f"unknown backend kind {backend!r}")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     if workdir is None:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
-            return run_schedule(seed, backend, workdir=tmp)
+            return run_schedule(seed, backend, workdir=tmp, shards=shards)
 
     rng = random.Random(f"chaos:{seed}")
     scenario = _scenarios()[rng.randrange(len(_scenarios()))]
@@ -230,24 +252,41 @@ def run_schedule(
     records = _interleave(rng, [scenario.streams[t] for t in chosen])
 
     plan = FaultPlan(seed=seed)
-    _script_faults(rng, plan, backend, len(records))
-
-    if backend == "sqlite":
-        inner = SQLiteBackend(
-            os.path.join(workdir, f"chaos-{seed}.db"),
-            batch_size=rng.choice((2, 8, 256)),
+    points = _CRASH_POINTS[backend]
+    if shards > 1:
+        # Shard-level crash windows: die between one shard's flush and
+        # the next, or on the routed append path of one shard.
+        points = points + tuple(
+            f"sharded.flush.shard{i}" for i in range(shards)
+        ) + tuple(
+            f"sharded.append.shard{i}" for i in range(shards)
         )
-    else:
-        inner = MemoryBackend()
-    faulty = FaultyBackend(inner, plan)
+    _script_faults(rng, plan, backend, len(records), points=points)
+
+    def make_child(index: int):
+        if backend == "sqlite":
+            suffix = f"-shard{index}" if shards > 1 else ""
+            return SQLiteBackend(
+                os.path.join(workdir, f"chaos-{seed}{suffix}.db"),
+                batch_size=rng.choice((2, 8, 256)),
+            )
+        return MemoryBackend()
+
+    # One fault proxy per shard, all driven by the one plan (its write
+    # and flush counters stay global, like one dying process).
+    proxies = [
+        FaultyBackend(make_child(i), plan) for i in range(shards)
+    ]
+    faulty = ShardedBackend(proxies) if shards > 1 else proxies[0]
 
     def fail(detail: str) -> CheckFailure:
+        shard_arg = f" --shards {shards}" if shards > 1 else ""
         return CheckFailure(
-            f"[chaos seed={seed} backend={backend} "
+            f"[chaos seed={seed} backend={backend} shards={shards} "
             f"scenario={scenario.name}] {detail}\n"
             f"  {plan.describe()}\n"
             f"  replay: python -m repro chaos --seed {seed} "
-            f"--backend {backend} --schedules 1"
+            f"--backend {backend}{shard_arg} --schedules 1"
         )
 
     store = ProvenanceStore(model=scenario.model, backend=faulty)
@@ -297,19 +336,27 @@ def run_schedule(
                 # images still get exercised.
                 crashed = True
                 crash_site = "power-cut"
-                faulty.crash()
+                for proxy in proxies:
+                    proxy.crash()
         except SimulatedCrash as crash:
             crashed = True
             crash_site = crash.point
-            faulty.crash()
+            for proxy in proxies:
+                proxy.crash()
 
-    durable_floor = faulty.durable_floor()
-    staged_lost = faulty.staged_count()
+    shard_floors = [proxy.durable_floor() for proxy in proxies]
+    durable_floor = sum(shard_floors)
+    staged_lost = sum(proxy.staged_count() for proxy in proxies)
     del store, evaluator  # the crashed process is gone
 
     # -- recovery -----------------------------------------------------------
     try:
-        recovered_backend = faulty.recover()
+        if shards > 1:
+            recovered_backend = ShardedBackend(
+                [proxy.recover() for proxy in proxies]
+            )
+        else:
+            recovered_backend = proxies[0].recover()
         recovered = ProvenanceStore(
             model=scenario.model, backend=recovered_backend
         )
@@ -332,18 +379,34 @@ def run_schedule(
         for r in acked.rows()
     ]
 
-    # Invariant 2: clean prefix, at or above the durability floor.
-    if surviving_rows != acked_rows[: len(surviving_rows)]:
-        raise fail(
-            f"recovered rows are not a prefix of the {len(acked_rows)} "
-            f"acknowledged appends (got {len(surviving_rows)} rows)"
+    # Invariant 2: clean prefix, at or above the durability floor —
+    # asserted per shard, because each shard loses its own staged tail
+    # independently (shards=1 degenerates to the global check).
+    for index in range(shards):
+        routed = [
+            row for row in acked_rows
+            if shard_index_for(row[2], shards) == index
+        ]
+        child = (
+            recovered_backend.shard(index) if shards > 1
+            else recovered_backend
         )
-    if len(surviving_rows) < durable_floor:
-        raise fail(
-            f"recovered {len(surviving_rows)} rows but "
-            f"{durable_floor} were flushed before the crash "
-            f"({staged_lost} staged rows were legitimately lost)"
-        )
+        child_rows = [
+            (r.record_id, r.record_class, r.app_id, r.xml)
+            for r in child.iter_rows()
+        ]
+        if child_rows != routed[: len(child_rows)]:
+            raise fail(
+                f"shard {index}: recovered rows are not a prefix of the "
+                f"{len(routed)} appends routed to it "
+                f"(got {len(child_rows)} rows)"
+            )
+        if len(child_rows) < shard_floors[index]:
+            raise fail(
+                f"shard {index}: recovered {len(child_rows)} rows but "
+                f"{shard_floors[index]} were flushed before the crash "
+                f"({staged_lost} staged rows were legitimately lost)"
+            )
     ids = [row[0] for row in surviving_rows]
     if len(set(ids)) != len(ids):
         raise fail("recovered store holds duplicate row ids")
@@ -356,7 +419,7 @@ def run_schedule(
     for control in controls:
         materializer.register(control)
     restored = materializer.restore()
-    if materializer.cursor > recovered.last_seq():
+    if not cursor_covers(recovered.last_seq(), materializer.cursor):
         raise fail(
             f"restored materializer cursor {materializer.cursor} is past "
             f"the recovered last_seq {recovered.last_seq()}"
@@ -371,10 +434,23 @@ def run_schedule(
                     f"recovered store has no such trace"
                 )
 
-    # Invariant 4: re-sweep converges to the never-crashed oracle.
-    oracle_store = ProvenanceStore(model=scenario.model)
-    for record in acked_records[: len(surviving_rows)]:
-        oracle_store.append(record)
+    # Invariant 4: re-sweep converges to the never-crashed oracle.  The
+    # oracle mirrors the shard layout (a sharded memory store) so both
+    # sweeps enumerate traces in the same canonical shard-grouped order;
+    # the surviving set is the union of per-shard prefixes, selected by
+    # recovered row id since it is no longer one global prefix.
+    oracle_backend = (
+        ShardedBackend([MemoryBackend() for _ in range(shards)])
+        if shards > 1
+        else None
+    )
+    oracle_store = ProvenanceStore(
+        model=scenario.model, backend=oracle_backend
+    )
+    surviving_ids = set(ids)
+    for record in acked_records:
+        if record.record_id in surviving_ids:
+            oracle_store.append(record)
     oracle_eval = ComplianceEvaluator(
         oracle_store, scenario.xom, scenario.vocabulary,
         share_contexts=False,
@@ -402,6 +478,7 @@ def run_schedule(
         durable_floor=durable_floor,
         snapshot_restored=restored,
         verdicts_checked=len(got),
+        shards=shards,
     )
 
 
@@ -426,13 +503,16 @@ def run_schedules(
     backends: Sequence[str] = BACKEND_KINDS,
     workdir: Optional[str] = None,
     on_report=None,
+    shards: int = 1,
 ) -> List[ScheduleReport]:
     """Run *count* schedules per backend kind; seeds are
     ``base_seed + i`` so any failure names the one schedule to replay."""
     reports: List[ScheduleReport] = []
     for kind in backends:
         for i in range(count):
-            report = run_schedule(base_seed + i, kind, workdir=workdir)
+            report = run_schedule(
+                base_seed + i, kind, workdir=workdir, shards=shards
+            )
             if on_report is not None:
                 on_report(report)
             reports.append(report)

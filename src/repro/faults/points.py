@@ -27,6 +27,10 @@ point                                       site
                                             yet committed (must roll back)
 ``sqlite.flush.after_commit``               transaction committed, pending
                                             buffer not yet cleared
+``sharded.flush.shard<i>``                  shards < i flushed, shard i and
+                                            later still staged
+``sharded.append.shard<i>``                 row routed to shard i, not yet
+                                            handed to it
 ``materializer.save.mid_snapshot``          dirty pairs refreshed, snapshot
                                             not yet written
 ``materializer.restore.mid_restore``        snapshot loaded, catch-up not

@@ -21,9 +21,17 @@ Querying comes in the two styles of §II.A:
 from repro.store.xmlcodec import decode_row, encode_row, StoredRow
 from repro.store.backends import (
     MemoryBackend,
+    ShardedBackend,
     SQLiteBackend,
     StorageBackend,
     create_backend,
+)
+from repro.store.cursor import (
+    VectorCursor,
+    cursor_covers,
+    cursor_from_wire,
+    cursor_to_wire,
+    cursor_total,
 )
 from repro.store.store import ProvenanceStore
 from repro.store.index import StoreIndex
@@ -36,12 +44,18 @@ __all__ = [
     "MemoryBackend",
     "ProvenanceStore",
     "RecordQuery",
+    "ShardedBackend",
     "SQLiteBackend",
     "StorageBackend",
     "StoreIndex",
     "StoredRow",
     "Subscription",
+    "VectorCursor",
     "create_backend",
+    "cursor_covers",
+    "cursor_from_wire",
+    "cursor_to_wire",
+    "cursor_total",
     "decode_row",
     "encode_row",
     "xpath_lite",

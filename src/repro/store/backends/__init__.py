@@ -9,6 +9,9 @@ implementations ship:
 - :class:`~repro.store.backends.sqlite.SQLiteBackend` — rows in a SQLite
   table (WAL, batched transactions, LRU-cached lazy decoding); durable
   across runs via ``--db``.
+- :class:`~repro.store.backends.sharded.ShardedBackend` — a composite
+  that routes rows to N child backends by stable APPID hash and merges
+  their change feeds under a vector cursor (``--shards N``).
 
 :func:`create_backend` is the name registry used by CLI flags and
 :class:`~repro.processes.workload.Workload` parameters; register new
@@ -22,6 +25,7 @@ from typing import Callable, Dict, Optional
 from repro.errors import BackendError
 from repro.store.backends.base import StorageBackend
 from repro.store.backends.memory import MemoryBackend
+from repro.store.backends.sharded import ShardedBackend
 from repro.store.backends.sqlite import SQLiteBackend
 
 
@@ -35,9 +39,20 @@ def _make_sqlite(path: Optional[str] = None, **options) -> StorageBackend:
     return SQLiteBackend(path or ":memory:", **options)
 
 
+def _make_sharded(
+    path: Optional[str] = None, shards: int = 2, **options
+) -> StorageBackend:
+    if shards < 1:
+        raise BackendError("sharded backend needs shards >= 1")
+    if path is not None:
+        return ShardedBackend.for_sqlite(path, shards, **options)
+    return ShardedBackend([MemoryBackend(**options) for _ in range(shards)])
+
+
 BACKENDS: Dict[str, Callable[..., StorageBackend]] = {
     "memory": _make_memory,
     "sqlite": _make_sqlite,
+    "sharded": _make_sharded,
 }
 
 
@@ -66,6 +81,7 @@ def create_backend(
 __all__ = [
     "BACKENDS",
     "MemoryBackend",
+    "ShardedBackend",
     "SQLiteBackend",
     "StorageBackend",
     "create_backend",

@@ -106,6 +106,16 @@ class StorageBackend(ABC):
         them faster than a row scan; ``None`` means "no fast path"."""
         return None
 
+    # -- sharding ------------------------------------------------------------
+
+    def shard_count(self) -> int:
+        """Number of physical partitions.  Plain backends are one shard."""
+        return 1
+
+    def shard_index(self, app_id: str) -> int:
+        """The shard a row with *app_id* routes to (always 0 unsharded)."""
+        return 0
+
     # -- change feed ---------------------------------------------------------
 
     def last_seq(self) -> int:
@@ -116,6 +126,11 @@ class StorageBackend(ABC):
         are positional — identical across backends holding the same rows.
         Backends with a write buffer flush before answering so that every
         numbered row is actually replayable.
+
+        Sharded backends return a
+        :class:`~repro.store.cursor.VectorCursor` (one component per
+        shard) instead of an ``int``; both shapes flow through the same
+        call sites via the helpers in :mod:`repro.store.cursor`.
         """
         self.flush()
         return self.count()

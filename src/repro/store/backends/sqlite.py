@@ -48,6 +48,7 @@ from repro.errors import BackendError, RecordNotFound
 from repro.faults.points import crash_point
 from repro.model.records import ProvenanceRecord, RecordClass
 from repro.store.backends.base import StorageBackend
+from repro.store.locks import NullLock
 from repro.store.xmlcodec import StoredRow
 
 _SCHEMA = """
@@ -76,6 +77,10 @@ class SQLiteBackend(StorageBackend):
         bulk_batch_size: pending appends per transaction inside bulk
             sections (recorder streams).
         cache_size: capacity of the LRU record cache (decoded rows).
+        write_lock: optional context manager (a
+            :class:`~repro.store.locks.FileLock`) taken around each flush
+            transaction, serializing multi-process writers fairly instead
+            of spinning on ``SQLITE_BUSY``.
     """
 
     name = "sqlite"
@@ -86,6 +91,7 @@ class SQLiteBackend(StorageBackend):
         batch_size: int = 256,
         bulk_batch_size: int = 8192,
         cache_size: int = 4096,
+        write_lock=None,
     ) -> None:
         if batch_size < 1 or bulk_batch_size < 1 or cache_size < 1:
             raise BackendError("sqlite backend sizes must be >= 1")
@@ -93,7 +99,8 @@ class SQLiteBackend(StorageBackend):
         self.batch_size = batch_size
         self.bulk_batch_size = bulk_batch_size
         self.cache_size = cache_size
-        self._conn = sqlite3.connect(path)
+        self._write_lock = write_lock if write_lock is not None else NullLock()
+        self._conn = sqlite3.connect(path, timeout=30.0)
         try:
             self._conn.executescript(_SCHEMA)
             self._conn.execute("PRAGMA journal_mode=WAL")
@@ -137,20 +144,21 @@ class SQLiteBackend(StorageBackend):
         if not self._pending:
             return
         self._check_open()
-        self._conn.executemany(
-            "INSERT INTO provenance (id, class, appid, xml) "
-            "VALUES (?, ?, ?, ?)",
-            [
-                (r.record_id, r.record_class.value, r.app_id, r.xml)
-                for r, __ in self._pending
-            ],
-        )
-        # A death between the INSERTs and the COMMIT must roll the whole
-        # batch back — this is the transaction-boundary guarantee the
-        # crash model checker exercises.
-        crash_point("sqlite.flush.before_commit")
-        self._conn.commit()
-        crash_point("sqlite.flush.after_commit")
+        with self._write_lock:
+            self._conn.executemany(
+                "INSERT INTO provenance (id, class, appid, xml) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (r.record_id, r.record_class.value, r.app_id, r.xml)
+                    for r, __ in self._pending
+                ],
+            )
+            # A death between the INSERTs and the COMMIT must roll the
+            # whole batch back — this is the transaction-boundary
+            # guarantee the crash model checker exercises.
+            crash_point("sqlite.flush.before_commit")
+            self._conn.commit()
+            crash_point("sqlite.flush.after_commit")
         self._pending.clear()
         self._pending_ids.clear()
 

@@ -1,0 +1,65 @@
+"""Advisory file locks guarding multi-process writes to SQLite shards.
+
+SQLite serializes writers on its own, but under WAL a busy writer makes
+concurrent committers spin on ``SQLITE_BUSY``.  Wrapping each shard's
+flush transaction in an exclusive :class:`FileLock` turns that spin into
+a fair blocking wait, and gives the sharded store one obvious artifact
+per shard (``<shard>.lock``) to reason about.
+
+On platforms without ``fcntl`` the lock degrades to a no-op — writers
+then rely on SQLite's own busy timeout, which is correct but slower
+under contention.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+class FileLock:
+    """An exclusive advisory lock on ``path``, used as a context manager.
+
+    Re-entrant within a process is NOT supported (and not needed: the
+    backend takes it only around one flush transaction at a time).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd = None
+
+    def acquire(self) -> None:
+        if fcntl is None:
+            return
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(self._fd, fcntl.LOCK_EX)
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class NullLock:
+    """The do-nothing lock used when no cross-process guard is needed."""
+
+    def __enter__(self) -> "NullLock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass

@@ -55,6 +55,7 @@ from repro.model.records import (
 )
 from repro.model.schema import ProvenanceDataModel
 from repro.store.backends import StorageBackend, create_backend
+from repro.store.cursor import Cursor, advance_cursor
 from repro.store.index import StoreIndex
 from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow, XmlCodec, decode_row, encode_row
@@ -145,7 +146,9 @@ class ProvenanceStore:
         crash_point("store.append.before_commit")
         self._backend.append_row(row, record)
         crash_point("store.append.after_commit_before_index")
-        self._seen_seq += 1
+        self._seen_seq = advance_cursor(
+            self._seen_seq, self._backend.shard_index(record.app_id)
+        )
         if self._index is not None:
             self._index.add(record)
         for observer in self._observers:
@@ -185,16 +188,28 @@ class ProvenanceStore:
     def unsubscribe(self, observer: Callable[[ProvenanceRecord], None]) -> None:
         self._observers.remove(observer)
 
+    # -- sharding ------------------------------------------------------------
+
+    def shard_count(self) -> int:
+        """Number of physical partitions in the backend (1 unsharded)."""
+        return self._backend.shard_count()
+
+    def shard_index(self, app_id: str) -> int:
+        """The shard a trace's rows route to (0 unsharded)."""
+        return self._backend.shard_index(app_id)
+
     # -- change feed --------------------------------------------------------
 
-    def last_seq(self) -> int:
-        """Sequence number of the newest record this store has committed or
-        synced; 0 for an empty store.  Seqs are 1-based append positions."""
+    def last_seq(self) -> Cursor:
+        """Position of the newest record this store has committed or
+        synced; 0 for an empty store.  Plain backends use 1-based int
+        append positions; sharded backends a per-shard
+        :class:`~repro.store.cursor.VectorCursor`."""
         return self._seen_seq
 
     def changes_since(
-        self, seq: int
-    ) -> Iterator[Tuple[int, ProvenanceRecord]]:
+        self, seq: Cursor
+    ) -> Iterator[Tuple[Cursor, ProvenanceRecord]]:
         """Decoded records appended after *seq*, as ``(seq, record)`` pairs.
 
         This is the replay face of the feed: a consumer that remembers the
@@ -215,9 +230,15 @@ class ProvenanceStore:
         The local handle is flushed first so its own pending rows get
         their seqs before foreign rows are numbered after them; callers
         interleaving unflushed local writes with foreign appends on one
-        file should flush at the handoff points.
+        file should flush at the handoff points.  On sharded backends the
+        delta folds every shard's tail, shard by shard.
         """
         self._backend.flush()
+        # Cheap short-circuit for poll loops (``watch``): comparing the
+        # backend tip against our cursor costs one MAX(rowid) per shard —
+        # no tail scan, no row decoding.
+        if self._backend.last_seq() == self._seen_seq:
+            return 0
         # Snapshot the delta and advance the cursor past it *before* firing
         # observers: an observer that appends (a binder writing control
         # rows) re-enters _commit, and the counter must already be past the
@@ -274,7 +295,18 @@ class ProvenanceStore:
         return list(self._backend.iter_rows())
 
     def app_ids(self) -> List[str]:
-        """Distinct application ids in first-seen order."""
+        """Distinct application ids in first-seen order.
+
+        On sharded backends "first-seen" means the backend's canonical
+        shard-grouped order, which every handle — indexed or not, local
+        writer or foreign reader — computes identically; the local
+        index's arrival order would differ between handles that saw the
+        same rows interleave differently.
+        """
+        if self._backend.shard_count() > 1:
+            fast = self._backend.app_ids()
+            if fast is not None:
+                return fast
         if self._index is not None:
             return self._index.app_ids()
         fast = self._backend.app_ids()

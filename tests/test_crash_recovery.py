@@ -242,16 +242,29 @@ class TestCrashVsRecoveryPaths:
 
 
 class TestModelChecker:
-    @pytest.mark.parametrize("backend", ("memory", "sqlite"))
-    def test_randomized_crash_schedules(self, backend, tmp_path):
-        base_seed = derive_seed(f"crash-schedules:{backend}")
+    @pytest.mark.parametrize(
+        "backend,shards",
+        (
+            ("memory", 1),
+            ("sqlite", 1),
+            # Sharded runs add per-shard crash points: one shard's death
+            # must leave the surviving shards' acknowledged rows intact
+            # while global recovery still converges to the oracle.
+            ("memory", 4),
+            ("sqlite", 4),
+        ),
+    )
+    def test_randomized_crash_schedules(self, backend, shards, tmp_path):
+        base_seed = derive_seed(f"crash-schedules:{backend}:{shards}")
         reports = run_schedules(
             CRASH_SCHEDULES,
             base_seed=base_seed,
             backends=(backend,),
             workdir=str(tmp_path),
+            shards=shards,
         )
         assert len(reports) == CRASH_SCHEDULES
+        assert all(r.shards == shards for r in reports)
         # The scheduler must actually exercise crashes, not only clean
         # closes (statistically certain at any reasonable count).
         if CRASH_SCHEDULES >= 10:

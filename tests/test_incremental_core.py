@@ -25,6 +25,7 @@ from repro.controls.deployment import ControlDeployment
 from repro.controls.evaluator import ComplianceEvaluator
 from repro.controls.status import ComplianceStatus
 from repro.store.backends import SQLiteBackend
+from repro.store.cursor import cursor_total
 from repro.store.store import ProvenanceStore
 
 from tests.conftest import derive_rng
@@ -89,23 +90,33 @@ class TestChangeFeed:
         store.close()
 
     def test_last_seq_counts_appends(self, store):
-        assert store.last_seq() == 0
+        # Cursor-generic: plain backends return ints, sharded backends a
+        # per-shard vector — ``cursor_total`` counts rows behind either.
+        assert cursor_total(store.last_seq()) == 0
         store.extend(sample_records("App01"))
-        assert store.last_seq() == 3
+        assert cursor_total(store.last_seq()) == 3
         store.extend(sample_records("App02"))
-        assert store.last_seq() == 6
+        assert cursor_total(store.last_seq()) == 6
 
     def test_changes_since_yields_contiguous_suffix(self, store):
         store.extend(sample_records("App01"))
         store.extend(sample_records("App02"))
         everything = list(store.changes_since(0))
-        assert [seq for seq, __ in everything] == [1, 2, 3, 4, 5, 6]
+        # Each yielded cursor is the position *after* its row, so totals
+        # climb one row at a time regardless of cursor shape.
+        assert [cursor_total(seq) for seq, __ in everything] == [
+            1, 2, 3, 4, 5, 6
+        ]
         assert [r.record_id for __, r in everything] == [
             r.record_id for r in store.records()
         ]
-        suffix = list(store.changes_since(4))
-        assert [seq for seq, __ in suffix] == [5, 6]
-        assert [r.record_id for __, r in suffix] == ["D1-App02", "E1-App02"]
+        # Resuming from any mid-stream cursor replays exactly the suffix.
+        resume_at, __ = everything[3]
+        suffix = list(store.changes_since(resume_at))
+        assert [(seq, r.record_id) for seq, r in suffix] == [
+            (seq, r.record_id) for seq, r in everything[4:]
+        ]
+        assert everything[-1][0] == store.last_seq()
         assert list(store.changes_since(store.last_seq())) == []
 
     def test_aux_state_roundtrip(self, store):
