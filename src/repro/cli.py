@@ -100,6 +100,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 "own write lock)"
             ),
         )
+        p.add_argument(
+            "--decode-cache", type=int, default=None, metavar="N",
+            help=(
+                "capacity of the sqlite backend's decoded-record LRU "
+                "cache (default: REPRO_DECODE_CACHE env var, else 4096)"
+            ),
+        )
 
     def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -249,16 +256,23 @@ def _build_parser() -> argparse.ArgumentParser:
 def _backend_for(args) -> Optional[StorageBackend]:
     """The storage backend the flags select; None means in-memory default."""
     shards = getattr(args, "shards", 1)
+    cache = getattr(args, "decode_cache", None)
+    sqlite_options = {} if cache is None else {"cache_size": cache}
     if shards > 1:
         if args.backend == "sqlite":
             if args.db:
-                return ShardedBackend.for_sqlite(args.db, shards)
+                return ShardedBackend.for_sqlite(
+                    args.db, shards, **sqlite_options
+                )
             return ShardedBackend(
-                [SQLiteBackend(":memory:") for _ in range(shards)]
+                [
+                    SQLiteBackend(":memory:", **sqlite_options)
+                    for _ in range(shards)
+                ]
             )
         return ShardedBackend([MemoryBackend() for _ in range(shards)])
     if args.backend == "sqlite":
-        return SQLiteBackend(args.db or ":memory:")
+        return SQLiteBackend(args.db or ":memory:", **sqlite_options)
     return None
 
 
@@ -491,6 +505,8 @@ def cmd_store_stats(args, out) -> int:
         )
         total_rows = 0
         total_bytes = 0
+        total_cols = 0
+        cols_known = False
         for index, child in enumerate(children):
             rows = child.count()
             seq = child.last_seq()
@@ -519,11 +535,28 @@ def cmd_store_stats(args, out) -> int:
                 f"last_seq {seq}, {disk}",
                 file=out,
             )
+            if isinstance(child, SQLiteBackend):
+                cols_known = True
+                with_cols, total = child.columnar_coverage()
+                total_cols += with_cols
+                print(
+                    f"shard {index}: columnar: {with_cols}/{total} rows "
+                    f"encoded, decode cache {child.cache_size} slots "
+                    f"({child.cache_hits} hits, {child.cache_misses} "
+                    f"misses), {child.pushdown_queries} pushed-down "
+                    f"queries",
+                    file=out,
+                )
         print(
             f"total: {total_rows} rows across {len(children)} shard(s), "
             f"{total_bytes} bytes on disk",
             file=out,
         )
+        if cols_known:
+            print(
+                f"total: columnar: {total_cols}/{total_rows} rows encoded",
+                file=out,
+            )
         return 0
     finally:
         backend.close()

@@ -39,9 +39,19 @@ import os
 import time
 import warnings
 import weakref
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.brms.bal.evaluate import TraceFrame
+from repro.brms.bom import MemberKind
 from repro.brms.engine import RuleEngine
 from repro.brms.vocabulary import Vocabulary
 from repro.brms.xom import ExecutableObjectModel
@@ -113,6 +123,36 @@ def _pool_noop(_arg) -> None:
     return None
 
 
+def referenced_attributes(
+    control: InternalControl, vocabulary: Vocabulary
+) -> Optional[FrozenSet[str]]:
+    """Record attributes *control*'s BAL rule can read, or ``None``.
+
+    Rules touch record attributes only through navigation phrases that
+    resolve to ATTRIBUTE members of the BOM, so the union of those
+    members' attributes over the rule's phrases bounds the read set —
+    which is what lets a sweep materialize projected records.  ``None``
+    means the set cannot be bounded: a phrase that resolves to a VIRTUAL
+    member (its Python getter may read anything) or resolves nowhere.
+    RELATION members traverse graph edges, never attribute values.
+    """
+    needed: Set[str] = set()
+    for phrase in control.compiled.phrases:
+        resolved = False
+        for bom_class in vocabulary.bom.classes():
+            member = bom_class.member_by_phrase(phrase)
+            if member is None:
+                continue
+            resolved = True
+            if member.kind is MemberKind.VIRTUAL:
+                return None
+            if member.kind is MemberKind.ATTRIBUTE:
+                needed.add(member.attribute)
+        if not resolved:
+            return None
+    return frozenset(needed)
+
+
 def _sweep_task(payload) -> List[ComplianceResult]:
     """Worker body: evaluate every control against a trace-id partition.
 
@@ -165,7 +205,11 @@ class _SweepPool:
         # corrupt the verdict table.
         crash_point("evaluator.pool.worker_start")
         started = time.perf_counter()
-        grouped = evaluator.store.records_by_trace()
+        # Workers only run these controls, so their inherited snapshot can
+        # be projected down to the columns the controls actually read.
+        grouped, __ = evaluator._grouped_records(
+            evaluator._projection_for(controls)
+        )
         self.trace_sizes = {t: len(v) for t, v in grouped.items()}
         self.snapshot_size = sum(self.trace_sizes.values())
         _POOL_STATE = (
@@ -232,6 +276,23 @@ class ComplianceEvaluator:
         self.observable_types = observable_types
         self.share_contexts = share_contexts
         self._frames: Dict[str, TraceFrame] = {}
+        #: trace id → the attribute projection its cached frame was built
+        #: under.  Absent means the frame holds full records and serves
+        #: any control; a projected frame only serves controls whose read
+        #: set it covers (wider needs rebuild the frame).
+        self._frame_projection: Dict[str, FrozenSet[str]] = {}
+        #: id(control) → (control, its referenced-attribute set); the
+        #: control is kept in the value so the id can never be recycled
+        #: while the entry lives.
+        self._control_projections: Dict[
+            int, Tuple[InternalControl, Optional[FrozenSet[str]]]
+        ] = {}
+        #: lazy-projection policy: ``"auto"`` materializes only the
+        #: columns a sweep's controls reference when the backend can
+        #: project; ``"never"`` forces full records (oracle baseline).
+        self.projection_mode = "auto"
+        #: sweeps whose frames were built from projected records.
+        self.projected_sweeps = 0
         self.graph_builds = 0  # trace graphs constructed (regression metric)
         #: parallel-sweep policy: ``"auto"`` engages the worker pool only
         #: when the measured break-even test predicts a win; ``"always"`` /
@@ -259,34 +320,120 @@ class ComplianceEvaluator:
     def _on_store_append(self, record: ProvenanceRecord) -> None:
         # The trace gained a record; its cached frame is stale.
         self._frames.pop(record.app_id, None)
+        self._frame_projection.pop(record.app_id, None)
 
     def clear_context_cache(self) -> None:
         """Drop every cached per-trace frame and dirty the verdict table,
         forcing the next sweep to rebuild and re-evaluate everything."""
         self._frames.clear()
+        self._frame_projection.clear()
         if self.materializer is not None:
             self.materializer.invalidate_all()
 
-    def _frame_for(self, trace_id: str) -> TraceFrame:
-        """The trace's shared frame, built (and cached) on first use."""
+    def _projection_for(
+        self, controls: Sequence[InternalControl]
+    ) -> Optional[FrozenSet[str]]:
+        """Union of the controls' attribute read sets; None = unbounded."""
+        if self.projection_mode == "never":
+            return None
+        needed: Set[str] = set()
+        for control in controls:
+            key = id(control)
+            cached = self._control_projections.get(key)
+            if cached is None or cached[0] is not control:
+                cached = (
+                    control,
+                    referenced_attributes(control, self.engine.vocabulary),
+                )
+                self._control_projections[key] = cached
+            if cached[1] is None:
+                return None
+            needed |= cached[1]
+        return frozenset(needed)
+
+    def _cached_frame(
+        self, trace_id: str, needed: Optional[FrozenSet[str]]
+    ) -> Optional[TraceFrame]:
+        """The cached frame, when it can serve a read set of *needed*.
+
+        A full frame serves anything; a projected frame only serves
+        bounded read sets it covers.  A cached frame too narrow for
+        *needed* is evicted (the rebuild will widen it).
+        """
+        frame = self._frames.get(trace_id)
+        if frame is None:
+            return None
+        built_under = self._frame_projection.get(trace_id)
+        if built_under is None:
+            return frame
+        if needed is not None and built_under >= needed:
+            return frame
+        self._frames.pop(trace_id, None)
+        self._frame_projection.pop(trace_id, None)
+        return None
+
+    def _frame_for(
+        self,
+        trace_id: str,
+        needed: Optional[FrozenSet[str]] = None,
+    ) -> TraceFrame:
+        """The trace's shared frame, built (and cached) on first use.
+
+        *needed* is the caller's attribute read set, used only to decide
+        whether a cached *projected* frame suffices; a frame built here
+        always holds full records.
+        """
         if self.share_contexts:
-            frame = self._frames.get(trace_id)
+            frame = self._cached_frame(trace_id, needed)
             if frame is not None:
                 return frame
         self.graph_builds += 1
         frame = TraceFrame(build_trace_graph(self.store, trace_id))
         if self.share_contexts:
             self._frames[trace_id] = frame
+            self._frame_projection.pop(trace_id, None)
         return frame
 
-    def _adopt_frame(self, trace_id: str, graph: ProvenanceGraph) -> TraceFrame:
-        """Cache a frame around a graph the sweep already built."""
+    def _adopt_frame(
+        self,
+        trace_id: str,
+        graph: ProvenanceGraph,
+        projection: Optional[FrozenSet[str]] = None,
+    ) -> TraceFrame:
+        """Cache a frame around a graph the sweep already built.
+
+        *projection* must be the attribute set the graph's records were
+        actually materialized under — None for full records.
+        """
         frame = TraceFrame(graph)
         if self.share_contexts:
             self._frames[trace_id] = frame
+            if projection is None:
+                self._frame_projection.pop(trace_id, None)
+            else:
+                self._frame_projection[trace_id] = projection
         return frame
 
-    def prime_frames(self, trace_ids: Sequence[str]) -> None:
+    def _grouped_records(
+        self, projection: Optional[FrozenSet[str]]
+    ) -> Tuple[Dict[str, List[ProvenanceRecord]], Optional[FrozenSet[str]]]:
+        """One-scan trace grouping, projected when the backend can.
+
+        Returns ``(grouped, applied)`` where *applied* is the projection
+        the records were actually materialized under (None = full).
+        """
+        if projection is not None:
+            grouped = self.store.records_by_trace_projected(projection)
+            if grouped is not None:
+                self.projected_sweeps += 1
+                return grouped, projection
+        return self.store.records_by_trace(), None
+
+    def prime_frames(
+        self,
+        trace_ids: Sequence[str],
+        controls: Optional[Sequence[InternalControl]] = None,
+    ) -> None:
         """Build the missing frames among *trace_ids* from one store scan.
 
         The sweep-friendly path: materializing many traces costs one
@@ -295,18 +442,31 @@ class ComplianceEvaluator:
         (O(trace) on an indexed store), and so does an unindexed store:
         with the E8 ablation knob off, every evaluation is *supposed* to
         pay a table scan.
+
+        When *controls* is given and their attribute read set is bounded,
+        the scan materializes only the referenced columns (on backends
+        with a projection fast path); the cached frames remember their
+        projection and rebuild if a wider read set ever shows up.
         """
         if not self.share_contexts or not self.store.indexed:
             return
-        missing = [t for t in trace_ids if t not in self._frames]
+        projection = (
+            self._projection_for(controls) if controls is not None else None
+        )
+        missing = [
+            t
+            for t in trace_ids
+            if self._cached_frame(t, projection) is None
+        ]
         if len(missing) < 2:
             return
-        grouped = self.store.records_by_trace()
+        grouped, applied = self._grouped_records(projection)
         for trace_id in missing:
             self.graph_builds += 1
             self._adopt_frame(
                 trace_id,
                 graph_from_records(grouped.get(trace_id, ()), name=trace_id),
+                projection=applied,
             )
 
     # -- raw evaluation ------------------------------------------------------
@@ -323,7 +483,9 @@ class ComplianceEvaluator:
         (sweeps, targeted checks, deployed re-checks) is policy about
         *when* to call it.
         """
-        frame = self._frame_for(trace_id)
+        frame = self._frame_for(
+            trace_id, needed=self._projection_for((control,))
+        )
         started = time.perf_counter()
         result = _check_with_frame(
             self.engine, control, frame, parameters, self.observable_types
@@ -428,19 +590,25 @@ class ComplianceEvaluator:
                 return parallel
         started = time.perf_counter()
         if trace_ids is None and self.store.indexed:
+            projection = self._projection_for(controls)
             grouped = None
+            applied: Optional[FrozenSet[str]] = None
             for trace_id in self.store.app_ids():
-                frame = self._frames.get(trace_id) if self.share_contexts \
+                frame = (
+                    self._cached_frame(trace_id, projection)
+                    if self.share_contexts
                     else None
+                )
                 if frame is None:
                     if grouped is None:
-                        grouped = self.store.records_by_trace()
+                        grouped, applied = self._grouped_records(projection)
                     self.graph_builds += 1
                     frame = self._adopt_frame(
                         trace_id,
                         graph_from_records(
                             grouped.get(trace_id, ()), name=trace_id
                         ),
+                        projection=applied,
                     )
                 for control in controls:
                     results.append(

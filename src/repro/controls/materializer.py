@@ -398,7 +398,8 @@ class VerdictMaterializer:
             else:
                 try:
                     self.evaluator.prime_frames(
-                        list(dict.fromkeys(t for __, t in stale))
+                        list(dict.fromkeys(t for __, t in stale)),
+                        controls=controls,
                     )
                 except StoreError:
                     # An unreadable row anywhere poisons the shared scan;

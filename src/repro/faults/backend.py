@@ -32,7 +32,7 @@ exactly what would have survived on disk.
 from __future__ import annotations
 
 import shutil
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import BackendError, RecordNotFound
 from repro.faults.plan import FaultPlan, SimulatedCrash
@@ -40,6 +40,7 @@ from repro.model.records import ProvenanceRecord
 from repro.store.backends.base import StorageBackend
 from repro.store.backends.memory import MemoryBackend
 from repro.store.backends.sqlite import SQLiteBackend
+from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow
 
 
@@ -70,7 +71,9 @@ class FaultyBackend(StorageBackend):
     def __init__(self, inner: StorageBackend, plan: FaultPlan) -> None:
         self.inner = inner
         self.plan = plan
-        self._staged: List[Tuple[StoredRow, Optional[ProvenanceRecord]]] = []
+        self._staged: List[
+            Tuple[StoredRow, Optional[ProvenanceRecord], Optional[str]]
+        ] = []
         self._staged_ids: Dict[str, int] = {}
         self._bulk_depth = 0
         self._decoder = None
@@ -88,6 +91,16 @@ class FaultyBackend(StorageBackend):
     def set_decoder(self, decoder) -> None:
         self._decoder = decoder
         self.inner.set_decoder(decoder)
+
+    def accepts_cols(self) -> bool:
+        return not self._dead() and self.inner.accepts_cols()
+
+    def bind_columnar(
+        self, codec, indexed_attributes: Iterable[str] = ()
+    ) -> None:
+        if self._dead():
+            return
+        self.inner.bind_columnar(codec, indexed_attributes)
 
     def shard_count(self) -> int:
         return self.inner.shard_count()
@@ -110,13 +123,20 @@ class FaultyBackend(StorageBackend):
     # -- writes --------------------------------------------------------------
 
     def append_row(
-        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+        self,
+        row: StoredRow,
+        record: Optional[ProvenanceRecord] = None,
+        cols: Optional[str] = None,
     ) -> None:
         if self._dead():
             return
         if self.plan.on_write():
+            # Corruption hits the physical row; the columnar payload is
+            # dropped too, so reads hit the torn XML — masking the damage
+            # behind a healthy sidecar would defeat the fault model.
             row = _truncate(row)
-        self._staged.append((row, record))
+            cols = None
+        self._staged.append((row, record, cols))
         self._staged_ids[row.record_id] = len(self._staged) - 1
 
     def flush(self) -> None:
@@ -141,12 +161,12 @@ class FaultyBackend(StorageBackend):
     def _forward(self, count: int) -> None:
         """Hand *count* staged rows to the inner backend and commit them."""
         batch, rest = self._staged[:count], self._staged[count:]
-        for row, record in batch:
-            self.inner.append_row(row, record)
+        for row, record, cols in batch:
+            self.inner.append_row(row, record, cols)
         self.inner.flush()
         self._staged = rest
         self._staged_ids = {
-            row.record_id: index for index, (row, __) in enumerate(rest)
+            row.record_id: index for index, (row, __, __c) in enumerate(rest)
         }
 
     def _after_commit(self) -> None:
@@ -200,10 +220,10 @@ class FaultyBackend(StorageBackend):
         self._check_alive()
         position = self._staged_ids.get(record_id)
         if position is not None:
-            row, record = self._staged[position]
+            row, record, cols = self._staged[position]
             if record is None:
                 record = self._decode(row)
-                self._staged[position] = (row, record)
+                self._staged[position] = (row, record, cols)
             return record
         return self.inner.get(record_id)
 
@@ -214,14 +234,52 @@ class FaultyBackend(StorageBackend):
     def iter_rows(self) -> Iterator[StoredRow]:
         self._check_alive()
         yield from self.inner.iter_rows()
-        for row, __ in list(self._staged):
+        for row, __, __c in list(self._staged):
             yield row
 
     def iter_records(self) -> Iterator[ProvenanceRecord]:
         self._check_alive()
         yield from self.inner.iter_records()
-        for row, record in list(self._staged):
+        for row, record, __ in list(self._staged):
             yield record if record is not None else self._decode(row)
+
+    def iter_records_projected(
+        self, attributes: FrozenSet[str]
+    ) -> Optional[Iterator[ProvenanceRecord]]:
+        self._check_alive()
+        inner = self.inner.iter_records_projected(attributes)
+        if inner is None:
+            return None
+
+        def generate() -> Iterator[ProvenanceRecord]:
+            yield from inner
+            for row, record, __ in list(self._staged):
+                yield record if record is not None else self._decode(row)
+
+        return generate()
+
+    def query_records(
+        self, query: RecordQuery
+    ) -> Optional[List[ProvenanceRecord]]:
+        self._check_alive()
+        committed = self.inner.query_records(query)
+        if committed is None:
+            return None
+        # Staged rows are visible to queries; filter on the physical
+        # facets BEFORE decoding so a corrupt staged row in another trace
+        # stays that trace's problem (the confinement invariant).
+        for row, record, __ in list(self._staged):
+            if query.app_id is not None and row.app_id != query.app_id:
+                continue
+            if (
+                query.record_class is not None
+                and row.record_class is not query.record_class
+            ):
+                continue
+            committed.append(
+                record if record is not None else self._decode(row)
+            )
+        return committed
 
     def count(self) -> int:
         self._check_alive()
@@ -238,7 +296,9 @@ class FaultyBackend(StorageBackend):
         base = self.inner.count()
         for position, row in self.inner.changes_since(seq):
             yield position, row
-        for offset, (row, __) in enumerate(list(self._staged), start=base + 1):
+        for offset, (row, __, __c) in enumerate(
+            list(self._staged), start=base + 1
+        ):
             if offset > seq:
                 yield offset, row
 

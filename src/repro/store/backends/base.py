@@ -41,9 +41,18 @@ it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.model.records import ProvenanceRecord
+from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow
 
 RowDecoder = Callable[[StoredRow], ProvenanceRecord]
@@ -66,17 +75,46 @@ class StorageBackend(ABC):
     def set_decoder(self, decoder: RowDecoder) -> None:
         """Install the row→record decoder (model-aware).  Default: ignore."""
 
+    # -- columnar representation ---------------------------------------------
+
+    def accepts_cols(self) -> bool:
+        """Whether this backend persists columnar ``cols`` payloads.
+
+        ``False`` (the default) tells the store not to bother computing
+        them; backends that store XML only, or keep live record objects,
+        gain nothing from the sidecar.
+        """
+        return False
+
+    def bind_columnar(
+        self, codec, indexed_attributes: Iterable[str] = ()
+    ) -> None:
+        """Attach a :class:`~repro.store.columnar.ColumnarCodec`.
+
+        Called by the store right after the decoder is installed.
+        Backends that persist ``cols`` use the codec to decode payloads
+        on read paths and to backfill payloads for rows written before
+        the columnar schema existed; *indexed_attributes* names get
+        expression indexes.  Default: ignore.
+        """
+
     # -- writes --------------------------------------------------------------
 
     @abstractmethod
     def append_row(
-        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+        self,
+        row: StoredRow,
+        record: Optional[ProvenanceRecord] = None,
+        cols: Optional[str] = None,
     ) -> None:
         """Persist one physical row.
 
         *record* is the already-materialized record when the caller has one
         (the normal append path); backends may keep it to avoid a decode.
-        The store guarantees the row's id is not already present.
+        *cols* is the row's columnar payload when the store computed one
+        (only meaningful to backends whose :meth:`accepts_cols` is true;
+        others ignore it).  The store guarantees the row's id is not
+        already present.
         """
 
     # -- reads ---------------------------------------------------------------
@@ -104,6 +142,34 @@ class StorageBackend(ABC):
     def app_ids(self) -> Optional[List[str]]:
         """Distinct APPIDs in first-seen order, when the backend can compute
         them faster than a row scan; ``None`` means "no fast path"."""
+        return None
+
+    def query_records(
+        self, query: RecordQuery
+    ) -> Optional[List[ProvenanceRecord]]:
+        """Candidate records for *query* via predicate push-down.
+
+        ``None`` means "no push-down path" (the default) and the store
+        falls back to its index/scan candidate generation.  A non-None
+        result must be a **superset** of the true matches, in this
+        backend's append order — the store re-applies ``query.matches``
+        to every candidate, so false positives are fine and false
+        negatives are forbidden.
+        """
+        return None
+
+    def iter_records_projected(
+        self, attributes: FrozenSet[str]
+    ) -> Optional[Iterator[ProvenanceRecord]]:
+        """All records in append order, materializing only *attributes*.
+
+        ``None`` (the default) means "no projection fast path"; callers
+        fall back to :meth:`iter_records`.  Records yielded by a
+        projecting backend carry class, type, timestamp, relation
+        endpoints, and the named attributes — other attributes may be
+        absent, which is only safe for callers that declared they will
+        not read them.
+        """
         return None
 
     # -- sharding ------------------------------------------------------------

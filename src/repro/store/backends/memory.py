@@ -32,8 +32,12 @@ class MemoryBackend(StorageBackend):
         self._decoder = decoder
 
     def append_row(
-        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+        self,
+        row: StoredRow,
+        record: Optional[ProvenanceRecord] = None,
+        cols: Optional[str] = None,
     ) -> None:
+        # *cols* is ignored: records live decoded in memory already.
         if record is None:
             if self._decoder is None:
                 raise RecordNotFound(

@@ -33,7 +33,15 @@ the store, not per-partition, and keeping one copy means one commit.
 from __future__ import annotations
 
 import zlib
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import BackendError, RecordNotFound
 from repro.faults.points import crash_point
@@ -41,6 +49,7 @@ from repro.model.records import ProvenanceRecord
 from repro.store.backends.base import StorageBackend
 from repro.store.cursor import Cursor, VectorCursor, coerce_cursor
 from repro.store.locks import FileLock
+from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow
 
 
@@ -133,14 +142,29 @@ class ShardedBackend(StorageBackend):
         for child in self._children:
             child.set_decoder(decoder)
 
+    # -- columnar representation ---------------------------------------------
+
+    def accepts_cols(self) -> bool:
+        return any(child.accepts_cols() for child in self._children)
+
+    def bind_columnar(
+        self, codec, indexed_attributes: Iterable[str] = ()
+    ) -> None:
+        names = tuple(indexed_attributes)
+        for child in self._children:
+            child.bind_columnar(codec, names)
+
     # -- writes --------------------------------------------------------------
 
     def append_row(
-        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+        self,
+        row: StoredRow,
+        record: Optional[ProvenanceRecord] = None,
+        cols: Optional[str] = None,
     ) -> None:
         index = self.shard_index(row.app_id)
         crash_point(self._append_points[index])
-        self._children[index].append_row(row, record)
+        self._children[index].append_row(row, record, cols)
 
     def flush(self) -> None:
         # Shards flush in index order; a crash at shard i leaves shards
@@ -181,6 +205,39 @@ class ShardedBackend(StorageBackend):
         for child in self._children:
             for record in child.iter_records():
                 yield record
+
+    def iter_records_projected(
+        self, attributes: FrozenSet[str]
+    ) -> Optional[Iterator[ProvenanceRecord]]:
+        if not any(child.accepts_cols() for child in self._children):
+            return None
+
+        def generate() -> Iterator[ProvenanceRecord]:
+            # Shard-grouped, like iter_records; children without a
+            # projection path fall back to full records (a superset of
+            # what the projection promises).
+            for child in self._children:
+                projected = child.iter_records_projected(attributes)
+                if projected is None:
+                    projected = child.iter_records()
+                for record in projected:
+                    yield record
+
+        return generate()
+
+    def query_records(
+        self, query: RecordQuery
+    ) -> Optional[List[ProvenanceRecord]]:
+        # Only trace-scoped queries push down: an APPID pins the query to
+        # exactly one home shard, whose append order matches what every
+        # other candidate path yields for that trace.  Queries spanning
+        # shards would surface shard-grouped order where the store's
+        # index paths use arrival order, so they take the fallback.
+        if query.app_id is None:
+            return None
+        return self._children[self.shard_index(query.app_id)].query_records(
+            query
+        )
 
     def count(self) -> int:
         return sum(child.count() for child in self._children)

@@ -36,22 +36,40 @@ Throughput and latency choices:
 - **Auxiliary state** (``aux_state`` table): small named blobs —
   materialized verdict snapshots — persisted next to the rows so
   incremental consumers survive a close/reopen.
+- **Columnar sidecar + predicate push-down**: each row optionally
+  carries a ``cols`` JSON payload (:mod:`repro.store.columnar`) with
+  generated columns ``etype``/``ts`` extracted from it, so
+  :meth:`query_records` compiles :class:`~repro.store.query.RecordQuery`
+  facets into indexed ``WHERE`` clauses, and scans decode via the
+  payload instead of parsing XML.  Databases created before the columnar
+  schema migrate in place on open (``ALTER TABLE``), and rows written by
+  pre-columnar code are backfilled — once, bounded by a cursor marker —
+  when a codec is bound.  XML remains the source of truth; any row whose
+  payload is missing or stale (CRC mismatch) decodes from XML exactly as
+  before.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import BackendError, RecordNotFound
 from repro.faults.points import crash_point
 from repro.model.records import ProvenanceRecord, RecordClass
 from repro.store.backends.base import StorageBackend
+from repro.store.columnar import (
+    ColumnarCodec,
+    _JSON_PATH_RE,
+    compile_query,
+)
 from repro.store.locks import NullLock
+from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow
 
-_SCHEMA = """
+_SCHEMA_BASE = """
 CREATE TABLE IF NOT EXISTS provenance (
     id    TEXT PRIMARY KEY,
     class TEXT NOT NULL,
@@ -66,6 +84,45 @@ CREATE TABLE IF NOT EXISTS aux_state (
 );
 """
 
+# Schema v2 adds the columnar sidecar: the cols payload plus VIRTUAL
+# generated columns over it (they cost nothing per row — extraction
+# happens at read time, and the etype index stores only the extracted
+# values).  Applied as ALTERs so v1 files upgrade in place; databases
+# opened by a SQLite built without generated-column/JSON support simply
+# stay on the v1 schema (and the columnar fast paths stay off).
+_SCHEMA_COLUMNAR = (
+    "ALTER TABLE provenance ADD COLUMN cols TEXT",
+    "ALTER TABLE provenance ADD COLUMN etype TEXT GENERATED ALWAYS AS "
+    "(json_extract(cols, '$.t')) VIRTUAL",
+    "ALTER TABLE provenance ADD COLUMN ts INTEGER GENERATED ALWAYS AS "
+    "(json_extract(cols, '$.ts')) VIRTUAL",
+)
+_COLUMNAR_INDEX = (
+    "CREATE INDEX IF NOT EXISTS idx_provenance_etype ON provenance(etype)"
+)
+
+#: aux-state marker bounding the columnar backfill: rows at or below this
+#: rowid have been offered a payload already (encodable or not), so a
+#: reopen never rescans them.
+_BACKFILL_MARKER = "columnar.backfill.cursor"
+
+#: fallback LRU record-cache capacity when neither the constructor nor the
+#: environment says otherwise.
+_DEFAULT_CACHE_SIZE = 4096
+
+
+def _default_cache_size() -> int:
+    """Cache capacity from ``REPRO_DECODE_CACHE``, else 4096."""
+    raw = os.environ.get("REPRO_DECODE_CACHE")
+    if raw is None or not raw.strip():
+        return _DEFAULT_CACHE_SIZE
+    try:
+        return int(raw)
+    except ValueError:
+        raise BackendError(
+            f"REPRO_DECODE_CACHE must be an integer, got {raw!r}"
+        ) from None
+
 
 class SQLiteBackend(StorageBackend):
     """Durable Table I rows in a SQLite database.
@@ -77,6 +134,8 @@ class SQLiteBackend(StorageBackend):
         bulk_batch_size: pending appends per transaction inside bulk
             sections (recorder streams).
         cache_size: capacity of the LRU record cache (decoded rows).
+            Defaults to the ``REPRO_DECODE_CACHE`` environment variable,
+            or 4096.
         write_lock: optional context manager (a
             :class:`~repro.store.locks.FileLock`) taken around each flush
             transaction, serializing multi-process writers fairly instead
@@ -90,9 +149,11 @@ class SQLiteBackend(StorageBackend):
         path: str = ":memory:",
         batch_size: int = 256,
         bulk_batch_size: int = 8192,
-        cache_size: int = 4096,
+        cache_size: Optional[int] = None,
         write_lock=None,
     ) -> None:
+        if cache_size is None:
+            cache_size = _default_cache_size()
         if batch_size < 1 or bulk_batch_size < 1 or cache_size < 1:
             raise BackendError("sqlite backend sizes must be >= 1")
         self.path = path
@@ -102,7 +163,7 @@ class SQLiteBackend(StorageBackend):
         self._write_lock = write_lock if write_lock is not None else NullLock()
         self._conn = sqlite3.connect(path, timeout=30.0)
         try:
-            self._conn.executescript(_SCHEMA)
+            self._conn.executescript(_SCHEMA_BASE)
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.commit()
@@ -111,25 +172,160 @@ class SQLiteBackend(StorageBackend):
             raise BackendError(
                 f"cannot open {path!r} as a SQLite provenance store: {exc}"
             ) from exc
-        # Pending (row, record-or-None) appends, not yet committed, plus an
-        # id map so point reads see them without forcing a flush.
-        self._pending: List[Tuple[StoredRow, Optional[ProvenanceRecord]]] = []
+        self._columnar_ready = self._migrate_columnar()
+        # Pending (row, record-or-None, cols-or-None) appends, not yet
+        # committed, plus an id map so point reads see them without
+        # forcing a flush.
+        self._pending: List[
+            Tuple[StoredRow, Optional[ProvenanceRecord], Optional[str]]
+        ] = []
         self._pending_ids: dict = {}
         self._bulk_depth = 0
         self._cache: "OrderedDict[str, ProvenanceRecord]" = OrderedDict()
         self._decoder = None
+        self._codec: Optional[ColumnarCodec] = None
         self._closed = False
+        #: rows known to lack a cols payload (committed + pending).  May
+        #: overcount after aborted batches — safe, it only keeps the
+        #: ``OR cols IS NULL`` widening in compiled queries — but never
+        #: undercounts.
+        self._null_cols = 0
+        if self._columnar_ready:
+            self._null_cols = self._count_null_cols()
+        #: columnar observability (surfaced by ``repro store-stats``).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.pushdown_queries = 0
+        self.migrated_cols = 0
+
+    def _migrate_columnar(self) -> bool:
+        """Bring the schema to v2 (cols + generated columns); idempotent.
+
+        Returns whether the columnar schema is available.  A SQLite build
+        without generated-column or JSON support leaves the file on the
+        v1 schema and this backend degrades to XML-only operation.
+        """
+        try:
+            # table_xinfo, not table_info: VIRTUAL generated columns are
+            # "hidden" and table_info omits them, which would make every
+            # reopen re-ALTER etype/ts into a duplicate-column error.
+            present = {
+                row[1]
+                for row in self._conn.execute(
+                    "PRAGMA table_xinfo(provenance)"
+                )
+            }
+            if "cols" not in present:
+                for statement in _SCHEMA_COLUMNAR:
+                    self._conn.execute(statement)
+            elif "etype" not in present:
+                for statement in _SCHEMA_COLUMNAR[1:]:
+                    self._conn.execute(statement)
+            self._conn.execute(_COLUMNAR_INDEX)
+            self._conn.commit()
+            return True
+        except sqlite3.OperationalError:
+            self._conn.rollback()
+            return False
+
+    def _count_null_cols(self) -> int:
+        (nulls,) = self._conn.execute(
+            "SELECT COUNT(*) FROM provenance WHERE cols IS NULL"
+        ).fetchone()
+        return int(nulls)
 
     def set_decoder(self, decoder) -> None:
         self._decoder = decoder
 
+    # -- columnar representation ---------------------------------------------
+
+    def accepts_cols(self) -> bool:
+        return self._columnar_ready
+
+    def bind_columnar(
+        self, codec: ColumnarCodec, indexed_attributes: Iterable[str] = ()
+    ) -> None:
+        """Attach the codec; create expression indexes; backfill old rows.
+
+        The backfill decodes (via the bound row decoder) every row that
+        has no payload and was never offered one — bounded by an aux-state
+        rowid marker, so a reopened v2 database pays O(1), not O(table).
+        Rows that cannot be encoded (tampered, non-canonical) are skipped
+        and never retried; they keep decoding from XML.
+        """
+        if not self._columnar_ready or self._closed:
+            return
+        self._codec = codec
+        for name in sorted(set(indexed_attributes)):
+            if _JSON_PATH_RE.match(name) is None:
+                continue
+            self._conn.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_provenance_attr_{name} "
+                f"ON provenance(json_extract(cols, '$.a.{name}'))"
+            )
+        self._conn.commit()
+        if self._decoder is not None:
+            self._backfill_cols(codec)
+        self._null_cols = self._count_null_cols() + sum(
+            1 for __, __, cols in self._pending if cols is None
+        )
+
+    def _backfill_cols(self, codec: ColumnarCodec) -> None:
+        marker = self.load_state(_BACKFILL_MARKER)
+        try:
+            floor = int(marker) if marker is not None else 0
+        except ValueError:
+            floor = 0
+        (ceiling,) = self._conn.execute(
+            "SELECT COALESCE(MAX(rowid), 0) FROM provenance"
+        ).fetchone()
+        if ceiling <= floor:
+            return
+        updates: List[Tuple[str, int]] = []
+        cursor = self._conn.execute(
+            "SELECT rowid, id, class, appid, xml FROM provenance "
+            "WHERE cols IS NULL AND rowid > ? ORDER BY rowid",
+            (floor,),
+        )
+        for rowid, *found in cursor.fetchall():
+            row = self._row_from_sql(tuple(found))
+            try:
+                record = self._decode(row)
+            except Exception:
+                # Undecodable rows (tampering, schema drift) stay NULL and
+                # keep raising from the XML path when actually queried.
+                continue
+            cols = codec.encode_cols(row, record, verify_xml=True)
+            if cols is not None:
+                updates.append((cols, int(rowid)))
+        with self._write_lock:
+            if updates:
+                self._conn.executemany(
+                    "UPDATE provenance SET cols = ? WHERE rowid = ?",
+                    updates,
+                )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO aux_state (key, payload) "
+                "VALUES (?, ?)",
+                (_BACKFILL_MARKER, str(int(ceiling))),
+            )
+            self._conn.commit()
+        self.migrated_cols += len(updates)
+
     # -- writes --------------------------------------------------------------
 
     def append_row(
-        self, row: StoredRow, record: Optional[ProvenanceRecord] = None
+        self,
+        row: StoredRow,
+        record: Optional[ProvenanceRecord] = None,
+        cols: Optional[str] = None,
     ) -> None:
         self._check_open()
-        self._pending.append((row, record))
+        if not self._columnar_ready:
+            cols = None
+        elif cols is None:
+            self._null_cols += 1
+        self._pending.append((row, record, cols))
         self._pending_ids[row.record_id] = len(self._pending) - 1
         if record is not None:
             self._cache_put(row.record_id, record)
@@ -145,14 +341,24 @@ class SQLiteBackend(StorageBackend):
             return
         self._check_open()
         with self._write_lock:
-            self._conn.executemany(
-                "INSERT INTO provenance (id, class, appid, xml) "
-                "VALUES (?, ?, ?, ?)",
-                [
-                    (r.record_id, r.record_class.value, r.app_id, r.xml)
-                    for r, __ in self._pending
-                ],
-            )
+            if self._columnar_ready:
+                self._conn.executemany(
+                    "INSERT INTO provenance (id, class, appid, xml, cols) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    [
+                        (r.record_id, r.record_class.value, r.app_id, r.xml, c)
+                        for r, __, c in self._pending
+                    ],
+                )
+            else:
+                self._conn.executemany(
+                    "INSERT INTO provenance (id, class, appid, xml) "
+                    "VALUES (?, ?, ?, ?)",
+                    [
+                        (r.record_id, r.record_class.value, r.app_id, r.xml)
+                        for r, __, __c in self._pending
+                    ],
+                )
             # A death between the INSERTs and the COMMIT must roll the
             # whole batch back — this is the transaction-boundary
             # guarantee the crash model checker exercises.
@@ -177,24 +383,47 @@ class SQLiteBackend(StorageBackend):
         self._check_open()
         cached = self._cache.get(record_id)
         if cached is not None:
+            self.cache_hits += 1
             self._cache.move_to_end(record_id)
             return cached
+        self.cache_misses += 1
         position = self._pending_ids.get(record_id)
         if position is not None:
-            row, record = self._pending[position]
+            row, record, cols = self._pending[position]
             if record is None:
-                record = self._decode(row)
+                record = self._materialize(row, cols)
             self._cache_put(record_id, record)
             return record
         found = self._conn.execute(
-            "SELECT id, class, appid, xml FROM provenance WHERE id = ?",
+            "SELECT id, class, appid, xml, cols FROM provenance WHERE id = ?"
+            if self._columnar_ready
+            else "SELECT id, class, appid, xml FROM provenance WHERE id = ?",
             (record_id,),
         ).fetchone()
         if found is None:
             raise RecordNotFound(record_id)
-        record = self._decode(self._row_from_sql(found))
+        row = self._row_from_sql(found[:4])
+        cols = found[4] if self._columnar_ready else None
+        record = self._materialize(row, cols)
         self._cache_put(record_id, record)
         return record
+
+    def _materialize(
+        self,
+        row: StoredRow,
+        cols: Optional[str],
+        projection: Optional[FrozenSet[str]] = None,
+    ) -> ProvenanceRecord:
+        """Row → record, preferring the columnar payload over XML.
+
+        A missing or stale payload falls back to the XML decoder, so the
+        result is always exactly what the oracle path would produce.
+        """
+        if cols is not None and self._codec is not None:
+            record = self._codec.decode_cols(row, cols, projection=projection)
+            if record is not None:
+                return record
+        return self._decode(row)
 
     def contains(self, record_id: str) -> bool:
         self._check_open()
@@ -217,9 +446,95 @@ class SQLiteBackend(StorageBackend):
     def iter_records(self) -> Iterator[ProvenanceRecord]:
         # Reads through the cache but does not populate it: a full sweep
         # must not evict the hot point-lookup entries.
+        if self._columnar_ready and self._codec is not None:
+            for row, cols in self._iter_rows_with_cols():
+                cached = self._cache.get(row.record_id)
+                yield cached if cached is not None else self._materialize(
+                    row, cols
+                )
+            return
         for row in self.iter_rows():
             cached = self._cache.get(row.record_id)
             yield cached if cached is not None else self._decode(row)
+
+    def _iter_rows_with_cols(
+        self,
+    ) -> Iterator[Tuple[StoredRow, Optional[str]]]:
+        self._check_open()
+        self.flush()
+        cursor = self._conn.execute(
+            "SELECT id, class, appid, xml, cols FROM provenance "
+            "ORDER BY rowid"
+        )
+        for found in cursor:
+            yield self._row_from_sql(found[:4]), found[4]
+
+    def iter_records_projected(
+        self, attributes: FrozenSet[str]
+    ) -> Optional[Iterator[ProvenanceRecord]]:
+        if not self._columnar_ready or self._codec is None:
+            return None
+        if self._decoder is None:
+            return None
+
+        def generate() -> Iterator[ProvenanceRecord]:
+            # No cache read-through: a projected record must never leak
+            # into (or be served from) the full-record cache.
+            for row, cols in self._iter_rows_with_cols():
+                yield self._materialize(row, cols, projection=attributes)
+
+        return generate()
+
+    def query_records(
+        self, query: RecordQuery
+    ) -> Optional[List[ProvenanceRecord]]:
+        """Push *query* facets down into an indexed SQL WHERE clause.
+
+        Returns a superset of the true matches in append order (the store
+        re-applies ``query.matches``), or ``None`` when push-down is
+        unavailable or the query has no compilable constraint.
+        """
+        if not self._columnar_ready or self._codec is None:
+            return None
+        if self._decoder is None:
+            return None
+        self._check_open()
+        compiled = compile_query(query)
+        if not compiled.has_constraints:
+            return None
+        self.flush()
+        where, params = compiled.where_clause(
+            include_null_branch=self._null_cols > 0
+        )
+        self.pushdown_queries += 1
+        cursor = self._conn.execute(
+            "SELECT id, class, appid, xml, cols FROM provenance "
+            f"WHERE {where} ORDER BY rowid",
+            params,
+        )
+        results: List[ProvenanceRecord] = []
+        for found in cursor:
+            row = self._row_from_sql(found[:4])
+            cached = self._cache.get(row.record_id)
+            results.append(
+                cached if cached is not None else self._materialize(
+                    row, found[4]
+                )
+            )
+        return results
+
+    def columnar_coverage(self) -> Tuple[int, int]:
+        """``(rows with a cols payload, total rows)`` including pending."""
+        self._check_open()
+        if not self._columnar_ready:
+            return 0, self.count()
+        with_cols, total = self._conn.execute(
+            "SELECT COUNT(cols), COUNT(*) FROM provenance"
+        ).fetchone()
+        with_cols = int(with_cols) + sum(
+            1 for __, __, cols in self._pending if cols is not None
+        )
+        return with_cols, int(total) + len(self._pending)
 
     def count(self) -> int:
         self._check_open()

@@ -160,17 +160,50 @@ def _qualify(name: str) -> str:
     return f"{{{PS_NAMESPACE}}}{name}"
 
 
+# One-row parse memo: callers evaluate several path expressions against the
+# same row back to back (row-major query loops), and each used to re-parse
+# the XML per expression.  Keyed by row identity — StoredRow is frozen, so
+# the same object always means the same XML — and sized at one entry, which
+# is all a row-major loop needs.  Parse errors memoize too: a malformed row
+# costs one parse attempt per row, not one per path.
+_parse_memo: Optional[Tuple[StoredRow, Optional[ET.Element], Optional[ET.ParseError]]] = None
+#: XML documents actually parsed (regression metric for the memo).
+_parses = 0
+
+
+def xml_parse_count() -> int:
+    """How many XML documents :func:`xpath_lite` has parsed so far."""
+    return _parses
+
+
+def _parsed_root(row: StoredRow) -> ET.Element:
+    global _parse_memo, _parses
+    memo = _parse_memo
+    if memo is not None and memo[0] is row:
+        root, error = memo[1], memo[2]
+    else:
+        _parses += 1
+        root, error = None, None
+        try:
+            root = ET.fromstring(row.xml)
+        except ET.ParseError as exc:
+            error = exc
+        _parse_memo = (row, root, error)
+    if root is None:
+        raise QueryError(f"row {row.record_id}: malformed XML") from error
+    return root
+
+
 def xpath_lite(row: StoredRow, path: str) -> List[str]:
     """Evaluate an xpath-lite *path* against one row's XML column.
 
     Returns matched text values (element text, or attribute values when the
-    path ends in ``/@name``).  Unknown elements simply match nothing.
+    path ends in ``/@name``).  Unknown elements simply match nothing.  The
+    row's XML is parsed at most once per row visit: consecutive calls
+    against the same row object reuse the parsed document.
     """
     steps, attribute = _parse_path(path)
-    try:
-        root = ET.fromstring(row.xml)
-    except ET.ParseError as exc:
-        raise QueryError(f"row {row.record_id}: malformed XML") from exc
+    root = _parsed_root(row)
 
     nodes = [root]
     for position, (axis, name) in enumerate(steps):

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     List,
@@ -55,6 +56,7 @@ from repro.model.records import (
 )
 from repro.model.schema import ProvenanceDataModel
 from repro.store.backends import StorageBackend, create_backend
+from repro.store.columnar import ColumnarCodec
 from repro.store.cursor import Cursor, advance_cursor
 from repro.store.index import StoreIndex
 from repro.store.query import RecordQuery
@@ -96,6 +98,15 @@ class ProvenanceStore:
             backend = create_backend(backend)
         self._backend: StorageBackend = backend
         self._backend.set_decoder(self._decode)
+        # Columnar sidecar: only worthwhile when the backend persists it,
+        # and only sound when the canonical (fast) encoder produced the
+        # rows — the oracle-codec ablation path stays XML-only.
+        self.columnar: Optional[ColumnarCodec] = None
+        if fast_codec and self._backend.accepts_cols():
+            self.columnar = ColumnarCodec(model)
+            self._backend.bind_columnar(
+                self.columnar, indexed_attributes or ()
+            )
         self._index: Optional[StoreIndex] = (
             StoreIndex(indexed_attributes) if indexed else None
         )
@@ -138,13 +149,23 @@ class ProvenanceStore:
         if self.model is not None:
             self.model.validate(record)
         row = self._encode(record)
-        self._commit(row, record)
+        cols = (
+            self.columnar.encode_cols(row, record)
+            if self.columnar is not None
+            else None
+        )
+        self._commit(row, record, cols)
         return row
 
-    def _commit(self, row: StoredRow, record: ProvenanceRecord) -> None:
+    def _commit(
+        self,
+        row: StoredRow,
+        record: ProvenanceRecord,
+        cols: Optional[str] = None,
+    ) -> None:
         """Persist an already-validated (row, record) pair and fan out."""
         crash_point("store.append.before_commit")
-        self._backend.append_row(row, record)
+        self._backend.append_row(row, record, cols)
         crash_point("store.append.after_commit_before_index")
         self._seen_seq = advance_cursor(
             self._seen_seq, self._backend.shard_index(record.app_id)
@@ -333,10 +354,38 @@ class ProvenanceStore:
             grouped.setdefault(record.app_id, []).append(record)
         return grouped
 
+    def records_by_trace_projected(
+        self, attributes: FrozenSet[str]
+    ) -> Optional[Dict[str, List[ProvenanceRecord]]]:
+        """Like :meth:`records_by_trace`, materializing only *attributes*.
+
+        ``None`` means the backend has no projection fast path; callers
+        fall back to the full grouping.  Projected records carry class,
+        type, timestamp, relation endpoints, and the named attributes —
+        callers must not read any other attribute off them.
+        """
+        projected = self._backend.iter_records_projected(
+            frozenset(attributes)
+        )
+        if projected is None:
+            return None
+        grouped: Dict[str, List[ProvenanceRecord]] = {}
+        for record in projected:
+            grouped.setdefault(record.app_id, []).append(record)
+        return grouped
+
     # -- querying ----------------------------------------------------------
 
     def _candidates(self, query: RecordQuery) -> Iterator[ProvenanceRecord]:
         """Choose the narrowest index path for *query*, else scan."""
+        # Predicate push-down first: a backend that can compile the query
+        # into indexed SQL hands back a candidate superset without
+        # touching rows the WHERE clause excludes.  select()/select_one()
+        # still apply query.matches to every candidate (superset rule).
+        pushed = self._backend.query_records(query)
+        if pushed is not None:
+            yield from pushed
+            return
         if self._index is None:
             if query.app_id is not None:
                 # The physical row carries APPID (Table I), so a trace
@@ -514,5 +563,13 @@ class ProvenanceStore:
         record = self._decode(row)
         if self.model is not None:
             self.model.validate(record)
-        self._commit(row, record)
+        # verify_xml: this row's bytes were NOT produced by our encoder, so
+        # the columnar payload is only written when a canonical re-encode
+        # matches byte-for-byte (otherwise the row stays XML-decoded).
+        cols = (
+            self.columnar.encode_cols(row, record, verify_xml=True)
+            if self.columnar is not None
+            else None
+        )
+        self._commit(row, record, cols)
         return record

@@ -496,10 +496,15 @@ class TestStoreStatsCli:
         )
         text = out.getvalue()
         lines = text.strip().splitlines()
+        # Each shard contributes a row-count line and a columnar line;
+        # totals close the listing.
         assert lines[0].startswith("shard 0:")
-        assert lines[1].startswith("shard 1:")
-        assert lines[-1].startswith("total:")
-        assert "2 shard(s)" in lines[-1]
+        assert lines[1].startswith("shard 0: columnar:")
+        assert lines[2].startswith("shard 1:")
+        assert lines[3].startswith("shard 1: columnar:")
+        assert lines[-2].startswith("total:")
+        assert "2 shard(s)" in lines[-2]
+        assert lines[-1].startswith("total: columnar:")
         assert sqlite_shard_path(db, 0) in text
         assert sqlite_shard_path(db, 1) in text
 

@@ -232,3 +232,48 @@ class TestContinuousQuery:
         query.deploy(store)  # re-attach is allowed after auto-detach
         store.append(record())
         assert len(sink) == 1
+
+
+class TestXpathParseMemo:
+    """xpath_lite parses each row's XML at most once per row visit."""
+
+    def test_row_major_loop_parses_once_per_row(self):
+        from repro.store import query as query_module
+
+        paths = [
+            "/jobrequisition/reqid",
+            "/jobrequisition/type",
+            "//reqid",
+            "/jobrequisition/@ps:class",
+        ]
+        first = encode_row(record(reqid="R1", type="new"))
+        before = query_module.xml_parse_count()
+        values = [xpath_lite(first, path) for path in paths]
+        assert values[0] == ["R1"]
+        assert values[1] == ["new"]
+        # Four path expressions, one parse.
+        assert query_module.xml_parse_count() - before == 1
+
+        # Moving to the next row re-parses exactly once more, even when
+        # the loop later alternates back (the memo holds one row).
+        second = encode_row(record(reqid="R2", type="replacement"))
+        assert xpath_lite(second, paths[0]) == ["R2"]
+        assert xpath_lite(second, paths[1]) == ["replacement"]
+        assert query_module.xml_parse_count() - before == 2
+        assert xpath_lite(first, paths[0]) == ["R1"]
+        assert query_module.xml_parse_count() - before == 3
+
+    def test_malformed_row_parses_once_but_raises_per_call(self):
+        from repro.store import query as query_module
+
+        bad = StoredRow(
+            record_id="PE9",
+            record_class=RecordClass.DATA,
+            app_id="App01",
+            xml="<jobrequisition><reqid>R1",
+        )
+        before = query_module.xml_parse_count()
+        for __ in range(3):
+            with pytest.raises(QueryError, match="malformed XML"):
+                xpath_lite(bad, "/jobrequisition/reqid")
+        assert query_module.xml_parse_count() - before == 1
