@@ -1,0 +1,255 @@
+"""Served ingestion: N recorder client processes against ``repro serve``.
+
+The service runtime turns the batch pipeline into a long-lived process:
+recorder clients stream events over HTTP while the runtime types, dedups,
+correlates, and keeps verdicts fresh behind one lock.  This bench forks
+1..N client processes, each streaming its partition of the hiring event
+stream to one served runtime over the stdlib HTTP transport, and compares
+against the in-process baseline (a single direct ``RecorderClient`` over
+the same store, no wire, no service).
+
+Reported per configuration:
+
+- wall-clock ingest time and events/s,
+- **freshness lag** — how stale a reader is at the moment the writers
+  stop: the time for one sync + verdicts round to bring the served table
+  current over everything just ingested (reads drain dirty pairs, so
+  this is the price of the first post-burst query).
+
+Correctness is checked once on the largest-client-count database: the
+verdicts served at the end must be byte-identical to a cold sweep of the
+same SQLite file by a fresh evaluator.
+
+The HTTP path pays per-request JSON + socket overhead and every batch
+funnels through the runtime's lock, so served ingest is expected to trail
+the embedded baseline; the bench asserts it stays within a sane factor
+rather than chasing a speedup.
+
+Benchmarked operation: one single-client served ingest at 8 traces.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+from repro.capture.recorder import RecorderClient
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.processes import hiring
+from repro.processes.engine import ProcessSimulator, all_events
+from repro.processes.violations import ViolationPlan
+from repro.reporting.tables import render_table
+from repro.service import ComplianceHTTPServer, ComplianceRuntime, HTTPTransport
+from repro.store.backends import SQLiteBackend
+from repro.store.store import ProvenanceStore
+
+TINY = os.environ.get("BAL_BENCH_SCALE") == "tiny"
+CASES = 12 if TINY else 96
+CLIENT_COUNTS = (1, 2) if TINY else (1, 2, 4)
+BATCH = 10
+
+
+def _events(workload, cases):
+    simulator = ProcessSimulator(
+        workload.build_spec(),
+        workload.case_factory(
+            ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), 0.2)
+        ),
+        seed=11,
+    )
+    return all_events(simulator.run(cases))
+
+
+def _partition(events, clients):
+    """Whole traces round-robin across clients: per-trace event order is
+    preserved inside exactly one client's stream."""
+    trace_ids = sorted({event.app_id for event in events})
+    owner = {
+        trace: index % clients for index, trace in enumerate(trace_ids)
+    }
+    return [
+        [e for e in events if owner[e.app_id] == index]
+        for index in range(clients)
+    ]
+
+
+def _client_main(endpoint, events):
+    """One recorder client process streaming its partition in batches."""
+    client = RecorderClient(transport=HTTPTransport(endpoint))
+    for start in range(0, len(events), BATCH):
+        client.process_all(events[start:start + BATCH])
+
+
+def _serve(workload, db):
+    """A served runtime over *db* on an ephemeral port; returns
+    (server, thread).  ``threadsafe`` because HTTP handler threads share
+    the SQLite connection behind the runtime's lock."""
+    store = ProvenanceStore(
+        model=workload.build_model(),
+        backend=SQLiteBackend(db, threadsafe=True),
+    )
+    sim = workload.attach(store)
+    runtime = ComplianceRuntime.from_simulation(
+        sim, workload=workload, owns_store=True
+    )
+    runtime.open()
+    server = ComplianceHTTPServer(runtime)
+    thread = threading.Thread(
+        target=server.serve_until_shutdown, daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def _run_served(workload, db, events, clients, expected_traces):
+    """Fork *clients* processes against one served runtime; returns
+    (ingest_seconds, freshness_seconds, served_verdicts_json)."""
+    server, thread = _serve(workload, db)
+    endpoint = server.endpoint
+    try:
+        partitions = _partition(events, clients)
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(
+                target=_client_main, args=(endpoint, partition)
+            )
+            for partition in partitions
+        ]
+        started = time.perf_counter()
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        ingest = time.perf_counter() - started
+        for process in processes:
+            assert process.exitcode == 0, (
+                f"client exited with {process.exitcode}"
+            )
+        # Freshness lag: the writers just stopped; how long until a
+        # reader sees a verdict table covering everything they sent?
+        transport = HTTPTransport(endpoint)
+        caught_up = time.perf_counter()
+        transport.sync()
+        payloads = transport.verdicts()
+        freshness = time.perf_counter() - caught_up
+        assert len({p["trace"] for p in payloads}) == expected_traces
+        return ingest, freshness, json.dumps(payloads)
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=60.0)
+
+
+def _run_embedded(workload, events):
+    """The no-service baseline: direct in-process ingest + full sweep."""
+    model = workload.build_model()
+    mapping = workload.build_mapping(model)
+    store = ProvenanceStore(model=model)
+    started = time.perf_counter()
+    RecorderClient(store, mapping).process_all(events)
+    ingest = time.perf_counter() - started
+    sim = workload.attach(store)
+    runtime = ComplianceRuntime.from_simulation(sim)
+    runtime.open()
+    caught_up = time.perf_counter()
+    runtime.verdicts()
+    freshness = time.perf_counter() - caught_up
+    runtime.shutdown()
+    store.close()
+    return ingest, freshness
+
+
+def _cold_sweep(workload, db):
+    """Fresh store + evaluator over the served file: the parity oracle."""
+    store = ProvenanceStore(
+        model=workload.build_model(), backend=SQLiteBackend(db)
+    )
+    sim = workload.attach(store)
+    oracle = ComplianceEvaluator(store, sim.xom, sim.vocabulary)
+    payloads = json.dumps(
+        [result.to_payload() for result in oracle.run(sim.controls)]
+    )
+    store.close()
+    return payloads
+
+
+def test_serve_ingest_throughput(benchmark, artifact, tmp_path):
+    workload = hiring.workload()
+    events = _events(workload, CASES)
+
+    base_ingest, base_freshness = _run_embedded(workload, events)
+    results = {}
+    served_json = {}
+    for clients in CLIENT_COUNTS:
+        db = str(tmp_path / f"serve-{clients}.db")
+        ingest, freshness, payloads = _run_served(
+            workload, db, events, clients, CASES
+        )
+        results[clients] = (ingest, freshness)
+        served_json[clients] = (db, payloads)
+
+    # Parity: what the busiest server ended up serving is exactly what a
+    # cold sweep of its database computes.
+    widest = CLIENT_COUNTS[-1]
+    db, payloads = served_json[widest]
+    assert payloads == _cold_sweep(workload, db), (
+        "served verdicts diverge from a cold sweep of the same database"
+    )
+
+    columns = (
+        "clients", "transport", "ingest", "events/s", "freshness lag"
+    )
+    rows = [
+        (
+            "1", "embedded", f"{base_ingest:.3f}s",
+            f"{len(events) / base_ingest:.0f}",
+            f"{base_freshness * 1000:.0f}ms",
+        )
+    ]
+    for clients in CLIENT_COUNTS:
+        ingest, freshness = results[clients]
+        rows.append(
+            (
+                str(clients), "http", f"{ingest:.3f}s",
+                f"{len(events) / ingest:.0f}",
+                f"{freshness * 1000:.0f}ms",
+            )
+        )
+    table = render_table(
+        columns,
+        rows,
+        title=(
+            f"Served ingest — hiring, {CASES} traces, "
+            f"{len(events)} events, batch {BATCH}, "
+            f"{os.cpu_count()} cpu(s)"
+        ),
+    )
+    artifact(
+        "E7 serve ingest throughput",
+        table,
+        data={
+            "cases": CASES,
+            "events": len(events),
+            "batch": BATCH,
+            "cpus": os.cpu_count(),
+            "scale": "tiny" if TINY else "full",
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+            "embedded_seconds": base_ingest,
+            "served_seconds": {
+                str(clients): results[clients][0]
+                for clients in CLIENT_COUNTS
+            },
+            "freshness_seconds": {
+                str(clients): results[clients][1]
+                for clients in CLIENT_COUNTS
+            },
+            "verdicts_identical": True,
+        },
+    )
+
+    def single_client_small(events=_events(workload, 8)):
+        db = str(tmp_path / f"bench-{time.monotonic_ns()}.db")
+        return _run_served(workload, db, events, 1, 8)[0]
+
+    benchmark(single_client_small)

@@ -73,6 +73,40 @@ class ApplicationEvent:
         )
 
 
+def event_to_wire(event: ApplicationEvent) -> Dict:
+    """JSON-serializable form of an event; round-trips via
+    :func:`event_from_wire`.
+
+    This is the interchange format recorder clients ship to a served
+    :class:`~repro.service.runtime.ComplianceRuntime` — deliberately the
+    event's raw fields, nothing typed: typing per the data model happens
+    server-side, where the mapping lives.
+    """
+    return {
+        "event_id": event.event_id,
+        "source": event.source.value,
+        "kind": event.kind,
+        "timestamp": event.timestamp,
+        "app_id": event.app_id,
+        "payload": dict(event.payload),
+    }
+
+
+def event_from_wire(payload: Dict) -> ApplicationEvent:
+    """Rebuild an event dumped by :func:`event_to_wire`."""
+    return ApplicationEvent(
+        event_id=str(payload["event_id"]),
+        source=EventSource(payload["source"]),
+        kind=str(payload["kind"]),
+        timestamp=int(payload.get("timestamp", 0)),
+        app_id=str(payload.get("app_id", "")),
+        payload={
+            str(k): str(v)
+            for k, v in (payload.get("payload") or {}).items()
+        },
+    )
+
+
 @dataclass(frozen=True)
 class EventEnvelope:
     """An event together with recorder-side disposition metadata.

@@ -18,6 +18,17 @@ writing Python::
 - ``watch`` tails a (SQLite) store's change feed: rows appended by other
   processes are folded in on each poll and only the affected
   (control, trace) pairs re-evaluate, printing verdict transitions live,
+- ``serve`` runs the long-lived compliance service: a
+  :class:`~repro.service.runtime.ComplianceRuntime` over the store with a
+  background refresh loop and a stdlib HTTP front end — recorder clients
+  POST event batches to ``/ingest`` while readers GET fresh verdicts, and
+  a graceful shutdown persists the verdict snapshot so a restart resumes
+  from its cursor::
+
+      python -m repro serve hiring --backend sqlite --db out.db --port 8787
+
+- ``scenarios`` lists the registered workloads with their control counts
+  and ground-truth coverage,
 - ``report`` prints a full audit report,
 - ``vocabulary`` prints the rule editor's drop-down menus for a workload's
   generated business vocabulary.
@@ -196,6 +207,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit after N polls (default: watch until interrupted)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the compliance service: HTTP ingest + verdict queries "
+            "over a live runtime with a background refresh loop"
+        ),
+    )
+    add_workload_args(serve)
+    # A server usually fronts an existing --db; an empty store starts
+    # empty and fills from /ingest rather than self-simulating.
+    serve.set_defaults(cases=0)
+    serve.add_argument(
+        "--execution-mode", choices=("compiled", "interpret"),
+        default="compiled",
+        help="rule execution back end (see 'check')",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787, metavar="N",
+        help="TCP port; 0 picks a free port (printed at startup)",
+    )
+    serve.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="background change-feed refresh interval",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help=(
+            "persist the verdict snapshot every N refresh ticks "
+            "(default: only at shutdown)"
+        ),
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the registered workloads and their control points",
+    )
+    scenarios.add_argument(
+        "--verbose", action="store_true",
+        help="also list each workload's individual controls",
+    )
+
     report = sub.add_parser(
         "report", help="simulate, evaluate, and print a full audit report"
     )
@@ -253,11 +309,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _backend_for(args) -> Optional[StorageBackend]:
-    """The storage backend the flags select; None means in-memory default."""
+def _backend_for(args, threadsafe: bool = False) -> Optional[StorageBackend]:
+    """The storage backend the flags select; None means in-memory default.
+
+    *threadsafe* relaxes SQLite's same-thread check for stores a service
+    runtime serializes behind its own lock (``serve``'s HTTP handler
+    threads).
+    """
     shards = getattr(args, "shards", 1)
     cache = getattr(args, "decode_cache", None)
     sqlite_options = {} if cache is None else {"cache_size": cache}
+    if threadsafe:
+        sqlite_options["threadsafe"] = True
     if shards > 1:
         if args.backend == "sqlite":
             if args.db:
@@ -276,7 +339,7 @@ def _backend_for(args) -> Optional[StorageBackend]:
     return None
 
 
-def _simulate(args):
+def _simulate(args, threadsafe: bool = False):
     module = WORKLOADS[args.workload]
     workload = module.workload()
     visibility = (
@@ -284,7 +347,7 @@ def _simulate(args):
         if args.visibility is not None
         else None
     )
-    backend = _backend_for(args)
+    backend = _backend_for(args, threadsafe=threadsafe)
     if backend is not None and backend.count() > 0:
         # The --db already holds captured rows: audit them instead of
         # re-simulating.  Verdicts match the run that wrote the rows.
@@ -386,25 +449,24 @@ def cmd_check(args, out) -> int:
 
 
 def cmd_watch(args, out) -> int:
-    module, workload, sim = _simulate(args)
+    """Thin client of the service runtime's continuous-evaluation loop.
+
+    Built *without* the workload's mapping/correlation: watch observes a
+    feed other processes write to; it never adds rows of its own.
+    """
+    from repro.service import ComplianceRuntime
+
+    __, __, sim = _simulate(args)
+    runtime = ComplianceRuntime.from_simulation(
+        sim, execution_mode=args.execution_mode, owns_store=True
+    )
     try:
-        evaluator = ComplianceEvaluator(
-            sim.store, sim.xom, sim.vocabulary,
-            observable_types=sim.observable_types,
-            execution_mode=args.execution_mode,
-        )
-        materializer = evaluator.materializer
-        for control in sim.controls:
-            materializer.register(control)
-        restored = materializer.restore()
-        before = materializer.refreshes
-        evaluator.run(sim.controls)
+        report = runtime.open()
         print(
             f"watching {sim.workload_name!r}: "
-            f"{len(sim.store.app_ids())} traces at seq "
-            f"{sim.store.last_seq()}; "
-            f"{'snapshot restored, ' if restored else ''}"
-            f"{materializer.refreshes - before} pairs evaluated at startup",
+            f"{report.traces} traces at seq {report.last_seq}; "
+            f"{'snapshot restored, ' if report.restored else ''}"
+            f"{report.evaluated} pairs evaluated at startup",
             file=out,
         )
 
@@ -414,30 +476,124 @@ def cmd_watch(args, out) -> int:
 
         # Subscribed only after the startup sweep: the live feed shows
         # changes, not the initial materialization.
-        materializer.subscribe(announce)
-        polls = 0
-        try:
-            while True:
-                new_rows = sim.store.sync()
-                if new_rows:
-                    refreshed = materializer.refresh()
-                    print(
-                        f"[seq {sim.store.last_seq()}] {new_rows} new "
-                        f"row(s), {len(refreshed)} pair(s) re-evaluated",
-                        file=out,
-                    )
-                polls += 1
-                if args.once:
-                    break
-                if args.max_polls is not None and polls >= args.max_polls:
-                    break
-                time.sleep(args.interval)
-        except KeyboardInterrupt:  # pragma: no cover - interactive exit
-            pass
-        materializer.save()
+        runtime.subscribe(announce)
+
+        def on_poll(outcome) -> None:
+            if outcome.new_rows:
+                print(
+                    f"[seq {outcome.last_seq}] {outcome.new_rows} new "
+                    f"row(s), {outcome.refreshed} pair(s) re-evaluated",
+                    file=out,
+                )
+
+        # time.sleep resolved here, at call time, so a monkeypatched
+        # clock (the fake-clock tests) is honoured.
+        runtime.poll_loop(
+            interval=args.interval,
+            once=args.once,
+            max_polls=args.max_polls,
+            sleep=time.sleep,
+            on_poll=on_poll,
+        )
         return 0
     finally:
-        sim.store.close()
+        # Graceful exit = snapshot + flush + close, same as the server's.
+        runtime.shutdown()
+
+
+def cmd_serve(args, out) -> int:
+    """Run the compliance service until interrupted or POST /shutdown."""
+    import signal
+
+    from repro.service import ComplianceHTTPServer, ComplianceRuntime
+
+    __, workload, sim = _simulate(args, threadsafe=True)
+    runtime = ComplianceRuntime.from_simulation(
+        sim, workload=workload,
+        execution_mode=args.execution_mode, owns_store=True,
+    )
+    report = runtime.open()
+    print(
+        f"serving {sim.workload_name!r}: "
+        f"{report.traces} traces at seq {report.last_seq}; "
+        f"{'snapshot restored, ' if report.restored else ''}"
+        f"{report.evaluated} pairs evaluated at startup",
+        file=out,
+    )
+    try:
+        server = ComplianceHTTPServer(
+            runtime, host=args.host, port=args.port
+        )
+    except OSError as exc:
+        runtime.shutdown()
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=out)
+        return 1
+    runtime.start_background(
+        interval=args.interval, snapshot_every=args.snapshot_every
+    )
+    print(
+        f"listening on {server.endpoint} "
+        f"(refresh every {args.interval:g}s; Ctrl-C or POST /shutdown "
+        f"to stop)",
+        file=out,
+    )
+    if hasattr(out, "flush"):
+        out.flush()  # scripted callers wait for the endpoint line
+
+    def _stop(signum, frame) -> None:  # pragma: no cover - signal path
+        server.request_shutdown()
+
+    try:
+        signal.signal(signal.SIGINT, _stop)
+        signal.signal(signal.SIGTERM, _stop)
+    except ValueError:
+        pass  # not the main thread (tests drive serve from a thread)
+    server.serve_until_shutdown()
+    print("stopped; verdict snapshot persisted", file=out)
+    return 0
+
+
+def cmd_scenarios(args, out) -> int:
+    """List the registered workloads and their control points."""
+    from repro.reporting.tables import render_table
+
+    rows = []
+    details = []
+    for key in sorted(WORKLOADS):
+        module = WORKLOADS[key]
+        workload = module.workload()
+        rows.append(
+            (
+                key,
+                workload.name,
+                len(workload.control_specs),
+                "yes" if workload.ground_truth is not None else "no",
+                len(module.VIOLATION_KINDS),
+            )
+        )
+        if args.verbose:
+            details.append((key, workload))
+    print(
+        render_table(
+            (
+                "scenario", "process", "controls",
+                "ground truth", "violation kinds",
+            ),
+            rows,
+            title="Registered workloads",
+        ),
+        file=out,
+    )
+    for key, workload in details:
+        print(file=out)
+        print(f"{key}:", file=out)
+        for spec in workload.control_specs:
+            print(
+                f"  {spec.name} [{spec.severity.value}]"
+                f"{': ' + spec.description if spec.description else ''}",
+                file=out,
+            )
+    return 0
 
 
 def cmd_report(args, out) -> int:
@@ -594,6 +750,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_check(args, out)
         if args.command == "watch":
             return cmd_watch(args, out)
+        if args.command == "serve":
+            return cmd_serve(args, out)
+        if args.command == "scenarios":
+            return cmd_scenarios(args, out)
         if args.command == "report":
             return cmd_report(args, out)
         if args.command == "chaos":

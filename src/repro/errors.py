@@ -121,3 +121,7 @@ class DeploymentError(ControlError):
 
 class ProcessError(ReproError):
     """A process specification or simulation failure."""
+
+
+class ServiceError(ReproError):
+    """A compliance-service runtime misuse or lifecycle failure."""

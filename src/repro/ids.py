@@ -38,6 +38,17 @@ class IdFactory:
         """Forget all counters (each prefix restarts at 1)."""
         self._counters.clear()
 
+    def seed(self, prefix: str, next_value: int) -> None:
+        """Make the next id for *prefix* be ``<prefix><next_value>``.
+
+        A long-lived process that reopens a store must continue the id
+        sequences the previous process left behind — restarting a counter
+        at 1 would collide with ids already on disk.
+        """
+        if next_value < 1:
+            raise ValueError("id counters start at 1")
+        self._counters[prefix] = itertools.count(next_value)
+
 
 def trace_app_id(index: int) -> str:
     """The application id naming convention of the paper: ``App01``, ``App02`` …"""

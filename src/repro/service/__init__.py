@@ -1,0 +1,33 @@
+"""The long-lived compliance service.
+
+:class:`ComplianceRuntime` is the explicit engine behind every evaluation
+front end — store + recorder pipeline + correlation + verdict
+materializer behind one thread-safe session API.
+:mod:`repro.service.http` serves it over stdlib HTTP (``repro serve``);
+:mod:`repro.service.transport` is how recorder clients reach it, in
+process or across the wire.
+"""
+
+from repro.service.http import ComplianceHTTPServer
+from repro.service.runtime import (
+    ComplianceRuntime,
+    StartupReport,
+    SyncOutcome,
+)
+from repro.service.transport import (
+    HTTPTransport,
+    IngestReply,
+    InProcessTransport,
+    TransportError,
+)
+
+__all__ = [
+    "ComplianceHTTPServer",
+    "ComplianceRuntime",
+    "HTTPTransport",
+    "IngestReply",
+    "InProcessTransport",
+    "StartupReport",
+    "SyncOutcome",
+    "TransportError",
+]

@@ -1,0 +1,578 @@
+"""The long-lived compliance service core.
+
+Every entry point the repo grew so far — ``simulate``/``check`` batch
+runs, the ``watch`` poll loop, deployed controls — was an arrangement of
+the same four parts: a :class:`~repro.store.store.ProvenanceStore`, a
+server-side recorder pipeline, correlation analytics, and the
+:class:`~repro.controls.materializer.VerdictMaterializer` behind a
+:class:`~repro.controls.evaluator.ComplianceEvaluator`.  The
+:class:`ComplianceRuntime` makes that engine explicit: one thread-safe
+object that owns all four and exposes a small session API —
+
+- :meth:`ingest` — run event batches through the recorder pipeline
+  (typing, dedup) plus incremental correlation,
+- :meth:`sync` — fold in rows *other processes* appended to the shared
+  backend (the sharded multi-writer path), correlate the touched traces,
+  and refresh the affected verdicts,
+- :meth:`verdicts` — the materialized (control, trace) table, refreshed
+  and read in canonical sweep order, byte-identical to a cold sweep,
+- :meth:`stats` / :meth:`health` — observability,
+- :meth:`snapshot` — persist the verdict table + feed cursor so a
+  restarted runtime resumes from its cursor instead of re-evaluating
+  clean traces,
+- :meth:`poll_loop` / :meth:`start_background` — the continuous
+  evaluation loop, as a caller-driven loop (``watch`` is a thin client
+  of it) or a daemon thread behind a served runtime.
+
+Compliance here is an always-on monitoring service over event streams
+(Governatori, arXiv 1403.6865), not an offline audit: recorder clients
+stream events in over a transport (:mod:`repro.service.transport`) while
+readers query verdicts that the background loop keeps fresh.  The HTTP
+front end lives in :mod:`repro.service.http`; ``repro serve`` wires both.
+
+Thread safety: one re-entrant lock serializes every store / materializer
+touch.  The store, materializer, and evaluator are single-threaded by
+design; the runtime is the one place that may be entered from many
+threads (HTTP handler threads, the background refresh loop, the owner).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.capture.correlation import CorrelationAnalytics
+from repro.capture.events import ApplicationEvent
+from repro.capture.recorder import RecorderClient
+from repro.controls.control import InternalControl
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.controls.materializer import (
+    TransitionListener,
+    VerdictTransition,
+)
+from repro.controls.status import ComplianceResult
+from repro.errors import ServiceError
+from repro.ids import IdFactory
+from repro.model.records import RelationRecord
+from repro.service.transport import IngestReply
+from repro.store.cursor import cursor_to_wire
+from repro.store.store import ProvenanceStore
+
+#: id prefix correlation analytics mint relation records under.
+_RELATION_PREFIX = "REL"
+
+
+@dataclass(frozen=True)
+class StartupReport:
+    """What :meth:`ComplianceRuntime.open` did.
+
+    ``restored`` — whether a persisted verdict snapshot was adopted;
+    ``evaluated`` — (control, trace) pairs the startup sweep actually
+    re-evaluated (0 when the snapshot covered the whole store — the
+    resume-from-cursor guarantee); ``traces`` / ``last_seq`` — store shape
+    at startup, for banners.
+    """
+
+    restored: bool
+    evaluated: int
+    traces: int
+    last_seq: object
+
+
+@dataclass(frozen=True)
+class SyncOutcome:
+    """One continuous-evaluation tick: sync → correlate → refresh."""
+
+    new_rows: int
+    correlated: int
+    refreshed: int
+    last_seq: object
+
+    def as_dict(self) -> Dict:
+        return {
+            "new_rows": self.new_rows,
+            "correlated": self.correlated,
+            "refreshed": self.refreshed,
+            "last_seq": cursor_to_wire(self.last_seq),
+        }
+
+
+class ComplianceRuntime:
+    """Owns the store, controls, and materializer behind a session API.
+
+    Args:
+        store: the provenance store (usually over a durable backend).
+        xom / vocabulary / controls / observable_types / execution_mode:
+            the evaluation stack, exactly as
+            :class:`~repro.controls.evaluator.ComplianceEvaluator` takes
+            it; *controls* is the set served and kept fresh.
+        mapping: event mapping for :meth:`ingest`; ``None`` makes the
+            runtime read-only over the stream (``watch`` style).
+        correlation_rules: rules run incrementally over traces touched by
+            ingest/sync; empty disables correlation (e.g. when an
+            upstream pipeline owns it).
+        workload_name: label for banners and ``/health``.
+        owns_store: close the store on :meth:`shutdown` (servers built
+            from a CLI own theirs; embedded runtimes usually do not).
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        xom,
+        vocabulary,
+        controls: Sequence[InternalControl],
+        observable_types: Optional[Set[str]] = None,
+        execution_mode: str = "compiled",
+        mapping=None,
+        correlation_rules: Sequence = (),
+        workload_name: str = "",
+        owns_store: bool = False,
+        transition_backlog: int = 1024,
+    ) -> None:
+        self.store = store
+        self.controls = list(controls)
+        self.workload_name = workload_name
+        self.owns_store = owns_store
+        self._lock = threading.RLock()
+        self.evaluator = ComplianceEvaluator(
+            store, xom, vocabulary,
+            observable_types=observable_types,
+            execution_mode=execution_mode,
+        )
+        materializer = self.evaluator.materializer
+        if materializer is None:
+            raise ServiceError(
+                "ComplianceRuntime requires an incremental evaluator "
+                "(share_contexts and incremental enabled)"
+            )
+        self.materializer = materializer
+        self.recorder = (
+            RecorderClient(store, mapping) if mapping is not None else None
+        )
+        self._analytics: Optional[CorrelationAnalytics] = None
+        if correlation_rules:
+            self._analytics = CorrelationAnalytics(store, store.model)
+            for rule in correlation_rules:
+                self._analytics.add_rule(rule)
+        #: traces with new non-relation rows since correlation last ran.
+        self._pending_correlation: Dict[str, None] = {}
+        self.store.subscribe(self._on_append)
+        # Live transition feed (ring buffer, monotonically indexed).
+        self._transitions: Deque[Tuple[int, VerdictTransition]] = deque(
+            maxlen=transition_backlog
+        )
+        self._transition_seq = 0
+        self._opened = False
+        self._closed = False
+        # Background refresh loop.
+        self._background: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.background_interval: Optional[float] = None
+        #: counters surfaced by :meth:`stats`.
+        self.polls = 0
+        self.ingest_batches = 0
+        self.ingest_events = 0
+        self.correlated_total = 0
+        self.snapshots_saved = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> StartupReport:
+        """Register the controls, adopt any persisted snapshot, and run
+        the startup sweep.
+
+        After ``open`` the verdict table is current for every trace in
+        the store; the report says how much work that took.  With a
+        matching snapshot on the backend only traces appended to while
+        the runtime was down re-evaluate — a restarted server resumes
+        from its cursor, never from zero.
+        """
+        with self._lock:
+            if self._opened:
+                raise ServiceError("runtime is already open")
+            self._opened = True
+            self._seed_relation_ids()
+            for control in self.controls:
+                self.materializer.register(control)
+            restored = self.materializer.restore()
+            before = self.materializer.refreshes
+            self.evaluator.run(self.controls)
+            evaluated = self.materializer.refreshes - before
+            # Subscribe after the startup sweep: the live feed carries
+            # changes, not the initial materialization (watch semantics).
+            self.materializer.subscribe(self._on_transition)
+            return StartupReport(
+                restored=restored,
+                evaluated=evaluated,
+                traces=len(self.store.app_ids()),
+                last_seq=self.store.last_seq(),
+            )
+
+    def _seed_relation_ids(self) -> None:
+        """Continue the REL<i> id sequence past what is already stored.
+
+        Correlation over a reopened store must not restart its id counter
+        at 1 — those ids exist and appends would raise.
+        """
+        if self._analytics is None:
+            return
+        highest = 0
+        for row in self.store.rows():
+            record_id = row.record_id
+            if record_id.startswith(_RELATION_PREFIX):
+                suffix = record_id[len(_RELATION_PREFIX):]
+                if suffix.isdigit():
+                    highest = max(highest, int(suffix))
+        if highest:
+            ids: IdFactory = self._analytics.ids
+            ids.seed(_RELATION_PREFIX, highest + 1)
+
+    def subscribe(self, listener: TransitionListener) -> None:
+        """Receive every post-startup :class:`VerdictTransition` live."""
+        self.materializer.subscribe(listener)
+
+    def shutdown(self) -> None:
+        """Graceful stop: drain, snapshot, flush; idempotent.
+
+        Any straggler rows other writers appended are folded in and
+        evaluated, then the verdict table + cursor persist to the
+        backend, so the next :meth:`open` restores instead of
+        re-sweeping.  Closes the store when the runtime owns it.
+        """
+        if self._closed:
+            return
+        # Stop (and join) the background loop before flipping the closed
+        # flag: an in-flight background sync must not race into the
+        # "runtime is not open" guard mid-shutdown.
+        self.stop_background()
+        self._closed = True
+        with self._lock:
+            if self._opened:
+                self._sync_locked()
+                self._save_snapshot_locked()
+            self.store.flush()
+            if self.owns_store:
+                self.store.close()
+
+    # -- dirty tracking ------------------------------------------------------
+
+    def _on_append(self, record) -> None:
+        # Relation rows are correlation *products*; re-correlating their
+        # traces every tick would never converge.  Everything else marks
+        # its trace for the next incremental correlation pass.
+        if not isinstance(record, RelationRecord):
+            self._pending_correlation.setdefault(record.app_id)
+
+    def _on_transition(self, transition: VerdictTransition) -> None:
+        self._transition_seq += 1
+        self._transitions.append((self._transition_seq, transition))
+
+    def _correlate_pending(self) -> int:
+        """Run correlation over traces touched since the last pass."""
+        if self._analytics is None or not self._pending_correlation:
+            self._pending_correlation.clear()
+            return 0
+        touched = list(self._pending_correlation)
+        self._pending_correlation.clear()
+        created = self._analytics.run(app_ids=touched)
+        self.correlated_total += len(created)
+        return len(created)
+
+    # -- session API ---------------------------------------------------------
+
+    def ingest(self, events: Sequence[ApplicationEvent]) -> IngestReply:
+        """Run one event batch through the server-side recorder pipeline.
+
+        Typing per the data model, duplicate suppression, and incremental
+        correlation all happen here; verdict refresh is left to the
+        reader / background loop (appends only mark dirty pairs, which is
+        what keeps ingest throughput independent of control count).
+        """
+        if self.recorder is None:
+            raise ServiceError(
+                "this runtime has no event mapping; ingestion is disabled"
+            )
+        with self._lock:
+            self._require_open()
+            stats = self.recorder.stats
+            before = (
+                stats.recorded,
+                stats.duplicates,
+                stats.dropped_irrelevant,
+                stats.dropped_unmapped,
+            )
+            envelopes = self.recorder.process_all(events)
+            correlated = self._correlate_pending()
+            self.ingest_batches += 1
+            self.ingest_events += len(events)
+            return IngestReply(
+                recorded=stats.recorded - before[0],
+                duplicates=stats.duplicates - before[1],
+                dropped_irrelevant=stats.dropped_irrelevant - before[2],
+                dropped_unmapped=stats.dropped_unmapped - before[3],
+                correlated=correlated,
+                dispositions=[
+                    (envelope.recorded, envelope.dropped_reason)
+                    for envelope in envelopes
+                ],
+                last_seq=self.store.last_seq(),
+            )
+
+    def _sync_locked(self) -> SyncOutcome:
+        new_rows = self.store.sync()
+        correlated = self._correlate_pending() if new_rows else 0
+        refreshed = 0
+        if new_rows or correlated or self.materializer.dirty_count:
+            refreshed = len(self.materializer.refresh())
+        return SyncOutcome(
+            new_rows=new_rows,
+            correlated=correlated,
+            refreshed=refreshed,
+            last_seq=self.store.last_seq(),
+        )
+
+    def sync(self) -> SyncOutcome:
+        """One continuous-evaluation tick.
+
+        Folds in rows other handles appended to the shared backend
+        (multi-writer recorders over a sharded store land here),
+        correlates the touched traces, and refreshes every dirty
+        (control, trace) pair — the generalization of the old ``watch``
+        poll body.
+        """
+        with self._lock:
+            self._require_open()
+            return self._sync_locked()
+
+    def verdicts(
+        self,
+        control: Optional[str] = None,
+        trace: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> List[ComplianceResult]:
+        """The verdict table, fresh, in canonical (trace, control) order.
+
+        Reads drain the dirty pairs first, so a served verdict is always
+        what a cold sweep of the store at this instant would produce —
+        byte-identical, per the materializer's parity guarantee.  The
+        optional filters subset the canonical rows without changing
+        their order.
+        """
+        with self._lock:
+            self._require_open()
+            results = self.evaluator.run(self.controls)
+        if control is not None:
+            results = [r for r in results if r.control_name == control]
+        if trace is not None:
+            results = [r for r in results if r.trace_id == trace]
+        if status is not None:
+            results = [r for r in results if r.status.value == status]
+        return results
+
+    def transitions_since(
+        self, after: int = 0
+    ) -> Tuple[int, List[Tuple[int, VerdictTransition]]]:
+        """Live transitions with index > *after*; returns (newest, list).
+
+        The backlog is a ring buffer: a reader that falls more than
+        ``transition_backlog`` entries behind misses the overwritten
+        ones (and can tell, from the gap in indexes).
+        """
+        with self._lock:
+            entries = [
+                (index, transition)
+                for index, transition in self._transitions
+                if index > after
+            ]
+            return self._transition_seq, entries
+
+    def stats(self) -> Dict:
+        """Counters for dashboards and the ``/stats`` endpoint."""
+        with self._lock:
+            recorder = (
+                self.recorder.stats.as_dict()
+                if self.recorder is not None
+                else None
+            )
+            return {
+                "workload": self.workload_name,
+                "traces": len(self.store.app_ids()),
+                "rows": len(self.store),
+                "shards": self.store.shard_count(),
+                "last_seq": cursor_to_wire(self.store.last_seq()),
+                "controls": [control.name for control in self.controls],
+                "dirty_pairs": self.materializer.dirty_count,
+                "refreshes": self.materializer.refreshes,
+                "pending_correlation": len(self._pending_correlation),
+                "correlated_rows": self.correlated_total,
+                "ingest_batches": self.ingest_batches,
+                "ingest_events": self.ingest_events,
+                "recorder": recorder,
+                "polls": self.polls,
+                "snapshots_saved": self.snapshots_saved,
+                "background_running": self.background_running,
+            }
+
+    def health(self) -> Dict:
+        """Tiny liveness payload for ``/health``."""
+        with self._lock:
+            return {
+                "status": "ok" if self._opened and not self._closed
+                else "stopped",
+                "workload": self.workload_name,
+                "traces": len(self.store.app_ids()),
+                "last_seq": cursor_to_wire(self.store.last_seq()),
+            }
+
+    def _save_snapshot_locked(self) -> None:
+        self.materializer.save()
+        self.snapshots_saved += 1
+
+    def snapshot(self) -> None:
+        """Refresh what is dirty, then persist the verdict table + cursor.
+
+        After this the backend alone carries everything a restarted
+        runtime needs to resume: rows, auxiliary verdict state, and the
+        change-feed cursor the state is current as of.
+        """
+        with self._lock:
+            self._require_open()
+            self._save_snapshot_locked()
+
+    def _require_open(self) -> None:
+        if not self._opened or self._closed:
+            raise ServiceError("runtime is not open")
+
+    # -- continuous evaluation ----------------------------------------------
+
+    def poll_loop(
+        self,
+        interval: float,
+        once: bool = False,
+        max_polls: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_poll: Optional[Callable[[SyncOutcome], None]] = None,
+    ) -> int:
+        """The caller-driven continuous-evaluation loop; returns polls run.
+
+        Each tick is one :meth:`sync`; *on_poll* sees every outcome
+        (``watch`` prints the non-empty ones).  *sleep* is injectable so
+        tests drive the loop with a fake clock.  ``KeyboardInterrupt``
+        exits cleanly — the loop's owner snapshots afterwards.
+        """
+        polls = 0
+        try:
+            while True:
+                outcome = self.sync()
+                if on_poll is not None:
+                    on_poll(outcome)
+                polls += 1
+                self.polls += 1
+                if once:
+                    break
+                if max_polls is not None and polls >= max_polls:
+                    break
+                sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        return polls
+
+    @property
+    def background_running(self) -> bool:
+        return self._background is not None and self._background.is_alive()
+
+    def start_background(
+        self,
+        interval: float = 1.0,
+        snapshot_every: int = 0,
+    ) -> None:
+        """Run the refresh loop in a daemon thread until :meth:`shutdown`.
+
+        Args:
+            interval: seconds between ticks (the stop event interrupts a
+                pending wait immediately).
+            snapshot_every: persist the verdict snapshot every N ticks;
+                0 snapshots only at shutdown.
+        """
+        with self._lock:
+            self._require_open()
+            if self.background_running:
+                raise ServiceError("background refresh is already running")
+            self._stop.clear()
+            self.background_interval = interval
+            self._background = threading.Thread(
+                target=self._background_main,
+                args=(interval, snapshot_every),
+                name="compliance-runtime-refresh",
+                daemon=True,
+            )
+            self._background.start()
+
+    def _background_main(self, interval: float, snapshot_every: int) -> None:
+        ticks = 0
+        while not self._stop.is_set():
+            self.sync()
+            self.polls += 1
+            ticks += 1
+            if snapshot_every and ticks % snapshot_every == 0:
+                self.snapshot()
+            self._stop.wait(interval)
+
+    def stop_background(self) -> None:
+        """Stop the background loop and join it.  Idempotent."""
+        self._stop.set()
+        thread = self._background
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=30.0)
+        self._background = None
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_simulation(
+        cls,
+        sim,
+        workload=None,
+        execution_mode: str = "compiled",
+        owns_store: bool = False,
+        **kwargs,
+    ) -> "ComplianceRuntime":
+        """Build a runtime over a
+        :class:`~repro.processes.workload.SimulationResult`.
+
+        With *workload* (the :class:`~repro.processes.workload.Workload`
+        bundle) the runtime also gets the scenario's event mapping and
+        correlation rules, enabling ingestion; without it the runtime is
+        a read-only continuous evaluator over the store.
+        """
+        mapping = None
+        correlation_rules: Sequence = ()
+        if workload is not None:
+            mapping = workload.build_mapping(sim.model)
+            correlation_rules = workload.correlation_rules()
+        return cls(
+            store=sim.store,
+            xom=sim.xom,
+            vocabulary=sim.vocabulary,
+            controls=sim.controls,
+            observable_types=sim.observable_types,
+            execution_mode=execution_mode,
+            mapping=mapping,
+            correlation_rules=correlation_rules,
+            workload_name=sim.workload_name,
+            owns_store=owns_store,
+            **kwargs,
+        )

@@ -1,0 +1,222 @@
+"""Runtime transports: how a recorder client reaches a ComplianceRuntime.
+
+The recorder pipeline (§II.A) is split across a wire boundary: relevance
+filtering and sensitive-data scrubbing stay *client-side* (scrubbed fields
+must never leave the emitting system), while typing per the data model,
+duplicate suppression, and correlation run *server-side*, where the
+runtime owns the store and the mapping.  A transport carries the filtered,
+scrubbed events across that boundary and brings the server's dispositions
+back:
+
+- :class:`InProcessTransport` — the degenerate wire: direct method calls
+  into a runtime living in the same process (embedding, tests),
+- :class:`HTTPTransport` — stdlib ``urllib`` JSON calls against a
+  ``repro serve`` endpoint, so N recorder processes on N machines can
+  stream into one served runtime.
+
+Both speak :class:`IngestReply`, the per-batch disposition summary a
+:class:`~repro.capture.recorder.RecorderClient` folds into its stats.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.capture.events import ApplicationEvent, event_to_wire
+from repro.errors import ServiceError
+from repro.store.cursor import Cursor, cursor_from_wire, cursor_to_wire
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.service.runtime import ComplianceRuntime
+
+
+class TransportError(ServiceError):
+    """A runtime transport could not complete a call."""
+
+
+@dataclass
+class IngestReply:
+    """What the runtime did with one shipped event batch.
+
+    ``dispositions`` has one ``(recorded, reason)`` entry per event sent,
+    in order, so a client can reconstruct faithful per-event envelopes;
+    the counters aggregate them; ``last_seq`` is the store's change-feed
+    position after the batch — the checkpoint an incremental consumer
+    resumes from; ``correlated`` counts relation rows the runtime derived
+    from the batch.
+    """
+
+    recorded: int = 0
+    duplicates: int = 0
+    dropped_irrelevant: int = 0
+    dropped_unmapped: int = 0
+    correlated: int = 0
+    dispositions: List[Tuple[bool, str]] = field(default_factory=list)
+    last_seq: Cursor = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "recorded": self.recorded,
+            "duplicates": self.duplicates,
+            "dropped_irrelevant": self.dropped_irrelevant,
+            "dropped_unmapped": self.dropped_unmapped,
+            "correlated": self.correlated,
+            "dispositions": [
+                {"recorded": recorded, "reason": reason}
+                for recorded, reason in self.dispositions
+            ],
+            "last_seq": cursor_to_wire(self.last_seq),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "IngestReply":
+        return cls(
+            recorded=int(payload.get("recorded", 0)),
+            duplicates=int(payload.get("duplicates", 0)),
+            dropped_irrelevant=int(payload.get("dropped_irrelevant", 0)),
+            dropped_unmapped=int(payload.get("dropped_unmapped", 0)),
+            correlated=int(payload.get("correlated", 0)),
+            dispositions=[
+                (bool(entry["recorded"]), str(entry.get("reason", "")))
+                for entry in payload.get("dispositions", ())
+            ],
+            last_seq=cursor_from_wire(payload.get("last_seq", 0)),
+        )
+
+
+class InProcessTransport:
+    """Direct calls into a runtime in the same process."""
+
+    def __init__(self, runtime: "ComplianceRuntime") -> None:
+        self.runtime = runtime
+
+    def ingest(self, events: Sequence[ApplicationEvent]) -> IngestReply:
+        return self.runtime.ingest(events)
+
+    def verdicts(
+        self,
+        control: Optional[str] = None,
+        trace: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> List[Dict]:
+        return [
+            result.to_payload()
+            for result in self.runtime.verdicts(
+                control=control, trace=trace, status=status
+            )
+        ]
+
+    def stats(self) -> Dict:
+        return self.runtime.stats()
+
+    def sync(self) -> Dict:
+        return self.runtime.sync().as_dict()
+
+    def snapshot(self) -> Dict:
+        self.runtime.snapshot()
+        return {"saved": True}
+
+    def health(self) -> Dict:
+        return self.runtime.health()
+
+    def close(self) -> None:
+        """Nothing to release; the runtime's owner shuts it down."""
+
+
+class HTTPTransport:
+    """JSON-over-HTTP calls against a ``repro serve`` endpoint.
+
+    Stdlib only (``urllib``); one short-lived request per call, so a
+    transport object is safe to build once per recorder process and use
+    for its whole stream.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8787`` (trailing slash ok).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        url = f"{self.base_url}{path}"
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            url,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")[:200]
+            raise TransportError(
+                f"{method} {url} failed: {exc.code} {detail}"
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise TransportError(f"{method} {url} unreachable: {exc}") from exc
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise TransportError(
+                f"{method} {url} returned non-JSON body"
+            ) from exc
+
+    def ingest(self, events: Sequence[ApplicationEvent]) -> IngestReply:
+        reply = self._call(
+            "POST",
+            "/ingest",
+            {"events": [event_to_wire(event) for event in events]},
+        )
+        return IngestReply.from_dict(reply)
+
+    def verdicts(
+        self,
+        control: Optional[str] = None,
+        trace: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> List[Dict]:
+        params = {
+            key: value
+            for key, value in (
+                ("control", control), ("trace", trace), ("status", status)
+            )
+            if value is not None
+        }
+        query = f"?{urllib.parse.urlencode(params)}" if params else ""
+        return self._call("GET", f"/verdicts{query}")["verdicts"]
+
+    def stats(self) -> Dict:
+        return self._call("GET", "/stats")
+
+    def sync(self) -> Dict:
+        return self._call("POST", "/sync")
+
+    def snapshot(self) -> Dict:
+        return self._call("POST", "/snapshot")
+
+    def health(self) -> Dict:
+        return self._call("GET", "/health")
+
+    def shutdown(self) -> Dict:
+        """Ask the server to stop gracefully (flush + snapshot)."""
+        return self._call("POST", "/shutdown")
+
+    def close(self) -> None:
+        """Connections are per-request; nothing is held open."""

@@ -140,6 +140,11 @@ class SQLiteBackend(StorageBackend):
             :class:`~repro.store.locks.FileLock`) taken around each flush
             transaction, serializing multi-process writers fairly instead
             of spinning on ``SQLITE_BUSY``.
+        threadsafe: allow the connection to be used from threads other
+            than the creating one (``check_same_thread=False``).  The
+            caller must serialize all access externally — the service
+            runtime does, holding its lock around every store touch; the
+            default keeps sqlite3's own thread check for everyone else.
     """
 
     name = "sqlite"
@@ -151,6 +156,7 @@ class SQLiteBackend(StorageBackend):
         bulk_batch_size: int = 8192,
         cache_size: Optional[int] = None,
         write_lock=None,
+        threadsafe: bool = False,
     ) -> None:
         if cache_size is None:
             cache_size = _default_cache_size()
@@ -161,7 +167,9 @@ class SQLiteBackend(StorageBackend):
         self.bulk_batch_size = bulk_batch_size
         self.cache_size = cache_size
         self._write_lock = write_lock if write_lock is not None else NullLock()
-        self._conn = sqlite3.connect(path, timeout=30.0)
+        self._conn = sqlite3.connect(
+            path, timeout=30.0, check_same_thread=not threadsafe
+        )
         try:
             self._conn.executescript(_SCHEMA_BASE)
             self._conn.execute("PRAGMA journal_mode=WAL")

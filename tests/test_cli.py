@@ -255,3 +255,25 @@ class TestChaos:
         assert code == 1
         assert "chaos: FAILED" in text
         assert "--seed 3" in text
+
+
+class TestScenarios:
+    def test_lists_every_registered_workload(self):
+        code, text = run_cli("scenarios")
+        assert code == 0
+        assert "Registered workloads" in text
+        for scenario, process in (
+            ("expenses", "expense-reimbursement"),
+            ("hiring", "new-position-open"),
+            ("incidents", "incident-management"),
+            ("procurement", "purchase-to-pay"),
+        ):
+            assert scenario in text
+            assert process in text
+
+    def test_verbose_names_each_control_point(self):
+        code, text = run_cli("scenarios", "--verbose")
+        assert code == 0
+        assert "gm-approval" in text
+        # Control lines carry severity + description.
+        assert re.search(r"gm-approval \[\w+\]: ", text)

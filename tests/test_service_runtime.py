@@ -1,0 +1,498 @@
+"""Tests for the ComplianceRuntime service core and runtime transports.
+
+The contract under test: a runtime's served verdicts are byte-identical
+to a cold sweep of the same store at the same instant, under ingestion,
+concurrent readers, out-of-band writers, and shutdown/restart cycles.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.capture.recorder import RecorderClient
+from repro.controls.evaluator import ComplianceEvaluator
+from repro.errors import CaptureError, MappingError, ServiceError
+from repro.processes import hiring
+from repro.processes.engine import ProcessSimulator, all_events
+from repro.processes.violations import ViolationPlan
+from repro.service import ComplianceRuntime, InProcessTransport
+from repro.store.backends import SQLiteBackend
+from repro.store.store import ProvenanceStore
+
+
+def _event_stream(workload, cases, seed=11, rate=0.25):
+    """A raw application-event stream, store-free (recorder input)."""
+    simulator = ProcessSimulator(
+        workload.build_spec(),
+        workload.case_factory(
+            ViolationPlan.uniform(list(hiring.VIOLATION_KINDS), rate)
+        ),
+        seed=seed,
+    )
+    return all_events(simulator.run(cases))
+
+
+def _cold_sweep_payloads(sim):
+    """The cold-sweep oracle: a fresh evaluator over the same store."""
+    oracle = ComplianceEvaluator(
+        sim.store, sim.xom, sim.vocabulary,
+        observable_types=sim.observable_types,
+    )
+    return json.dumps(
+        [result.to_payload() for result in oracle.run(sim.controls)]
+    )
+
+
+def _served_payloads(runtime):
+    return json.dumps(
+        [result.to_payload() for result in runtime.verdicts()]
+    )
+
+
+def _open_runtime(workload, cases=0, seed=2011, backend=None, **kwargs):
+    sim = workload.simulate(cases=cases, seed=seed, backend=backend)
+    runtime = ComplianceRuntime.from_simulation(
+        sim, workload=workload, **kwargs
+    )
+    return sim, runtime
+
+
+class TestRuntimeCore:
+    def test_open_reports_startup_sweep(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload, cases=6)
+        report = runtime.open()
+        assert not report.restored
+        assert report.traces == 6
+        assert report.evaluated == 6 * len(sim.controls)
+        with pytest.raises(ServiceError):
+            runtime.open()
+        runtime.shutdown()
+
+    def test_verdicts_match_cold_sweep_and_filter(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload, cases=8)
+        runtime.open()
+        assert _served_payloads(runtime) == _cold_sweep_payloads(sim)
+        one_control = runtime.verdicts(control="gm-approval")
+        assert len(one_control) == 8
+        assert {r.control_name for r in one_control} == {"gm-approval"}
+        one_trace = runtime.verdicts(trace="App03")
+        assert {r.trace_id for r in one_trace} == {"App03"}
+        by_status = runtime.verdicts(status="satisfied")
+        assert all(r.status.value == "satisfied" for r in by_status)
+        runtime.shutdown()
+
+    def test_ingest_pipeline_and_dedup(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload)
+        runtime.open()
+        events = _event_stream(workload, cases=5)
+        reply = runtime.ingest(events)
+        assert reply.recorded > 0
+        assert reply.duplicates == 0
+        assert reply.correlated > 0  # hiring has correlation rules
+        assert len(reply.dispositions) == len(events)
+        assert (
+            sum(1 for recorded, __ in reply.dispositions if recorded)
+            == reply.recorded
+        )
+        # The same batch again: idempotent capture, everything a duplicate.
+        again = runtime.ingest(events)
+        assert again.recorded == 0
+        assert again.duplicates == reply.recorded
+        assert again.correlated == 0
+        # Served verdicts over the ingested rows = cold sweep of them.
+        assert _served_payloads(runtime) == _cold_sweep_payloads(sim)
+        runtime.shutdown()
+
+    def test_ingest_without_mapping_is_rejected(self):
+        workload = hiring.workload()
+        sim = workload.simulate(cases=2, seed=2011)
+        runtime = ComplianceRuntime.from_simulation(sim)  # no workload
+        runtime.open()
+        with pytest.raises(ServiceError):
+            runtime.ingest(_event_stream(workload, cases=1))
+        runtime.shutdown()
+
+    def test_sync_folds_out_of_band_appends(self):
+        import dataclasses
+
+        workload = hiring.workload()
+        sim = workload.simulate(cases=4, seed=2011)
+        # Watch-style read-only runtime: no mapping, no correlation —
+        # another pipeline owns the rows; this one only evaluates them.
+        runtime = ComplianceRuntime.from_simulation(sim)
+        runtime.open()
+        # Another handle over the same backend appends behind our back.
+        other = ProvenanceStore(backend=sim.store.backend)
+        template = next(
+            r for r in other.records() if r.app_id == "App02"
+        )
+        other.append(
+            dataclasses.replace(template, record_id="oob-service-1")
+        )
+        outcome = runtime.sync()
+        assert outcome.new_rows == 1
+        # Only App02's pairs re-evaluate, one per control.
+        assert outcome.refreshed == len(sim.controls)
+        assert _served_payloads(runtime) == _cold_sweep_payloads(sim)
+        runtime.shutdown()
+
+    def test_transitions_feed_is_indexed(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload)
+        runtime.open()
+        newest, entries = runtime.transitions_since(0)
+        assert newest == 0 and entries == []
+        runtime.ingest(_event_stream(workload, cases=2))
+        runtime.sync()
+        newest, entries = runtime.transitions_since(0)
+        assert newest == len(entries) > 0
+        assert [index for index, __ in entries] == list(
+            range(1, newest + 1)
+        )
+        # A caught-up reader sees nothing new.
+        __, tail = runtime.transitions_since(newest)
+        assert tail == []
+        runtime.shutdown()
+
+    def test_stats_counters(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload, cases=3)
+        runtime.open()
+        stats = runtime.stats()
+        assert stats["workload"] == sim.workload_name
+        assert stats["traces"] == 3
+        assert stats["controls"] == [c.name for c in sim.controls]
+        assert stats["dirty_pairs"] == 0
+        runtime.ingest(_event_stream(workload, cases=1))
+        assert runtime.stats()["ingest_batches"] == 1
+        runtime.shutdown()
+
+    def test_shutdown_is_idempotent_and_closes_owned_store(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload, cases=2, owns_store=True)
+        runtime.open()
+        runtime.shutdown()
+        runtime.shutdown()  # second call is a no-op
+        with pytest.raises(ServiceError):
+            runtime.verdicts()
+
+
+class TestSnapshotResume:
+    def _attach_runtime(self, workload, db, **kwargs):
+        store = ProvenanceStore(
+            model=workload.build_model(), backend=SQLiteBackend(db)
+        )
+        sim = workload.attach(store)
+        runtime = ComplianceRuntime.from_simulation(
+            sim, workload=workload, owns_store=True, **kwargs
+        )
+        return sim, runtime
+
+    def test_restart_resumes_from_cursor(self, tmp_path):
+        db = str(tmp_path / "service.db")
+        workload = hiring.workload()
+        events = _event_stream(workload, cases=6)
+        half = len(events) // 2
+
+        sim1, first = self._attach_runtime(workload, db)
+        report1 = first.open()
+        assert not report1.restored
+        first.ingest(events[:half])
+        first.sync()
+        first.shutdown()  # graceful: snapshot + flush + close
+
+        sim2, second = self._attach_runtime(workload, db)
+        report2 = second.open()
+        # The snapshot covered every row: nothing re-evaluates at startup.
+        assert report2.restored
+        assert report2.evaluated == 0
+        # The stream's tail lands after the restart; correlation id
+        # sequences continue where the first process left off.
+        second.ingest(events[half:])
+        second.sync()
+        assert _served_payloads(second) == _cold_sweep_payloads(sim2)
+        second.shutdown()
+
+    def test_rows_appended_while_down_reevaluate_only_their_trace(
+        self, tmp_path
+    ):
+        import dataclasses
+
+        db = str(tmp_path / "service.db")
+        workload = hiring.workload()
+
+        sim1, first = self._attach_runtime(workload, db)
+        first.open()
+        first.ingest(_event_stream(workload, cases=5))
+        first.shutdown()
+
+        other = ProvenanceStore(backend=SQLiteBackend(db))
+        template = next(
+            r for r in other.records() if r.app_id == "App01"
+        )
+        other.append(
+            dataclasses.replace(template, record_id="downtime-row-1")
+        )
+        other.close()
+
+        sim2, second = self._attach_runtime(workload, db)
+        report = second.open()
+        assert report.restored
+        # One touched trace -> one pair per control, not 5 traces' worth.
+        assert 0 < report.evaluated <= len(sim2.controls)
+        assert _served_payloads(second) == _cold_sweep_payloads(sim2)
+        second.shutdown()
+
+
+class TestConcurrency:
+    def test_threaded_ingest_with_live_readers(self):
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload)
+        runtime.open()
+        events = _event_stream(workload, cases=12, seed=23)
+        writers = 3
+        # Partition whole traces round-robin: each writer owns disjoint
+        # traces, so per-trace event order is preserved within a writer.
+        trace_ids = sorted({event.app_id for event in events})
+        owner = {
+            trace: index % writers
+            for index, trace in enumerate(trace_ids)
+        }
+        partitions = [
+            [e for e in events if owner[e.app_id] == index]
+            for index in range(writers)
+        ]
+        errors = []
+        stop_reading = threading.Event()
+
+        def write(partition):
+            try:
+                client = RecorderClient(
+                    transport=InProcessTransport(runtime)
+                )
+                # Many small batches maximize interleaving.
+                for start in range(0, len(partition), 7):
+                    client.process_all(partition[start:start + 7])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def read():
+            try:
+                while not stop_reading.is_set():
+                    for result in runtime.verdicts():
+                        # Reads mid-ingest must always be coherent rows.
+                        assert result.control_name and result.trace_id
+                    runtime.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        reader = threading.Thread(target=read)
+        threads = [
+            threading.Thread(target=write, args=(partition,))
+            for partition in partitions
+        ]
+        reader.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop_reading.set()
+        reader.join()
+        assert errors == []
+        runtime.sync()
+        assert runtime.stats()["traces"] == len(trace_ids)
+        assert _served_payloads(runtime) == _cold_sweep_payloads(sim)
+        runtime.shutdown()
+
+    def test_background_refresh_folds_out_of_band_rows(self):
+        import dataclasses
+        import time
+
+        workload = hiring.workload()
+        sim = workload.simulate(cases=3, seed=2011)
+        # Read-only runtime: the out-of-band writer owns correlation.
+        runtime = ComplianceRuntime.from_simulation(sim)
+        runtime.open()
+        runtime.start_background(interval=0.01)
+        with pytest.raises(ServiceError):
+            runtime.start_background(interval=0.01)
+        other = ProvenanceStore(backend=sim.store.backend)
+        template = next(
+            r for r in other.records() if r.app_id == "App01"
+        )
+        other.append(
+            dataclasses.replace(template, record_id="bg-oob-1")
+        )
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if runtime.stats()["rows"] == len(other):
+                if runtime.stats()["dirty_pairs"] == 0:
+                    break
+            time.sleep(0.01)
+        assert runtime.stats()["dirty_pairs"] == 0
+        assert _served_payloads(runtime) == _cold_sweep_payloads(sim)
+        runtime.shutdown()
+        assert not runtime.background_running
+
+
+class TestTransportRecorder:
+    def test_constructor_requires_exactly_one_backing(self):
+        workload = hiring.workload()
+        sim = workload.simulate(cases=0)
+        mapping = workload.build_mapping(sim.model)
+        with pytest.raises(CaptureError):
+            RecorderClient()  # neither
+        with pytest.raises(CaptureError):
+            RecorderClient(sim.store)  # store without mapping
+        runtime = ComplianceRuntime.from_simulation(
+            sim, workload=workload
+        )
+        with pytest.raises(CaptureError):
+            RecorderClient(
+                sim.store, mapping,
+                transport=InProcessTransport(runtime),
+            )  # both
+
+    def test_remote_recorder_matches_embedded_stats(self):
+        workload = hiring.workload()
+        events = _event_stream(workload, cases=4, seed=31)
+
+        # Embedded oracle: classic store-backed recorder.
+        model = workload.build_model()
+        mapping = workload.build_mapping(model)
+        oracle_store = ProvenanceStore(model=model)
+        embedded = RecorderClient(oracle_store, mapping)
+        embedded_envelopes = embedded.process_all(events + events[:5])
+
+        # Remote: same stream through a served runtime.
+        sim, runtime = _open_runtime(workload)
+        runtime.open()
+        remote = RecorderClient(
+            transport=InProcessTransport(runtime), mapping=mapping
+        )
+        remote_envelopes = remote.process_all(events + events[:5])
+
+        for field in (
+            "seen", "recorded", "dropped_irrelevant",
+            "dropped_unmapped", "duplicates",
+        ):
+            assert (
+                getattr(remote.stats, field)
+                == getattr(embedded.stats, field)
+            ), field
+        assert [
+            (envelope.recorded, envelope.dropped_reason)
+            for envelope in remote_envelopes
+        ] == [
+            (envelope.recorded, envelope.dropped_reason)
+            for envelope in embedded_envelopes
+        ]
+        oracle_store.close()
+        runtime.shutdown()
+
+    def test_unknown_kind_is_dropped_by_the_server(self):
+        from repro.capture.events import ApplicationEvent, EventSource
+
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload)
+        runtime.open()
+        stray = ApplicationEvent(
+            event_id="stray-1",
+            source=EventSource.MANUAL,
+            kind="totally.unknown",
+            app_id="App99",
+        )
+        # Without a client-side mapping, everything ships; the server's
+        # relevance filter rejects the unknown kind and the client folds
+        # the disposition into its own counters.
+        lenient = RecorderClient(transport=InProcessTransport(runtime))
+        (envelope,) = lenient.process_all([stray])
+        assert not envelope.recorded
+        assert lenient.stats.dropped_irrelevant == 1
+        # With the scope's mapping the client filters before the wire:
+        # same outcome, nothing shipped.
+        mapping = workload.build_mapping(sim.model)
+        local_filter = RecorderClient(
+            transport=InProcessTransport(runtime), mapping=mapping
+        )
+        (envelope,) = local_filter.process_all([stray])
+        assert not envelope.recorded
+        assert local_filter.stats.dropped_irrelevant == 1
+        runtime.shutdown()
+
+    def test_strict_client_raises_on_remote_unmapped_disposition(self):
+        from repro.capture.events import ApplicationEvent, EventSource
+        from repro.service.transport import IngestReply
+
+        class StubTransport:
+            def __init__(self, dispositions):
+                self.reply = IngestReply(
+                    recorded=0, duplicates=0, dropped_irrelevant=0,
+                    dropped_unmapped=len(dispositions), correlated=0,
+                    dispositions=dispositions, last_seq=0,
+                )
+
+            def ingest(self, events):
+                return self.reply
+
+        stray = ApplicationEvent(
+            "stray-2", EventSource.MANUAL, "x.y", app_id="App01"
+        )
+        unmapped = [(False, "no mapping rule for kind 'x.y'")]
+        lenient = RecorderClient(transport=StubTransport(unmapped))
+        (envelope,) = lenient.process_all([stray])
+        assert not envelope.recorded
+        assert lenient.stats.dropped_unmapped == 1
+        strict = RecorderClient(
+            transport=StubTransport(unmapped), strict=True
+        )
+        with pytest.raises(MappingError):
+            strict.process_all([stray])
+
+    def test_disposition_count_mismatch_is_a_capture_error(self):
+        from repro.capture.events import ApplicationEvent, EventSource
+        from repro.service.transport import IngestReply
+
+        class ShortTransport:
+            def ingest(self, events):
+                return IngestReply(
+                    recorded=0, duplicates=0, dropped_irrelevant=0,
+                    dropped_unmapped=0, correlated=0,
+                    dispositions=[], last_seq=0,
+                )
+
+        client = RecorderClient(transport=ShortTransport())
+        with pytest.raises(CaptureError):
+            client.process_all([
+                ApplicationEvent(
+                    "m-1", EventSource.MANUAL, "a.b", app_id="App01"
+                )
+            ])
+
+    def test_remote_recorder_scrubs_before_the_wire(self):
+        from repro.capture.filters import SensitiveDataScrubber
+
+        workload = hiring.workload()
+        sim, runtime = _open_runtime(workload)
+        runtime.open()
+        events = _event_stream(workload, cases=1)
+        # Tag one payload field as sensitive on the recording side.
+        poisoned = [
+            event.with_payload(salary_band="SB9") for event in events
+        ]
+        client = RecorderClient(
+            transport=InProcessTransport(runtime),
+            scrubber=SensitiveDataScrubber(
+                sensitive_fields=("salary_band",)
+            ),
+        )
+        client.process_all(poisoned)
+        assert client.stats.scrubbed_fields == len(poisoned)
+        # Nothing that reached the store mentions the scrubbed value.
+        for row in runtime.store.rows():
+            assert "SB9" not in row.xml
+        runtime.shutdown()
