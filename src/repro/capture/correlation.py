@@ -335,6 +335,7 @@ class CorrelationAnalytics:
         model: Optional[ProvenanceDataModel] = None,
         ids: Optional[IdFactory] = None,
         use_planner: bool = True,
+        track_edges: bool = False,
     ) -> None:
         self.store = store
         self.model = model if model is not None else store.model
@@ -343,6 +344,14 @@ class CorrelationAnalytics:
         self._rules: List[CorrelationRule] = []
         #: stats of the most recent :meth:`run` (None before the first run).
         self.stats: Optional[CorrelationStats] = None
+        # With track_edges the existing-edge set is seeded once and then
+        # maintained by a store observer, so repeated run() calls skip the
+        # full-store relation scan (the per-batch cost on a long-lived
+        # runtime).  Outputs are byte-identical either way.
+        self._edge_cache: Optional[set] = None
+        if track_edges:
+            self._edge_cache = self._existing_edges()
+            self.store.subscribe(self._note_relation)
 
     def add_rule(self, rule) -> "CorrelationAnalytics":
         """Register a :class:`CorrelationRule` or :class:`SequenceRule`."""
@@ -371,13 +380,24 @@ class CorrelationAnalytics:
             if isinstance(r, RelationRecord)
         }
 
+    def _note_relation(self, record: ProvenanceRecord) -> None:
+        """Store observer: fold appended/synced relations into the cache."""
+        if self._edge_cache is not None and isinstance(record, RelationRecord):
+            self._edge_cache.add(
+                (record.entity_type, record.source_id, record.target_id)
+            )
+
     def run(
         self, app_ids: Optional[Iterable[str]] = None
     ) -> List[RelationRecord]:
         """Run all rules over the given traces (default: all); returns the
         newly created relation records (already appended to the store)."""
         traces = list(app_ids) if app_ids is not None else self.store.app_ids()
-        existing = self._existing_edges()
+        existing = (
+            self._edge_cache
+            if self._edge_cache is not None
+            else self._existing_edges()
+        )
         stats = CorrelationStats()
         self.stats = stats
         created: List[RelationRecord] = []

@@ -62,6 +62,26 @@ class RecorderStats:
             "last_seq": cursor_to_wire(self.last_seq),
         }
 
+    @classmethod
+    def aggregate(
+        cls, parts: Iterable["RecorderStats"], last_seq: Cursor = 0
+    ) -> "RecorderStats":
+        """Sum counters across recorders (one per ingest lane).
+
+        ``last_seq`` is caller-provided: per-lane recorders each track
+        their own shard's cursor, and only the caller knows the combined
+        store position the aggregate should report.
+        """
+        total = cls(last_seq=last_seq)
+        for part in parts:
+            total.seen += part.seen
+            total.recorded += part.recorded
+            total.dropped_irrelevant += part.dropped_irrelevant
+            total.dropped_unmapped += part.dropped_unmapped
+            total.duplicates += part.duplicates
+            total.scrubbed_fields += part.scrubbed_fields
+        return total
+
 
 class RecorderClient:
     """Transforms application events into provenance records.

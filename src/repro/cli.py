@@ -520,6 +520,12 @@ def cmd_serve(args, out) -> int:
         f"{report.evaluated} pairs evaluated at startup",
         file=out,
     )
+    if runtime.sharded:
+        print(
+            f"sharded runtime: {runtime.lane_count} parallel ingest "
+            f"lanes (one per shard, routed by APPID hash)",
+            file=out,
+        )
     try:
         server = ComplianceHTTPServer(
             runtime, host=args.host, port=args.port
@@ -648,6 +654,39 @@ def cmd_chaos(args, out) -> int:
     return 0
 
 
+def _print_lane_stats(backend, out) -> None:
+    """Per-lane ingest counters a sharded service runtime persisted.
+
+    A sharded ``repro serve`` saves each lane's counters as auxiliary
+    state at snapshot/shutdown; reporting them here makes ``store-stats``
+    show how ingest load actually spread across lanes, instead of only
+    the aggregate.
+    """
+    import json
+
+    from repro.service.runtime import LANE_STATS_KEY
+
+    raw = backend.load_state(LANE_STATS_KEY)
+    if raw is None:
+        return
+    try:
+        payload = json.loads(raw)
+    except ValueError:
+        return
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        return
+    for entry in payload.get("lanes", ()):
+        print(
+            f"lane {entry.get('lane')}: "
+            f"{entry.get('events_routed', 0)} events routed over "
+            f"{entry.get('batches', 0)} batches, "
+            f"{entry.get('dedup_hits', 0)} dedup hits, "
+            f"{entry.get('correlation_batches', 0)} correlation batches "
+            f"({entry.get('correlated_rows', 0)} relation rows)",
+            file=out,
+        )
+
+
 def cmd_store_stats(args, out) -> int:
     """Per-shard row counts, feed positions, and on-disk sizes."""
     backend = _backend_for(args)
@@ -703,6 +742,7 @@ def cmd_store_stats(args, out) -> int:
                     f"queries",
                     file=out,
                 )
+        _print_lane_stats(backend, out)
         print(
             f"total: {total_rows} rows across {len(children)} shard(s), "
             f"{total_bytes} bytes on disk",

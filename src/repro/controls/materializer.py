@@ -146,6 +146,11 @@ class VerdictMaterializer:
         self.cursor = self.store.last_seq()
         #: (control, trace) evaluations actually run.
         self.refreshes = 0
+        #: monotonic transition epoch: bumped whenever the materialized
+        #: view (or what it would answer) may have changed — new verdicts,
+        #: freshly dirtied pairs, registry changes, snapshot restores.
+        #: Read caches key on it to detect staleness without locking.
+        self.epoch = 0
         self.store.subscribe(self._on_append)
 
     # -- control registry ----------------------------------------------------
@@ -174,6 +179,7 @@ class VerdictMaterializer:
         )
         for trace_id in self.store.app_ids():
             self._dirty.setdefault((control.name, trace_id))
+        self.epoch += 1
         return True
 
     def unregister(self, name: str) -> None:
@@ -181,6 +187,7 @@ class VerdictMaterializer:
         readable, but dirty pairs for it are skipped at refresh time."""
         self._controls.pop(name, None)
         self._relevance.pop(name, None)
+        self.epoch += 1
 
     def registered(self, name: str) -> bool:
         return name in self._controls
@@ -243,6 +250,7 @@ class VerdictMaterializer:
         # Store observers fire once per commit, in order, so the store's
         # cursor at this moment is exactly this record's seq.
         self.cursor = self.store.last_seq()
+        self.epoch += 1
         if self.ignore is not None and self.ignore(record):
             return
         for name in self._controls:
@@ -266,12 +274,14 @@ class VerdictMaterializer:
     def mark(self, control_name: str, trace_id: str) -> None:
         """Explicitly dirty one pair (forces re-evaluation on refresh)."""
         self._dirty.setdefault((control_name, trace_id))
+        self.epoch += 1
 
     def invalidate_all(self) -> None:
         """Dirty every (registered control, known trace) pair."""
         for trace_id in self.store.app_ids():
             for name in self._controls:
                 self._dirty.setdefault((name, trace_id))
+        self.epoch += 1
 
     # -- refresh -------------------------------------------------------------
 
@@ -300,6 +310,7 @@ class VerdictMaterializer:
         key = (result.control_name, result.trace_id)
         previous = self._verdicts.get(key)
         self._verdicts[key] = result
+        self.epoch += 1
         transition = VerdictTransition(
             result=result,
             previous=previous.status if previous is not None else None,
@@ -518,4 +529,5 @@ class VerdictMaterializer:
         for key in list(self._dirty):
             if key[1] not in touched and key in self._verdicts:
                 del self._dirty[key]
+        self.epoch += 1
         return True

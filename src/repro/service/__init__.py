@@ -2,13 +2,16 @@
 
 :class:`ComplianceRuntime` is the explicit engine behind every evaluation
 front end — store + recorder pipeline + correlation + verdict
-materializer behind one thread-safe session API.
+materializer behind one thread-safe session API.  Over a sharded store
+it splits ingest into per-shard :class:`IngestLane` pipelines
+(:mod:`repro.service.lanes`) so concurrent writers scale with shards.
 :mod:`repro.service.http` serves it over stdlib HTTP (``repro serve``);
 :mod:`repro.service.transport` is how recorder clients reach it, in
 process or across the wire.
 """
 
 from repro.service.http import ComplianceHTTPServer
+from repro.service.lanes import IngestLane, LaneResult
 from repro.service.runtime import (
     ComplianceRuntime,
     StartupReport,
@@ -25,8 +28,10 @@ __all__ = [
     "ComplianceHTTPServer",
     "ComplianceRuntime",
     "HTTPTransport",
+    "IngestLane",
     "IngestReply",
     "InProcessTransport",
+    "LaneResult",
     "StartupReport",
     "SyncOutcome",
     "TransportError",

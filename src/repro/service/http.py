@@ -18,10 +18,14 @@ POST   /snapshot      persist the verdict snapshot now
 POST   /shutdown      graceful stop: flush, snapshot, release the port
 ====== ============== ====================================================
 
-Handler threads funnel into the runtime, whose internal lock serializes
-them; the server adds no state of its own beyond the shutdown latch.
-Errors surface as JSON bodies — ``{"error": ...}`` with a 4xx/5xx code —
-never as HTML tracebacks.
+Handler threads speak HTTP/1.1 with keep-alive (every reply carries a
+Content-Length), so a streaming client holds one connection — and one
+handler thread — for its whole session instead of paying accept/teardown
+per batch.  The threads funnel into the runtime, which serializes them
+per ingest lane (per shard on a sharded store, one global lock
+otherwise); the server adds no state of its own beyond the shutdown
+latch.  Errors surface as JSON bodies — ``{"error": ...}`` with a
+4xx/5xx code — never as HTML tracebacks.
 """
 
 from __future__ import annotations
@@ -48,6 +52,12 @@ class _RuntimeRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
     sys_version = ""
+    # Keep-alive + Nagle is a 40ms-per-request trap: the reply goes out
+    # as two small writes (header block, body), and with the client's
+    # next request waiting on a delayed ACK the whole pipeline stalls.
+    # Fresh-connection servers never see this; persistent ones must
+    # disable coalescing.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         # Per-request stderr chatter would swamp benchmark runs; the
@@ -174,6 +184,10 @@ class _RuntimeRequestHandler(BaseHTTPRequestHandler):
                 self._reply(200, {"saved": True})
             elif path == "/shutdown":
                 self._reply(200, {"stopping": True})
+                # Drop this keep-alive connection after the reply: the
+                # server is stopping and must not strand a client
+                # waiting on a socket no handler will read again.
+                self.close_connection = True
                 self.server.request_shutdown()  # type: ignore[attr-defined]
             else:
                 self._reply_error(404, f"unknown path {path!r}")

@@ -30,14 +30,24 @@ stream events in over a transport (:mod:`repro.service.transport`) while
 readers query verdicts that the background loop keeps fresh.  The HTTP
 front end lives in :mod:`repro.service.http`; ``repro serve`` wires both.
 
-Thread safety: one re-entrant lock serializes every store / materializer
-touch.  The store, materializer, and evaluator are single-threaded by
-design; the runtime is the one place that may be entered from many
-threads (HTTP handler threads, the background refresh loop, the owner).
+Thread safety and the sharded runtime: over a sharded store the runtime
+splits into per-shard **ingest lanes** (:mod:`repro.service.lanes`) —
+each lane owns its shard's recorder pipeline, dedup state, and
+incremental correlation under its own lock, and events route to lanes by
+the same stable APPID hash the backend uses — so concurrent ``ingest``
+calls for different shards proceed in parallel.  The global re-entrant
+lock fences only cross-shard state: materializer refreshes, snapshots,
+shutdown, and the vector-cursor sync that folds lane output into the
+global view.  Hot reads (``verdicts``) are served from a read cache
+keyed by the materializer's transition epoch plus every lane's commit
+counter, so a quiescent read never takes a lock at all.  Over an
+unsharded store there is one lane sharing the global lock and behavior
+is exactly the pre-lane, fully serialized runtime.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import deque
@@ -53,9 +63,8 @@ from typing import (
     Tuple,
 )
 
-from repro.capture.correlation import CorrelationAnalytics
 from repro.capture.events import ApplicationEvent
-from repro.capture.recorder import RecorderClient
+from repro.capture.recorder import RecorderClient, RecorderStats
 from repro.controls.control import InternalControl
 from repro.controls.evaluator import ComplianceEvaluator
 from repro.controls.materializer import (
@@ -65,13 +74,19 @@ from repro.controls.materializer import (
 from repro.controls.status import ComplianceResult
 from repro.errors import ServiceError
 from repro.ids import IdFactory
-from repro.model.records import RelationRecord
+from repro.service.lanes import IngestLane
 from repro.service.transport import IngestReply
+from repro.store.backends.memory import MemoryBackend
+from repro.store.backends.sharded import ShardedBackend
 from repro.store.cursor import cursor_to_wire
 from repro.store.store import ProvenanceStore
 
 #: id prefix correlation analytics mint relation records under.
 _RELATION_PREFIX = "REL"
+
+#: backend aux-state key the per-lane ingest counters persist under
+#: (read offline by ``repro store-stats``).
+LANE_STATS_KEY = "runtime:lane-stats"
 
 
 @dataclass(frozen=True)
@@ -159,34 +174,60 @@ class ComplianceRuntime:
                 "(share_contexts and incremental enabled)"
             )
         self.materializer = materializer
-        self.recorder = (
-            RecorderClient(store, mapping) if mapping is not None else None
-        )
-        self._analytics: Optional[CorrelationAnalytics] = None
-        if correlation_rules:
-            self._analytics = CorrelationAnalytics(store, store.model)
-            for rule in correlation_rules:
-                self._analytics.add_rule(rule)
-        #: traces with new non-relation rows since correlation last ran.
-        self._pending_correlation: Dict[str, None] = {}
-        self.store.subscribe(self._on_append)
+        self._mapping = mapping
+        self._correlation_rules: Sequence = list(correlation_rules)
+        #: shared relation-id factory; ``next()`` is GIL-atomic, so lanes
+        #: mint globally unique REL ids without cross-lane locking.
+        self._rel_ids = None  # seeded and shared out in :meth:`open`
+        #: per-shard ingest lanes (one lane over the global store when
+        #: the backend is unsharded or its shards cannot fork handles).
+        self._lanes: List[IngestLane] = []
+        self._sharded = False
         # Live transition feed (ring buffer, monotonically indexed).
         self._transitions: Deque[Tuple[int, VerdictTransition]] = deque(
             maxlen=transition_backlog
         )
+        self._transitions_lock = threading.Lock()
         self._transition_seq = 0
+        #: verdict read cache: ((materializer epoch, lane commit vector),
+        #: results).  Written only under the global lock; read lock-free.
+        self._verdict_cache: Optional[Tuple[tuple, List]] = None
         self._opened = False
         self._closed = False
         # Background refresh loop.
         self._background: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self.background_interval: Optional[float] = None
-        #: counters surfaced by :meth:`stats`.
+        #: counters surfaced by :meth:`stats` (small dedicated lock: the
+        #: sharded ingest path bumps them outside the global lock).
+        self._counter_lock = threading.Lock()
         self.polls = 0
         self.ingest_batches = 0
         self.ingest_events = 0
         self.correlated_total = 0
         self.snapshots_saved = 0
+        self.verdict_cache_hits = 0
+        self.verdict_cache_misses = 0
+
+    @property
+    def recorder(self) -> Optional[RecorderClient]:
+        """The single-lane recorder (None before open / when sharded).
+
+        Sharded runtimes have one recorder per lane; aggregate stats are
+        in :meth:`stats` under ``"recorder"``.
+        """
+        if len(self._lanes) == 1:
+            return self._lanes[0].recorder
+        return None
+
+    @property
+    def sharded(self) -> bool:
+        """Whether ingest runs through parallel per-shard lanes."""
+        return self._sharded
+
+    @property
+    def lane_count(self) -> int:
+        return len(self._lanes)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -205,6 +246,7 @@ class ComplianceRuntime:
                 raise ServiceError("runtime is already open")
             self._opened = True
             self._seed_relation_ids()
+            self._build_lanes()
             for control in self.controls:
                 self.materializer.register(control)
             restored = self.materializer.restore()
@@ -227,7 +269,8 @@ class ComplianceRuntime:
         Correlation over a reopened store must not restart its id counter
         at 1 — those ids exist and appends would raise.
         """
-        if self._analytics is None:
+        self._rel_ids = IdFactory()
+        if not self._correlation_rules:
             return
         highest = 0
         for row in self.store.rows():
@@ -237,8 +280,67 @@ class ComplianceRuntime:
                 if suffix.isdigit():
                     highest = max(highest, int(suffix))
         if highest:
-            ids: IdFactory = self._analytics.ids
-            ids.seed(_RELATION_PREFIX, highest + 1)
+            self._rel_ids.seed(_RELATION_PREFIX, highest + 1)
+
+    def _build_lanes(self) -> None:
+        """Mirror the store's shard layout with per-shard ingest lanes.
+
+        Sharded mode needs an independent store handle per shard — a
+        forked SQLite connection over the shard file, or the shard's
+        shared memory child (safe under per-lane locks because lanes
+        never touch each other's children).  When any shard cannot
+        provide one (e.g. ``:memory:`` SQLite children), the runtime
+        degrades to a single lane over the global store guarded by the
+        global lock: correct, just not parallel.
+        """
+        backend = self.store.backend
+        handles: Optional[List[Tuple[object, bool]]] = None
+        if isinstance(backend, ShardedBackend) and backend.shard_count() > 1:
+            handles = []
+            for child in backend.children:
+                if isinstance(child, MemoryBackend):
+                    handles.append((child, False))
+                    continue
+                fork = child.fork_handle()
+                if fork is None:
+                    handles = None
+                    break
+                handles.append((fork, True))
+        if handles is None:
+            self._sharded = False
+            self._lanes = [
+                IngestLane(
+                    0,
+                    self.store,
+                    self._lock,
+                    mapping=self._mapping,
+                    correlation_rules=self._correlation_rules,
+                    rel_ids=self._rel_ids,
+                )
+            ]
+            return
+        self._sharded = True
+        self._lanes = []
+        for index, (handle, owns) in enumerate(handles):
+            lane_store = ProvenanceStore(
+                model=self.store.model,
+                indexed=False,
+                indexed_attributes=self.store.indexed_attributes,
+                backend=handle,
+                fast_codec=self.store.codec is not None,
+            )
+            self._lanes.append(
+                IngestLane(
+                    index,
+                    lane_store,
+                    threading.Lock(),
+                    mapping=self._mapping,
+                    correlation_rules=self._correlation_rules,
+                    rel_ids=self._rel_ids,
+                    owns_store=owns,
+                    crash_tag="sharded.append.shard%d" % index,
+                )
+            )
 
     def subscribe(self, listener: TransitionListener) -> None:
         """Receive every post-startup :class:`VerdictTransition` live."""
@@ -264,34 +366,28 @@ class ComplianceRuntime:
                 self._sync_locked()
                 self._save_snapshot_locked()
             self.store.flush()
+            for lane in self._lanes:
+                lane.close()
             if self.owns_store:
                 self.store.close()
 
-    # -- dirty tracking ------------------------------------------------------
-
-    def _on_append(self, record) -> None:
-        # Relation rows are correlation *products*; re-correlating their
-        # traces every tick would never converge.  Everything else marks
-        # its trace for the next incremental correlation pass.
-        if not isinstance(record, RelationRecord):
-            self._pending_correlation.setdefault(record.app_id)
+    # -- transitions ---------------------------------------------------------
 
     def _on_transition(self, transition: VerdictTransition) -> None:
-        self._transition_seq += 1
-        self._transitions.append((self._transition_seq, transition))
-
-    def _correlate_pending(self) -> int:
-        """Run correlation over traces touched since the last pass."""
-        if self._analytics is None or not self._pending_correlation:
-            self._pending_correlation.clear()
-            return 0
-        touched = list(self._pending_correlation)
-        self._pending_correlation.clear()
-        created = self._analytics.run(app_ids=touched)
-        self.correlated_total += len(created)
-        return len(created)
+        with self._transitions_lock:
+            self._transition_seq += 1
+            self._transitions.append((self._transition_seq, transition))
 
     # -- session API ---------------------------------------------------------
+
+    def _lane_for(self, event: ApplicationEvent) -> int:
+        # Route by the APPID the *record* will carry ("unattributed" is
+        # the mapping's fallback for trace-unaware systems), with the
+        # same stable hash the sharded backend uses, so every lane writes
+        # only rows its shard owns.
+        if not self._sharded:
+            return 0
+        return self.store.shard_index(event.app_id or "unattributed")
 
     def ingest(self, events: Sequence[ApplicationEvent]) -> IngestReply:
         """Run one event batch through the server-side recorder pipeline.
@@ -300,40 +396,96 @@ class ComplianceRuntime:
         correlation all happen here; verdict refresh is left to the
         reader / background loop (appends only mark dirty pairs, which is
         what keeps ingest throughput independent of control count).
+
+        On a sharded runtime the batch is partitioned by home shard and
+        each partition runs under its lane's lock only — two clients
+        streaming different traces never serialize on each other.
         """
-        if self.recorder is None:
+        if self._mapping is None:
             raise ServiceError(
                 "this runtime has no event mapping; ingestion is disabled"
             )
-        with self._lock:
-            self._require_open()
-            stats = self.recorder.stats
-            before = (
-                stats.recorded,
-                stats.duplicates,
-                stats.dropped_irrelevant,
-                stats.dropped_unmapped,
-            )
-            envelopes = self.recorder.process_all(events)
-            correlated = self._correlate_pending()
+        self._require_open()
+        if not self._sharded:
+            # Single-lane runtimes keep the pre-lane contract: the whole
+            # batch (and its reply's cursor) is one critical section.
+            with self._lock:
+                return self._ingest_routed(events)
+        return self._ingest_routed(events)
+
+    def _ingest_routed(self, events: Sequence[ApplicationEvent]) -> IngestReply:
+        groups: Dict[int, List[int]] = {}
+        for position, event in enumerate(events):
+            groups.setdefault(self._lane_for(event), []).append(position)
+        dispositions: List[Optional[Tuple[bool, Optional[str]]]] = (
+            [None] * len(events)
+        )
+        recorded = duplicates = 0
+        dropped_irrelevant = dropped_unmapped = correlated = 0
+        for lane_index in sorted(groups):
+            positions = groups[lane_index]
+            lane = self._lanes[lane_index]
+            batch = [events[position] for position in positions]
+            with lane.lock:
+                part = lane.ingest(batch)
+            recorded += part.recorded
+            duplicates += part.duplicates
+            dropped_irrelevant += part.dropped_irrelevant
+            dropped_unmapped += part.dropped_unmapped
+            correlated += part.correlated
+            for position, disposition in zip(positions, part.dispositions):
+                dispositions[position] = disposition
+        with self._counter_lock:
             self.ingest_batches += 1
             self.ingest_events += len(events)
-            return IngestReply(
-                recorded=stats.recorded - before[0],
-                duplicates=stats.duplicates - before[1],
-                dropped_irrelevant=stats.dropped_irrelevant - before[2],
-                dropped_unmapped=stats.dropped_unmapped - before[3],
-                correlated=correlated,
-                dispositions=[
-                    (envelope.recorded, envelope.dropped_reason)
-                    for envelope in envelopes
-                ],
-                last_seq=self.store.last_seq(),
-            )
+            self.correlated_total += correlated
+        if self._sharded:
+            # Lane rows are committed but not yet folded into the global
+            # handle's cursor; the backend tip is the truthful checkpoint.
+            last_seq = self.store.backend.last_seq()
+        else:
+            last_seq = self.store.last_seq()
+        return IngestReply(
+            recorded=recorded,
+            duplicates=duplicates,
+            dropped_irrelevant=dropped_irrelevant,
+            dropped_unmapped=dropped_unmapped,
+            correlated=correlated,
+            dispositions=dispositions,
+            last_seq=last_seq,
+        )
+
+    def _fold_lanes_locked(self) -> int:
+        """Fold every lane (sync + correlate + commit); global lock held.
+
+        Returns relation rows created.  Lane locks nest inside the global
+        lock here — the one sanctioned global→lane ordering.
+        """
+        correlated = 0
+        for lane in self._lanes:
+            with lane.lock:
+                lane.sync()
+                correlated += lane.correlate()
+                if lane.owns_store:
+                    lane.store.flush()
+        if correlated:
+            with self._counter_lock:
+                self.correlated_total += correlated
+        return correlated
 
     def _sync_locked(self) -> SyncOutcome:
-        new_rows = self.store.sync()
-        correlated = self._correlate_pending() if new_rows else 0
+        if self._sharded:
+            # Lanes first (their appends + correlation products must be
+            # committed), then one global fold brings the materializer's
+            # dirty tracking current across every shard.
+            correlated = self._fold_lanes_locked()
+            new_rows = self.store.sync()
+        else:
+            new_rows = self.store.sync()
+            correlated = self._lanes[0].correlate() if new_rows else 0
+            if correlated:
+                with self._counter_lock:
+                    self.correlated_total += correlated
         refreshed = 0
         if new_rows or correlated or self.materializer.dirty_count:
             refreshed = len(self.materializer.refresh())
@@ -347,15 +499,47 @@ class ComplianceRuntime:
     def sync(self) -> SyncOutcome:
         """One continuous-evaluation tick.
 
-        Folds in rows other handles appended to the shared backend
-        (multi-writer recorders over a sharded store land here),
+        Folds in rows lanes and other processes appended to the shared
+        backend (multi-writer recorders over a sharded store land here),
         correlates the touched traces, and refreshes every dirty
         (control, trace) pair — the generalization of the old ``watch``
-        poll body.
+        poll body.  On a sharded runtime ``new_rows`` counts every row
+        folded into the global view, lane-ingested rows included.
         """
         with self._lock:
             self._require_open()
             return self._sync_locked()
+
+    def _cache_key(self) -> tuple:
+        # Epoch FIRST, commits SECOND: both are monotonic and every
+        # serving-path epoch bump is preceded by a lane-commit bump, so a
+        # torn read can only produce a key that *misses* — never a stale
+        # hit.
+        epoch = self.materializer.epoch
+        return (epoch, tuple(lane.commits for lane in self._lanes))
+
+    def _verdict_results(self) -> List[ComplianceResult]:
+        cached = self._verdict_cache
+        if cached is not None and cached[0] == self._cache_key():
+            with self._counter_lock:
+                self.verdict_cache_hits += 1
+            return list(cached[1])
+        with self._lock:
+            self._require_open()
+            if self._sharded:
+                self._fold_lanes_locked()
+                self.store.sync()
+            # Snapshot the commit vector after the fold but before the
+            # sweep: a lane commit that lands during the sweep bumps a
+            # counter past this snapshot and correctly invalidates the
+            # entry we are about to store.
+            commits = tuple(lane.commits for lane in self._lanes)
+            results = self.evaluator.run(self.controls)
+            epoch = self.materializer.epoch
+            self._verdict_cache = ((epoch, commits), results)
+        with self._counter_lock:
+            self.verdict_cache_misses += 1
+        return list(results)
 
     def verdicts(
         self,
@@ -365,15 +549,16 @@ class ComplianceRuntime:
     ) -> List[ComplianceResult]:
         """The verdict table, fresh, in canonical (trace, control) order.
 
-        Reads drain the dirty pairs first, so a served verdict is always
-        what a cold sweep of the store at this instant would produce —
-        byte-identical, per the materializer's parity guarantee.  The
-        optional filters subset the canonical rows without changing
+        Reads fold pending lane output and drain the dirty pairs first,
+        so a served verdict is always what a cold sweep of the store at
+        this instant would produce — byte-identical, per the
+        materializer's parity guarantee.  Repeat reads of an unchanged
+        runtime are served from the read cache without taking any lock.
+        The optional filters subset the canonical rows without changing
         their order.
         """
-        with self._lock:
-            self._require_open()
-            results = self.evaluator.run(self.controls)
+        self._require_open()
+        results = self._verdict_results()
         if control is not None:
             results = [r for r in results if r.control_name == control]
         if trace is not None:
@@ -389,9 +574,10 @@ class ComplianceRuntime:
 
         The backlog is a ring buffer: a reader that falls more than
         ``transition_backlog`` entries behind misses the overwritten
-        ones (and can tell, from the gap in indexes).
+        ones (and can tell, from the gap in indexes).  Reads take only
+        the feed's own lock, never the runtime's.
         """
-        with self._lock:
+        with self._transitions_lock:
             entries = [
                 (index, transition)
                 for index, transition in self._transitions
@@ -399,35 +585,76 @@ class ComplianceRuntime:
             ]
             return self._transition_seq, entries
 
-    def stats(self) -> Dict:
-        """Counters for dashboards and the ``/stats`` endpoint."""
-        with self._lock:
+    def _stats_locked(self) -> Dict:
+        lanes = self._lanes
+        if self._sharded:
+            last_seq = self.store.backend.last_seq()
+            recorder_stats = RecorderStats.aggregate(
+                (
+                    lane.recorder.stats
+                    for lane in lanes
+                    if lane.recorder is not None
+                ),
+                last_seq=last_seq,
+            )
+            recorder = recorder_stats.as_dict() if self._mapping else None
+        else:
+            last_seq = self.store.last_seq()
             recorder = (
-                self.recorder.stats.as_dict()
-                if self.recorder is not None
+                lanes[0].recorder.stats.as_dict()
+                if lanes and lanes[0].recorder is not None
                 else None
             )
-            return {
-                "workload": self.workload_name,
-                "traces": len(self.store.app_ids()),
-                "rows": len(self.store),
-                "shards": self.store.shard_count(),
-                "last_seq": cursor_to_wire(self.store.last_seq()),
-                "controls": [control.name for control in self.controls],
-                "dirty_pairs": self.materializer.dirty_count,
-                "refreshes": self.materializer.refreshes,
-                "pending_correlation": len(self._pending_correlation),
-                "correlated_rows": self.correlated_total,
-                "ingest_batches": self.ingest_batches,
-                "ingest_events": self.ingest_events,
-                "recorder": recorder,
-                "polls": self.polls,
-                "snapshots_saved": self.snapshots_saved,
-                "background_running": self.background_running,
-            }
+        payload = {
+            "workload": self.workload_name,
+            "traces": len(self.store.app_ids()),
+            "rows": len(self.store),
+            "shards": self.store.shard_count(),
+            "last_seq": cursor_to_wire(last_seq),
+            "controls": [control.name for control in self.controls],
+            "dirty_pairs": self.materializer.dirty_count,
+            "refreshes": self.materializer.refreshes,
+            "pending_correlation": sum(
+                lane.pending_count for lane in lanes
+            ),
+            "correlated_rows": self.correlated_total,
+            "ingest_batches": self.ingest_batches,
+            "ingest_events": self.ingest_events,
+            "recorder": recorder,
+            "polls": self.polls,
+            "snapshots_saved": self.snapshots_saved,
+            "background_running": self.background_running,
+            "verdict_cache": {
+                "hits": self.verdict_cache_hits,
+                "misses": self.verdict_cache_misses,
+            },
+        }
+        if self._sharded:
+            payload["lanes"] = [lane.counters() for lane in lanes]
+        return payload
+
+    def stats(self) -> Dict:
+        """Counters for dashboards and the ``/stats`` endpoint.
+
+        Sharded runtimes answer without the global lock — every field is
+        either a backend SQL read or a GIL-atomic counter — so stats
+        polling never stalls behind a refresh.
+        """
+        if self._sharded:
+            return self._stats_locked()
+        with self._lock:
+            return self._stats_locked()
 
     def health(self) -> Dict:
         """Tiny liveness payload for ``/health``."""
+        if self._sharded:
+            return {
+                "status": "ok" if self._opened and not self._closed
+                else "stopped",
+                "workload": self.workload_name,
+                "traces": len(self.store.app_ids()),
+                "last_seq": cursor_to_wire(self.store.backend.last_seq()),
+            }
         with self._lock:
             return {
                 "status": "ok" if self._opened and not self._closed
@@ -437,19 +664,38 @@ class ComplianceRuntime:
                 "last_seq": cursor_to_wire(self.store.last_seq()),
             }
 
+    def _save_lane_stats_locked(self) -> None:
+        if not self._sharded:
+            return
+        payload = json.dumps(
+            {
+                "version": 1,
+                "lanes": [lane.counters() for lane in self._lanes],
+            }
+        )
+        self.store.save_state(LANE_STATS_KEY, payload)
+
     def _save_snapshot_locked(self) -> None:
         self.materializer.save()
+        self._save_lane_stats_locked()
         self.snapshots_saved += 1
 
     def snapshot(self) -> None:
         """Refresh what is dirty, then persist the verdict table + cursor.
 
         After this the backend alone carries everything a restarted
-        runtime needs to resume: rows, auxiliary verdict state, and the
-        change-feed cursor the state is current as of.
+        runtime needs to resume: rows, auxiliary verdict state, the
+        change-feed cursor the state is current as of, and (sharded) the
+        per-lane ingest counters ``store-stats`` reports offline.
         """
         with self._lock:
             self._require_open()
+            if self._sharded:
+                # The snapshot cursor must cover lane rows already
+                # committed to the shard files, or a restart would
+                # re-evaluate traces this snapshot already verdicted.
+                self._fold_lanes_locked()
+                self.store.sync()
             self._save_snapshot_locked()
 
     def _require_open(self) -> None:

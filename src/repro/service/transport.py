@@ -10,9 +10,10 @@ back:
 
 - :class:`InProcessTransport` — the degenerate wire: direct method calls
   into a runtime living in the same process (embedding, tests),
-- :class:`HTTPTransport` — stdlib ``urllib`` JSON calls against a
-  ``repro serve`` endpoint, so N recorder processes on N machines can
-  stream into one served runtime.
+- :class:`HTTPTransport` — stdlib ``http.client`` JSON calls against a
+  ``repro serve`` endpoint over one persistent keep-alive connection, so
+  N recorder processes on N machines can stream into one served runtime
+  without paying TCP setup per batch.
 
 Both speak :class:`IngestReply`, the per-batch disposition summary a
 :class:`~repro.capture.recorder.RecorderClient` folds into its stats.
@@ -20,10 +21,10 @@ Both speak :class:`IngestReply`, the per-batch disposition summary a
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
+import socket
 import urllib.parse
-import urllib.request
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -131,9 +132,18 @@ class InProcessTransport:
 class HTTPTransport:
     """JSON-over-HTTP calls against a ``repro serve`` endpoint.
 
-    Stdlib only (``urllib``); one short-lived request per call, so a
-    transport object is safe to build once per recorder process and use
-    for its whole stream.
+    Stdlib only (``http.client``), over one **persistent keep-alive
+    connection**: a recorder streaming thousands of batches pays TCP
+    (and slow-start) once, not per call, so the serve bench measures the
+    runtime rather than connection setup.  If the server idles the kept
+    socket out between calls, the next call transparently retries once
+    on a fresh connection — only when the failure happened on a *reused*
+    socket before a response arrived, so a request is never knowingly
+    sent twice (and the runtime's dedup absorbs the unknowable case).
+
+    One connection means one in-flight request: a transport instance is
+    not thread-safe.  Give each streaming thread/process its own (they
+    are cheap — the socket opens lazily on first use).
 
     Args:
         base_url: e.g. ``http://127.0.0.1:8787`` (trailing slash ok).
@@ -143,6 +153,36 @@ class HTTPTransport:
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https"):
+            raise TransportError(
+                f"unsupported endpoint scheme {parsed.scheme!r} "
+                f"in {base_url!r}"
+            )
+        self._scheme = parsed.scheme
+        self._netloc = parsed.netloc
+        self._path_prefix = parsed.path.rstrip("/")
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._fresh = False
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            factory = (
+                http.client.HTTPSConnection
+                if self._scheme == "https"
+                else http.client.HTTPConnection
+            )
+            self._conn = factory(self._netloc, timeout=self.timeout)
+            self._fresh = True
+        return self._conn
+
+    def _reset(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        self._conn = None
 
     def _call(
         self, method: str, path: str, payload: Optional[Dict] = None
@@ -153,30 +193,52 @@ class HTTPTransport:
             if payload is not None
             else None
         )
-        request = urllib.request.Request(
-            url,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
+        headers = {"Content-Type": "application/json"}
+        while True:
+            conn = self._connect()
+            reused = not self._fresh
+            try:
+                if conn.sock is None:
+                    conn.connect()
+                    # Small request/reply bodies on a persistent socket
+                    # hit the Nagle + delayed-ACK stall (~40ms/call);
+                    # a batching transport coalesces at the JSON layer,
+                    # not in the kernel.
+                    conn.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                conn.request(
+                    method,
+                    f"{self._path_prefix}{path}" or "/",
+                    body=body,
+                    headers=headers,
+                )
+                response = conn.getresponse()
                 raw = response.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")[:200]
-            raise TransportError(
-                f"{method} {url} failed: {exc.code} {detail}"
-            ) from exc
-        except (urllib.error.URLError, OSError) as exc:
-            raise TransportError(f"{method} {url} unreachable: {exc}") from exc
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except ValueError as exc:
-            raise TransportError(
-                f"{method} {url} returned non-JSON body"
-            ) from exc
+            except (http.client.HTTPException, OSError) as exc:
+                self._reset()
+                if reused:
+                    # The server closed the idle kept-alive socket; the
+                    # request cannot have been answered, so one retry on
+                    # a fresh connection is safe.
+                    continue
+                raise TransportError(
+                    f"{method} {url} unreachable: {exc}"
+                ) from exc
+            self._fresh = False
+            if response.will_close:
+                self._reset()
+            if response.status >= 400:
+                detail = raw.decode("utf-8", "replace")[:200]
+                raise TransportError(
+                    f"{method} {url} failed: {response.status} {detail}"
+                )
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                raise TransportError(
+                    f"{method} {url} returned non-JSON body"
+                ) from exc
 
     def ingest(self, events: Sequence[ApplicationEvent]) -> IngestReply:
         reply = self._call(
@@ -216,7 +278,11 @@ class HTTPTransport:
 
     def shutdown(self) -> Dict:
         """Ask the server to stop gracefully (flush + snapshot)."""
-        return self._call("POST", "/shutdown")
+        reply = self._call("POST", "/shutdown")
+        # The server is going away; don't keep a socket to it.
+        self._reset()
+        return reply
 
     def close(self) -> None:
-        """Connections are per-request; nothing is held open."""
+        """Drop the persistent connection (reopens lazily if reused)."""
+        self._reset()

@@ -174,6 +174,18 @@ class StorageBackend(ABC):
 
     # -- sharding ------------------------------------------------------------
 
+    def fork_handle(self) -> Optional["StorageBackend"]:
+        """An independent handle over the same physical rows, or ``None``.
+
+        A fork shares the durable medium (e.g. the SQLite file) but owns
+        its own connection, write buffer, and decode cache, so one thread
+        can write through the fork while others read through the original.
+        Backends without a forkable medium return ``None`` (the default);
+        callers must then fall back to sharing the original handle under a
+        lock.
+        """
+        return None
+
     def shard_count(self) -> int:
         """Number of physical partitions.  Plain backends are one shard."""
         return 1

@@ -65,7 +65,7 @@ from repro.store.columnar import (
     _JSON_PATH_RE,
     compile_query,
 )
-from repro.store.locks import NullLock
+from repro.store.locks import FileLock, NullLock
 from repro.store.query import RecordQuery
 from repro.store.xmlcodec import StoredRow
 
@@ -235,6 +235,29 @@ class SQLiteBackend(StorageBackend):
         except sqlite3.OperationalError:
             self._conn.rollback()
             return False
+
+    def fork_handle(self) -> Optional["SQLiteBackend"]:
+        """A second connection over the same file (None for ``:memory:``).
+
+        The fork is created threadsafe — it is meant to be owned by one
+        worker thread — and duplicates the file write lock (flock is per
+        open-file-description, so the fork contends with other processes
+        exactly like the original).  In-memory databases are private to
+        their connection and cannot be forked.
+        """
+        if self.path == ":memory:":
+            return None
+        write_lock = None
+        if isinstance(self._write_lock, FileLock):
+            write_lock = FileLock(self._write_lock.path)
+        return SQLiteBackend(
+            self.path,
+            batch_size=self.batch_size,
+            bulk_batch_size=self.bulk_batch_size,
+            cache_size=self.cache_size,
+            write_lock=write_lock,
+            threadsafe=True,
+        )
 
     def _count_null_cols(self) -> int:
         (nulls,) = self._conn.execute(

@@ -92,6 +92,11 @@ class ProvenanceStore:
     ) -> None:
         self.model = model
         self.codec: Optional[XmlCodec] = XmlCodec(model) if fast_codec else None
+        # Retained so shard-scoped handles (service ingest lanes) can be
+        # built with the same columnar/index configuration.
+        self.indexed_attributes: FrozenSet[str] = frozenset(
+            indexed_attributes or ()
+        )
         if backend is None:
             backend = create_backend("memory")
         elif isinstance(backend, str):
